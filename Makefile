@@ -1,0 +1,28 @@
+# Convenience targets for the PKRU-Safe reproduction.
+
+.PHONY: all build test bench examples clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest --force
+
+bench:
+	dune exec bench/main.exe
+
+bench-json:
+	dune exec bench/main.exe -- --json bench-results
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/servo_like.exe
+	dune exec examples/exploit_demo.exe
+	dune exec examples/callback_ffi.exe
+	dune exec examples/static_analysis.exe
+	dune exec examples/stack_protection.exe
+
+clean:
+	dune clean
