@@ -1,0 +1,355 @@
+(* The command-line front end.
+
+   Subcommands mirror the artifact's experiments:
+     pipeline  — E1: deny / profile / enforce on the minimal example
+     browse    — E2: run a page + script through a chosen configuration
+     exploit   — E3: the CVE-style attack on base and mpk builds
+     micro     — the §5.2 micro-benchmarks and the Figure-3 sweep
+     suite     — run one benchmark suite and print its table *)
+
+open Cmdliner
+
+let mode_conv =
+  let parse = function
+    | "base" -> Ok Pkru_safe.Config.Base
+    | "alloc" -> Ok Pkru_safe.Config.Alloc
+    | "profiling" -> Ok Pkru_safe.Config.Profiling
+    | "mpk" -> Ok Pkru_safe.Config.Mpk
+    | s -> Error (`Msg (Printf.sprintf "unknown mode %S (base|alloc|profiling|mpk)" s))
+  in
+  Arg.conv (parse, fun fmt mode -> Format.pp_print_string fmt (Pkru_safe.Config.mode_to_string mode))
+
+let fail_on_error = function
+  | Ok v -> v
+  | Error msg -> failwith msg
+
+(* --- pipeline (E1) --- *)
+
+let e1_source () =
+  let open Ir in
+  let m = Module_ir.create () in
+  let u = Builder.create ~name:"untrusted_write" ~crate:"clib" ~nparams:1 () in
+  Builder.store u ~src:(Instr.Imm 1337) ~addr:(Instr.Reg 0) ();
+  Builder.ret u None;
+  Module_ir.add_func m (Builder.finish u);
+  Module_ir.mark_untrusted m "clib";
+  let f = Builder.create ~name:"main" ~crate:"app" ~nparams:0 () in
+  let shared = Builder.alloc f (Instr.Imm 64) in
+  Builder.store f ~src:(Instr.Imm 0) ~addr:(Instr.Reg shared) ();
+  ignore (Builder.call f "untrusted_write" [ Instr.Reg shared ]);
+  let v = Builder.load f (Instr.Reg shared) in
+  Builder.ret f (Some (Instr.Reg v));
+  Module_ir.add_func m (Builder.finish f);
+  m
+
+let run_pipeline () =
+  print_endline "E1: three-step pipeline on the minimal mixed-language program";
+  print_endline "  (trusted main allocates a value; untrusted clib writes 1337 into it)\n";
+  let source = e1_source () in
+  print_endline "[1/3] enforcement build with an empty profile:";
+  let deny =
+    fail_on_error
+      (Toolchain.Pipeline.build ~profile:(Runtime.Profile.create ()) ~mode:Pkru_safe.Config.Mpk
+         source)
+  in
+  (match Toolchain.Interp.run deny.Toolchain.Pipeline.interp "main" [] with
+  | v -> Printf.printf "  unexpected success: %d\n" v
+  | exception Vmm.Fault.Unhandled fault ->
+    Printf.printf "  crashed as expected: %s\n" (Vmm.Fault.to_string fault));
+  print_endline "[2/3] profiling build, one profiling input:";
+  let profile =
+    fail_on_error
+      (Toolchain.Pipeline.collect_profile source
+         ~inputs:[ (fun interp -> ignore (Toolchain.Interp.run interp "main" [])) ])
+  in
+  Printf.printf "  profile records %d shared allocation site(s)\n" (Runtime.Profile.cardinal profile);
+  print_endline "[3/3] enforcement build with the collected profile:";
+  let final = fail_on_error (Toolchain.Pipeline.build ~profile ~mode:Pkru_safe.Config.Mpk source) in
+  Printf.printf "  main() = %d (allocation now shared through MU; 0 -> 1337)\n"
+    (Toolchain.Interp.run final.Toolchain.Pipeline.interp "main" []);
+  Printf.printf "  pass stats: %d sites, %d moved, %d wrappers\n"
+    final.Toolchain.Pipeline.pass_stats.Ir.Passes.alloc_sites
+    final.Toolchain.Pipeline.pass_stats.Ir.Passes.sites_moved
+    final.Toolchain.Pipeline.pass_stats.Ir.Passes.wrappers;
+  `Ok ()
+
+(* --- browse (E2-style) --- *)
+
+let default_page = {|<div id="app" data="hello"><p>alpha</p><p>beta</p></div>|}
+
+let default_script =
+  {|var app = domQueryTag("div")[0];
+var d = domGetAttribute(app, "data");
+print("data = " + d);
+print("innerHTML = " + domGetInnerHTML(app));
+print("children = " + domChildCount(app));|}
+
+let run_browse mode page script =
+  let profile =
+    match mode with
+    | Pkru_safe.Config.Alloc | Pkru_safe.Config.Mpk ->
+      (* Profile the same workload first, as the pipeline prescribes. *)
+      let env =
+        fail_on_error (Pkru_safe.Env.create (Pkru_safe.Config.make Pkru_safe.Config.Profiling))
+      in
+      let b = Browser.create env in
+      Browser.load_page b page;
+      ignore (Browser.exec_script b script);
+      Pkru_safe.Env.recorded_profile env
+    | Pkru_safe.Config.Base | Pkru_safe.Config.Profiling -> Runtime.Profile.create ()
+  in
+  let env = fail_on_error (Pkru_safe.Env.create ~profile (Pkru_safe.Config.make mode)) in
+  let browser = Browser.create env in
+  Browser.load_page browser page;
+  (match Browser.exec_script browser script with
+  | _ -> ()
+  | exception Vmm.Fault.Unhandled fault ->
+    Printf.printf "script killed: %s\n" (Vmm.Fault.to_string fault));
+  List.iter print_endline (Browser.console browser);
+  Printf.printf "[%s] cycles=%d transitions=%d %%MU=%.2f sites(moved/used)=%d/%d\n"
+    (Pkru_safe.Config.mode_to_string mode)
+    (Pkru_safe.Env.cycles env) (Pkru_safe.Env.transitions env)
+    (Pkru_safe.Env.percent_untrusted_bytes env)
+    (Pkru_safe.Env.sites_moved env) (Pkru_safe.Env.sites_used env);
+  `Ok ()
+
+(* --- exploit (E3) --- *)
+
+let run_exploit () =
+  print_endline "E3: CVE-2019-11707-style arbitrary write against the browser secret\n";
+  List.iter
+    (fun mode ->
+      match Exploit.run mode with
+      | Ok outcome -> Format.printf "%a@." Exploit.pp_outcome outcome
+      | Error msg -> Printf.printf "error: %s\n" msg)
+    [ Pkru_safe.Config.Base; Pkru_safe.Config.Mpk ];
+  `Ok ()
+
+(* --- micro --- *)
+
+let run_micro () =
+  List.iter
+    (fun (r : Workloads.Microbench.result) ->
+      Printf.printf "%-10s ungated %6.1f  gated %6.1f  overhead %.2fx\n"
+        r.Workloads.Microbench.name r.Workloads.Microbench.ungated_cycles_per_call
+        r.Workloads.Microbench.gated_cycles_per_call r.Workloads.Microbench.overhead_x)
+    (Workloads.Microbench.run ());
+  print_endline "\nFigure 3 sweep:";
+  List.iter
+    (fun (loops, overhead) -> Printf.printf "  loops=%3d  normalized=%.2f\n" loops overhead)
+    (Workloads.Microbench.sweep ~loop_counts:[ 0; 25; 50; 100; 200 ] ());
+  `Ok ()
+
+(* --- suite --- *)
+
+let suite_of_name = function
+  | "dromaeo" -> Ok Workloads.Dromaeo.all
+  | "dom" -> Ok Workloads.Dromaeo.dom
+  | "v8" -> Ok Workloads.Dromaeo.v8
+  | "sunspider" -> Ok Workloads.Dromaeo.sunspider
+  | "jslib" -> Ok Workloads.Dromaeo.jslib
+  | "kraken" -> Ok Workloads.Kraken.all
+  | "octane" -> Ok Workloads.Octane.all
+  | "jetstream2" -> Ok Workloads.Jetstream.all
+  | s -> Error (Printf.sprintf "unknown suite %S" s)
+
+let run_suite name =
+  match suite_of_name name with
+  | Error msg -> `Error (false, msg)
+  | Ok suite ->
+    let tty = Unix.isatty Unix.stdout in
+    let result =
+      Workloads.Runner.run_suite
+        ~progress:(fun bench -> if tty then Printf.printf "  %-36s\r%!" bench)
+        suite
+    in
+    if tty then Printf.printf "%-48s\r%!" "";
+    Util.Table.print
+      ~header:[ "benchmark"; "alloc %"; "mpk %"; "transitions"; "%MU" ]
+      (List.map
+         (fun (r : Workloads.Runner.bench_result) ->
+           [
+             r.Workloads.Runner.bench;
+             Printf.sprintf "%+.2f" r.Workloads.Runner.alloc_overhead_pct;
+             Printf.sprintf "%+.2f" r.Workloads.Runner.mpk_overhead_pct;
+             string_of_int r.Workloads.Runner.mpk.Workloads.Runner.transitions;
+             Printf.sprintf "%.2f" r.Workloads.Runner.mpk.Workloads.Runner.pct_mu;
+           ])
+         result.Workloads.Runner.bench_results);
+    Printf.printf "\nmean: alloc %+.2f%%  mpk %+.2f%%  transitions %d  %%MU %.2f\n"
+      result.Workloads.Runner.mean_alloc_pct result.Workloads.Runner.mean_mpk_pct
+      result.Workloads.Runner.total_transitions result.Workloads.Runner.mean_pct_mu;
+    `Ok ()
+
+(* --- run: execute a textual IR program through the toolchain --- *)
+
+let run_ir_file path mode use_static entry =
+  let text = In_channel.with_open_text path In_channel.input_all in
+  match Ir.Ir_text.of_string text with
+  | exception Ir.Ir_text.Syntax_error msg -> `Error (false, path ^ ": " ^ msg)
+  | source ->
+    let build =
+      if use_static then begin
+        let b, result = fail_on_error (Toolchain.Pipeline.build_static ~mode source) in
+        Printf.printf "static analysis: %d shared site(s), %d fixpoint round(s)\n"
+          (Runtime.Alloc_id.Set.cardinal result.Ir.Static_taint.shared)
+          result.Ir.Static_taint.iterations;
+        b
+      end
+      else begin
+        let profile =
+          match mode with
+          | Pkru_safe.Config.Alloc | Pkru_safe.Config.Mpk ->
+            let p =
+              fail_on_error
+                (Toolchain.Pipeline.collect_profile source
+                   ~inputs:[ (fun i -> ignore (Toolchain.Interp.run i entry [])) ])
+            in
+            Printf.printf "dynamic profile: %d shared site(s)\n" (Runtime.Profile.cardinal p);
+            p
+          | Pkru_safe.Config.Base | Pkru_safe.Config.Profiling -> Runtime.Profile.create ()
+        in
+        fail_on_error (Toolchain.Pipeline.build ~profile ~mode source)
+      end
+    in
+    (match Toolchain.Interp.run build.Toolchain.Pipeline.interp entry [] with
+    | result ->
+      Printf.printf "%s() = %d\n" entry result;
+      Printf.printf "[%s] cycles=%d transitions=%d sites=%d moved=%d wrappers=%d\n"
+        (Pkru_safe.Config.mode_to_string mode)
+        (Pkru_safe.Env.cycles build.Toolchain.Pipeline.env)
+        (Pkru_safe.Env.transitions build.Toolchain.Pipeline.env)
+        build.Toolchain.Pipeline.pass_stats.Ir.Passes.alloc_sites
+        build.Toolchain.Pipeline.pass_stats.Ir.Passes.sites_moved
+        build.Toolchain.Pipeline.pass_stats.Ir.Passes.wrappers
+    | exception Vmm.Fault.Unhandled fault ->
+      Printf.printf "program killed: %s\n" (Vmm.Fault.to_string fault));
+    `Ok ()
+
+(* --- corpus: collect, inspect and persist the profiling corpus --- *)
+
+let run_corpus save_dir =
+  let corpus = Workloads.Browsing.collect () in
+  Printf.printf "collected %d profiling runs:\n" (Runtime.Corpus.run_count corpus);
+  List.iter
+    (fun (name, gained) -> Printf.printf "  %-16s %+d new site(s)\n" name gained)
+    (Runtime.Corpus.marginal_gains corpus);
+  let merged = Runtime.Corpus.merged corpus in
+  Printf.printf "deployment profile: %d shared sites\n" (Runtime.Profile.cardinal merged);
+  let fragile = Runtime.Corpus.fragile_sites corpus ~max_runs:1 in
+  Printf.printf "fragile sites (seen by a single run): %d\n" (List.length fragile);
+  (match save_dir with
+  | Some dir ->
+    Runtime.Corpus.save_dir corpus dir;
+    Printf.printf "corpus written to %s/\n" dir
+  | None -> ());
+  `Ok ()
+
+(* --- compare: diff two --json result directories --- *)
+
+let load_json path = Util.Json.of_string (In_channel.with_open_text path In_channel.input_all)
+
+let run_compare dir_a dir_b =
+  let files =
+    Sys.readdir dir_a |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".json" && Sys.file_exists (Filename.concat dir_b f))
+    |> List.sort compare
+  in
+  if files = [] then `Error (false, "no common .json result files")
+  else begin
+    List.iter
+      (fun file ->
+        match (load_json (Filename.concat dir_a file), load_json (Filename.concat dir_b file)) with
+        | Util.Json.Obj _ as a, (Util.Json.Obj _ as b) ->
+          (* Suite result files: compare the suite means. *)
+          (try
+             let mean j key = Util.Json.to_float (Util.Json.member key j) in
+             Printf.printf "%-28s alloc %+6.2f%% -> %+6.2f%%   mpk %+6.2f%% -> %+6.2f%%\n"
+               file (mean a "mean_alloc_pct") (mean b "mean_alloc_pct")
+               (mean a "mean_mpk_pct") (mean b "mean_mpk_pct")
+           with Not_found | Invalid_argument _ ->
+             Printf.printf "%-28s (not a suite file; skipped)\n" file)
+        | Util.Json.List a_rows, Util.Json.List b_rows
+          when file = "micro.json" && List.length a_rows = List.length b_rows ->
+          List.iter2
+            (fun a b ->
+              try
+                let name = Util.Json.to_str (Util.Json.member "name" a) in
+                let ov j = Util.Json.to_float (Util.Json.member "overhead_x" j) in
+                Printf.printf "%-28s %-10s %.2fx -> %.2fx\n" file name (ov a) (ov b)
+              with Not_found | Invalid_argument _ -> ())
+            a_rows b_rows
+        | _ -> Printf.printf "%-28s (unrecognised shape; skipped)\n" file)
+      files;
+    `Ok ()
+  end
+
+(* --- cmdliner wiring --- *)
+
+let pipeline_cmd =
+  Cmd.v (Cmd.info "pipeline" ~doc:"Run the E1 deny/profile/enforce demonstration")
+    Term.(ret (const run_pipeline $ const ()))
+
+let browse_cmd =
+  let mode =
+    Arg.(value & opt mode_conv Pkru_safe.Config.Mpk & info [ "m"; "mode" ] ~doc:"Build mode")
+  in
+  let page =
+    Arg.(value & opt string default_page & info [ "p"; "page" ] ~doc:"HTML page to load")
+  in
+  let script =
+    Arg.(value & opt string default_script & info [ "s"; "script" ] ~doc:"Script to execute")
+  in
+  Cmd.v (Cmd.info "browse" ~doc:"Run a page + script under a configuration (E2-style)")
+    Term.(ret (const run_browse $ mode $ page $ script))
+
+let exploit_cmd =
+  Cmd.v (Cmd.info "exploit" ~doc:"Run the E3 security experiment")
+    Term.(ret (const run_exploit $ const ()))
+
+let micro_cmd =
+  Cmd.v (Cmd.info "micro" ~doc:"Run the call-gate micro-benchmarks")
+    Term.(ret (const run_micro $ const ()))
+
+let suite_cmd =
+  let suite_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"SUITE"
+             ~doc:"dromaeo|dom|v8|sunspider|jslib|kraken|octane|jetstream2")
+  in
+  Cmd.v (Cmd.info "suite" ~doc:"Run one benchmark suite")
+    Term.(ret (const run_suite $ suite_arg))
+
+let compare_cmd =
+  let dir n doc = Arg.(required & pos n (some dir) None & info [] ~docv:"DIR" ~doc) in
+  Cmd.v (Cmd.info "compare" ~doc:"Compare two bench --json result directories")
+    Term.(ret (const run_compare $ dir 0 "baseline results" $ dir 1 "new results"))
+
+let corpus_cmd =
+  let save_dir =
+    Arg.(value & opt (some string) None & info [ "save" ] ~docv:"DIR" ~doc:"Persist the corpus")
+  in
+  Cmd.v
+    (Cmd.info "corpus" ~doc:"Collect the browsing profiling corpus and report its coverage")
+    Term.(ret (const run_corpus $ save_dir))
+
+let run_cmd =
+  let path =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Textual IR program")
+  in
+  let mode =
+    Arg.(value & opt mode_conv Pkru_safe.Config.Mpk & info [ "m"; "mode" ] ~doc:"Build mode")
+  in
+  let use_static =
+    Arg.(value & flag & info [ "static" ] ~doc:"Partition with the static analysis instead of profiling")
+  in
+  let entry = Arg.(value & opt string "main" & info [ "entry" ] ~doc:"Entry function") in
+  Cmd.v (Cmd.info "run" ~doc:"Compile and run a .ir program through the pipeline")
+    Term.(ret (const run_ir_file $ path $ mode $ use_static $ entry))
+
+let default =
+  Term.(ret (const (`Help (`Pager, None))))
+
+let () =
+  let info = Cmd.info "pkru_safe_cli" ~doc:"PKRU-Safe reproduction driver" in
+  exit (Cmd.eval (Cmd.group ~default info [ pipeline_cmd; browse_cmd; exploit_cmd; micro_cmd; suite_cmd; run_cmd; corpus_cmd; compare_cmd ]))

@@ -1,0 +1,1 @@
+examples/callback_ffi.ml: Builder Format Instr Ir Module_ir Option Pkru_safe Printf Runtime Toolchain

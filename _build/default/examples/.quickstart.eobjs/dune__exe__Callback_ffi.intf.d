@@ -1,0 +1,1 @@
+examples/callback_ffi.mli:

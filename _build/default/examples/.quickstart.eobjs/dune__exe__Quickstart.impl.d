@@ -1,0 +1,1 @@
+examples/quickstart.ml: Builder Instr Ir List Module_ir Pkru_safe Printf Runtime Toolchain Vmm

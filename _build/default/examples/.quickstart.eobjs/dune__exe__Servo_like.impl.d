@@ -1,0 +1,1 @@
+examples/servo_like.ml: Browser List Pkru_safe Printf Runtime Util Vmm

@@ -1,0 +1,1 @@
+examples/servo_like.mli:

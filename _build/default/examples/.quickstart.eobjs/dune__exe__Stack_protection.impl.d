@@ -1,0 +1,1 @@
+examples/stack_protection.ml: Builder Instr Ir List Module_ir Option Pkru_safe Printf Runtime Toolchain Vmm

@@ -1,0 +1,1 @@
+examples/stack_protection.mli:

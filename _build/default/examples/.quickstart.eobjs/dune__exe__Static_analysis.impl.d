@@ -1,0 +1,1 @@
+examples/static_analysis.ml: Builder Instr Ir Module_ir Option Pkru_safe Printf Runtime Toolchain

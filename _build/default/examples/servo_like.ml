@@ -1,0 +1,90 @@
+(* servo_like: the paper's flagship scenario in miniature (experiment E2).
+
+   A browser written in the safe language hosts a script engine written in
+   an unsafe one.  We profile a browsing session, rebuild with enforcement,
+   and rerun the same session — then show that a workload the profile never
+   saw still crashes, which is exactly the deployment consideration §6
+   discusses.
+
+   Run with: dune exec examples/servo_like.exe *)
+
+let ok = function
+  | Ok v -> v
+  | Error msg -> failwith msg
+
+let page =
+  {|<div id="app" class="shell" data="state0">
+      <h1>mini servo</h1>
+      <ul id="list"><li>first</li><li>second</li></ul>
+    </div>|}
+
+(* The "browsing session" used both as the profiling corpus and as the
+   deployed workload. *)
+let session =
+  {|
+var app = domQueryTag("div")[0];
+var list = domQueryTag("ul")[0];
+for (var i = 0; i < 8; i = i + 1) {
+  var li = domCreateElement("li");
+  domAppendChild(list, li);
+  domSetAttribute(app, "data", "state" + i);
+}
+var state = domGetAttribute(app, "data");
+var html = domGetInnerHTML(list);
+domSetAttribute(app, "style", "width:600;padding:8");
+var height = domReflow();
+var box = domGetBox(app);
+print("final state: " + state);
+print("list items:  " + domChildCount(list));
+print("list html starts with: " + html.substring(0, 14));
+print("layout: document height " + height + ", app box " + box);
+|}
+
+(* A workload the profiling corpus never exercised: reading textContent
+   crosses the boundary through a site the profile does not contain. *)
+let unprofiled = {|print(domTextContent(domRoot()).charCodeAt(0));|}
+
+let run_in mode ~profile =
+  let env = ok (Pkru_safe.Env.create ~profile (Pkru_safe.Config.make mode)) in
+  let browser = Browser.create env in
+  Browser.load_page browser page;
+  ignore (Browser.exec_script browser session);
+  (env, browser)
+
+let () =
+  print_endline "== profiling the browsing session";
+  let prof_env = ok (Pkru_safe.Env.create (Pkru_safe.Config.make Pkru_safe.Config.Profiling)) in
+  let prof_browser = Browser.create prof_env in
+  Browser.load_page prof_browser page;
+  ignore (Browser.exec_script prof_browser session);
+  List.iter (fun line -> Printf.printf "   | %s\n" line) (Browser.console prof_browser);
+  let profile = Pkru_safe.Env.recorded_profile prof_env in
+  Printf.printf "   profile: %d shared allocation sites\n\n" (Runtime.Profile.cardinal profile);
+
+  print_endline "== enforcement build, same session";
+  let env, browser = run_in Pkru_safe.Config.Mpk ~profile in
+  List.iter (fun line -> Printf.printf "   | %s\n" line) (Browser.console browser);
+  Printf.printf "   transitions: %d   %%MU: %.2f   sites moved/used: %d/%d\n"
+    (Pkru_safe.Env.transitions env)
+    (Pkru_safe.Env.percent_untrusted_bytes env)
+    (Pkru_safe.Env.sites_moved env) (Pkru_safe.Env.sites_used env);
+
+  print_endline "\n== the same build on a workload the corpus never covered";
+  (match Browser.exec_script browser unprofiled with
+  | _ -> print_endline "   !! unexpectedly survived"
+  | exception Vmm.Fault.Unhandled fault ->
+    Printf.printf "   crash (missed dataflow, as §6 predicts): %s\n" (Vmm.Fault.to_string fault));
+
+  print_endline "\n== overhead of this session across configurations";
+  let cycles mode =
+    let env, _ = run_in mode ~profile in
+    Pkru_safe.Env.cycles env
+  in
+  let base = cycles Pkru_safe.Config.Base in
+  let alloc = cycles Pkru_safe.Config.Alloc in
+  let mpk = cycles Pkru_safe.Config.Mpk in
+  Printf.printf "   base  %8d cycles\n" base;
+  Printf.printf "   alloc %8d cycles (%+.2f%%)\n" alloc
+    (Util.Stats.percent_overhead ~baseline:(float_of_int base) ~measured:(float_of_int alloc));
+  Printf.printf "   mpk   %8d cycles (%+.2f%%)\n" mpk
+    (Util.Stats.percent_overhead ~baseline:(float_of_int base) ~measured:(float_of_int mpk))

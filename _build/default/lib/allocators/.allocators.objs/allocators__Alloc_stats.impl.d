@@ -1,0 +1,1 @@
+lib/allocators/alloc_stats.ml: Format

@@ -1,0 +1,1 @@
+lib/allocators/dlmalloc_model.ml: Alloc_stats Array Hashtbl List Pool Printf Sim Vmm

@@ -1,0 +1,1 @@
+lib/allocators/dlmalloc_model.mli: Alloc_stats Pool Sim

@@ -1,0 +1,1 @@
+lib/allocators/jemalloc_model.ml: Alloc_stats Array Bytes Char Hashtbl Pool Printf Sim Size_class Vmm

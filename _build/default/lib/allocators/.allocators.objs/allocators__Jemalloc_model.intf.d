@@ -1,0 +1,1 @@
+lib/allocators/jemalloc_model.mli: Alloc_stats Pool Sim

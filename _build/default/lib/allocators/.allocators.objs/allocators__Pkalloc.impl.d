@@ -1,0 +1,1 @@
+lib/allocators/pkalloc.ml: Alloc_stats Dlmalloc_model Jemalloc_model Mpk Pool Printf Sim Vmm

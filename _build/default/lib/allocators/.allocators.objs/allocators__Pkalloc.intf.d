@@ -1,0 +1,1 @@
+lib/allocators/pkalloc.mli: Alloc_stats Mpk Pool Sim

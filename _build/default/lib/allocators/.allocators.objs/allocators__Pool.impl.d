@@ -1,0 +1,1 @@
+lib/allocators/pool.ml: List Mpk Sim Vmm

@@ -1,0 +1,1 @@
+lib/allocators/pool.mli: Mpk Sim

@@ -1,0 +1,1 @@
+lib/allocators/size_class.mli:

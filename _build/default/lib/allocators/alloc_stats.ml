@@ -1,0 +1,22 @@
+type t = {
+  mutable allocs : int;
+  mutable frees : int;
+  mutable bytes_allocated : int;
+  mutable bytes_freed : int;
+}
+
+let create () = { allocs = 0; frees = 0; bytes_allocated = 0; bytes_freed = 0 }
+
+let live_bytes t = t.bytes_allocated - t.bytes_freed
+
+let record_alloc t bytes =
+  t.allocs <- t.allocs + 1;
+  t.bytes_allocated <- t.bytes_allocated + bytes
+
+let record_free t bytes =
+  t.frees <- t.frees + 1;
+  t.bytes_freed <- t.bytes_freed + bytes
+
+let pp fmt t =
+  Format.fprintf fmt "allocs=%d frees=%d bytes=%d live=%d" t.allocs t.frees t.bytes_allocated
+    (live_bytes t)

@@ -1,0 +1,16 @@
+(** Allocation counters shared by all allocator implementations; the
+    benchmark harness uses them to report %MU (fraction of heap traffic
+    served from untrusted memory, Table 1). *)
+
+type t = {
+  mutable allocs : int;
+  mutable frees : int;
+  mutable bytes_allocated : int;
+  mutable bytes_freed : int;
+}
+
+val create : unit -> t
+val live_bytes : t -> int
+val record_alloc : t -> int -> unit
+val record_free : t -> int -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,191 @@
+type run = {
+  run_base : int;
+  cls : Size_class.t;
+  bitmap : Bytes.t; (* one bit per slot *)
+  mutable free_slots : int;
+  mutable next_probe : int; (* rotating first-free search start *)
+  mutable released : bool;
+}
+
+type t = {
+  machine : Sim.Machine.t;
+  pool : Pool.t;
+  nonfull : run list array; (* per class, runs with at least one free slot *)
+  page_to_run : (int, run) Hashtbl.t;
+  large : (int, int) Hashtbl.t; (* base address -> pages *)
+  stats : Alloc_stats.t;
+  mutable metadata_bytes : int;
+}
+
+(* Cycle costs of the allocator itself (fast paths, per §5.3 jemalloc is
+   the performant allocator of the pair). *)
+let cost_alloc_fast = 24
+let cost_free = 18
+let cost_run_setup = 180
+let cost_large = 150
+let cost_large_free = 60
+
+let create machine pool =
+  {
+    machine;
+    pool;
+    nonfull = Array.make Size_class.count [];
+    page_to_run = Hashtbl.create 256;
+    large = Hashtbl.create 64;
+    stats = Alloc_stats.create ();
+    metadata_bytes = 0;
+  }
+
+let page_size = Vmm.Layout.page_size
+
+let bit_get bm i = Char.code (Bytes.get bm (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let bit_set bm i =
+  Bytes.set bm (i lsr 3) (Char.chr (Char.code (Bytes.get bm (i lsr 3)) lor (1 lsl (i land 7))))
+
+let bit_clear bm i =
+  Bytes.set bm (i lsr 3)
+    (Char.chr (Char.code (Bytes.get bm (i lsr 3)) land lnot (1 lsl (i land 7))))
+
+let new_run t cls =
+  let pages = Size_class.run_pages cls in
+  match Pool.alloc_span t.pool pages with
+  | None -> None
+  | Some run_base ->
+    let slots = Size_class.slots_per_run cls in
+    let run =
+      {
+        run_base;
+        cls;
+        bitmap = Bytes.make ((slots + 7) / 8) '\000';
+        free_slots = slots;
+        next_probe = 0;
+        released = false;
+      }
+    in
+    let first_page = Vmm.Layout.page_of_addr run_base in
+    for p = first_page to first_page + pages - 1 do
+      Hashtbl.replace t.page_to_run p run
+    done;
+    t.metadata_bytes <- t.metadata_bytes + 64 + Bytes.length run.bitmap;
+    Sim.Machine.charge t.machine cost_run_setup;
+    Some run
+
+(* Pop a usable run for [cls], discarding stale entries (full or released
+   runs linger in the list and are skipped lazily). *)
+let rec current_run t cls =
+  match t.nonfull.(Size_class.to_int cls) with
+  | [] ->
+    (match new_run t cls with
+    | None -> None
+    | Some run ->
+      t.nonfull.(Size_class.to_int cls) <- [ run ];
+      Some run)
+  | run :: rest ->
+    if run.released || run.free_slots = 0 then begin
+      t.nonfull.(Size_class.to_int cls) <- rest;
+      current_run t cls
+    end
+    else Some run
+
+let find_free_slot run =
+  let slots = Size_class.slots_per_run run.cls in
+  let rec probe i remaining =
+    if remaining = 0 then None
+    else if not (bit_get run.bitmap i) then Some i
+    else probe ((i + 1) mod slots) (remaining - 1)
+  in
+  probe run.next_probe slots
+
+let alloc_small t cls =
+  match current_run t cls with
+  | None -> None
+  | Some run ->
+    (match find_free_slot run with
+    | None -> assert false (* free_slots > 0 guarantees a slot *)
+    | Some slot ->
+      bit_set run.bitmap slot;
+      run.free_slots <- run.free_slots - 1;
+      run.next_probe <- (slot + 1) mod Size_class.slots_per_run cls;
+      Sim.Machine.charge t.machine cost_alloc_fast;
+      Alloc_stats.record_alloc t.stats (Size_class.bytes cls);
+      Some (run.run_base + (slot * Size_class.bytes cls)))
+
+let alloc_large t size =
+  let pages = (size + page_size - 1) / page_size in
+  match Pool.alloc_span t.pool pages with
+  | None -> None
+  | Some addr ->
+    Hashtbl.replace t.large addr pages;
+    Sim.Machine.charge t.machine cost_large;
+    Alloc_stats.record_alloc t.stats (pages * page_size);
+    Some addr
+
+let alloc t size =
+  if size <= 0 then invalid_arg "Jemalloc_model.alloc: non-positive size";
+  match Size_class.of_size size with
+  | Some cls -> alloc_small t cls
+  | None -> alloc_large t size
+
+let run_of_addr t addr = Hashtbl.find_opt t.page_to_run (Vmm.Layout.page_of_addr addr)
+
+let free t addr =
+  match Hashtbl.find_opt t.large addr with
+  | Some pages ->
+    Hashtbl.remove t.large addr;
+    Pool.free_span t.pool addr pages;
+    Sim.Machine.charge t.machine cost_large_free;
+    Alloc_stats.record_free t.stats (pages * page_size)
+  | None ->
+    (match run_of_addr t addr with
+    | None -> invalid_arg (Printf.sprintf "Jemalloc_model.free: unknown pointer 0x%x" addr)
+    | Some run ->
+      let bytes = Size_class.bytes run.cls in
+      let offset = addr - run.run_base in
+      if offset mod bytes <> 0 then
+        invalid_arg (Printf.sprintf "Jemalloc_model.free: misaligned pointer 0x%x" addr);
+      let slot = offset / bytes in
+      if not (bit_get run.bitmap slot) then
+        invalid_arg (Printf.sprintf "Jemalloc_model.free: double free at 0x%x" addr);
+      bit_clear run.bitmap slot;
+      let was_full = run.free_slots = 0 in
+      run.free_slots <- run.free_slots + 1;
+      Sim.Machine.charge t.machine cost_free;
+      Alloc_stats.record_free t.stats bytes;
+      let slots = Size_class.slots_per_run run.cls in
+      if run.free_slots = slots then begin
+        (* Run entirely free: give its pages back to the pool. *)
+        run.released <- true;
+        let pages = Size_class.run_pages run.cls in
+        let first_page = Vmm.Layout.page_of_addr run.run_base in
+        for p = first_page to first_page + pages - 1 do
+          Hashtbl.remove t.page_to_run p
+        done;
+        t.metadata_bytes <- t.metadata_bytes - (64 + Bytes.length run.bitmap);
+        Pool.free_span t.pool run.run_base pages
+      end
+      else if was_full then
+        t.nonfull.(Size_class.to_int run.cls) <-
+          run :: t.nonfull.(Size_class.to_int run.cls))
+
+let usable_size t addr =
+  match Hashtbl.find_opt t.large addr with
+  | Some pages -> Some (pages * page_size)
+  | None ->
+    (match run_of_addr t addr with
+    | Some run -> Some (Size_class.bytes run.cls)
+    | None -> None)
+
+let try_resize t addr new_size =
+  Sim.Machine.charge t.machine cost_free;
+  match usable_size t addr with
+  | Some usable -> new_size > 0 && new_size <= usable
+  | None -> invalid_arg (Printf.sprintf "Jemalloc_model.try_resize: unknown pointer 0x%x" addr)
+
+let owns t addr = Hashtbl.mem t.large addr || run_of_addr t addr <> None
+
+let stats t = t.stats
+
+let metadata_bytes t = t.metadata_bytes
+
+let live_runs t = Hashtbl.length t.page_to_run

@@ -1,0 +1,122 @@
+type mu_backend =
+  | Mu_dlmalloc
+  | Mu_jemalloc
+
+type backend = {
+  b_alloc : int -> int option;
+  b_free : int -> unit;
+  b_usable : int -> int option;
+  b_try_resize : int -> int -> bool;
+  b_stats : Alloc_stats.t;
+}
+
+let jemalloc_backend machine pool =
+  let a = Jemalloc_model.create machine pool in
+  {
+    b_alloc = Jemalloc_model.alloc a;
+    b_free = Jemalloc_model.free a;
+    b_usable = Jemalloc_model.usable_size a;
+    b_try_resize = Jemalloc_model.try_resize a;
+    b_stats = Jemalloc_model.stats a;
+  }
+
+let dlmalloc_backend machine pool =
+  let a = Dlmalloc_model.create machine pool in
+  {
+    b_alloc = Dlmalloc_model.alloc a;
+    b_free = Dlmalloc_model.free a;
+    b_usable = Dlmalloc_model.usable_size a;
+    b_try_resize = Dlmalloc_model.try_resize a;
+    b_stats = Dlmalloc_model.stats a;
+  }
+
+type t = {
+  machine : Sim.Machine.t;
+  trusted_pkey : Mpk.Pkey.t;
+  mt_pool : Pool.t;
+  mu_pool : Pool.t;
+  mt : backend;
+  mu : backend;
+}
+
+let ( let* ) r f =
+  match r with
+  | Ok v -> f v
+  | Error _ as e -> e
+
+let create ?(mu_backend = Mu_dlmalloc) ?(trusted_pkey = Mpk.Pkey.of_int 1) machine =
+  (* Claim the trusted key from the kernel's pkey allocator, as the
+     startup code does with pkey_alloc(2). *)
+  let* () =
+    match Vmm.Pkeys.reserve machine.Sim.Machine.pkeys trusted_pkey with
+    | Ok () -> Ok ()
+    | Error errno -> Error (Printf.sprintf "pkey_alloc(%d) failed: %s" (Mpk.Pkey.to_int trusted_pkey) errno)
+  in
+  let* mt_pool =
+    Pool.create machine ~base:Vmm.Layout.trusted_base ~size:Vmm.Layout.trusted_size
+      ~pkey:trusted_pkey
+  in
+  let* mu_pool =
+    Pool.create machine ~base:Vmm.Layout.untrusted_base ~size:Vmm.Layout.untrusted_size
+      ~pkey:Mpk.Pkey.default
+  in
+  let mt = jemalloc_backend machine mt_pool in
+  let mu =
+    match mu_backend with
+    | Mu_dlmalloc -> dlmalloc_backend machine mu_pool
+    | Mu_jemalloc -> jemalloc_backend machine mu_pool
+  in
+  Ok { machine; trusted_pkey; mt_pool; mu_pool; mt; mu }
+
+let machine t = t.machine
+let trusted_pkey t = t.trusted_pkey
+
+let alloc_trusted t size = t.mt.b_alloc size
+let alloc_untrusted t size = t.mu.b_alloc size
+
+let pool_of_addr t addr =
+  if Pool.contains t.mt_pool addr then Some `Trusted
+  else if Pool.contains t.mu_pool addr then Some `Untrusted
+  else None
+
+let backend_of_addr t addr =
+  match pool_of_addr t addr with
+  | Some `Trusted -> t.mt
+  | Some `Untrusted -> t.mu
+  | None -> invalid_arg (Printf.sprintf "pkalloc: foreign pointer 0x%x" addr)
+
+let dealloc t addr = (backend_of_addr t addr).b_free addr
+
+let usable_size t addr = (backend_of_addr t addr).b_usable addr
+
+(* Reallocation never migrates between pools: "memory is always reallocated
+   from the same pool its base pointer originated from" (§4.2). *)
+let realloc t addr new_size =
+  let backend = backend_of_addr t addr in
+  let old_usable =
+    match backend.b_usable addr with
+    | Some n -> n
+    | None -> invalid_arg (Printf.sprintf "pkalloc: realloc of dead pointer 0x%x" addr)
+  in
+  if backend.b_try_resize addr new_size then Some addr
+  else
+  match backend.b_alloc new_size with
+  | None -> None
+  | Some fresh ->
+    let to_copy = min old_usable new_size in
+    if to_copy > 0 then begin
+      let payload = Sim.Machine.read_bytes t.machine addr to_copy in
+      Sim.Machine.write_bytes t.machine fresh payload
+    end;
+    backend.b_free addr;
+    Some fresh
+
+let trusted_pool t = t.mt_pool
+let untrusted_pool t = t.mu_pool
+let trusted_stats t = t.mt.b_stats
+let untrusted_stats t = t.mu.b_stats
+
+let percent_untrusted_bytes t =
+  let mt = float_of_int t.mt.b_stats.Alloc_stats.bytes_allocated in
+  let mu = float_of_int t.mu.b_stats.Alloc_stats.bytes_allocated in
+  if mt +. mu = 0.0 then 0.0 else 100.0 *. mu /. (mt +. mu)

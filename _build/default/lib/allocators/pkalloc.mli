@@ -1,0 +1,64 @@
+(** pkalloc: the compartment-aware split allocator (paper §4.4).
+
+    Wraps two heap allocators over two disjoint page pools:
+    {ul
+    {- [MT], the trusted pool, reserved at startup and tagged with the
+       trusted protection key, served by the jemalloc model;}
+    {- [MU], the untrusted pool, tagged with the default key (accessible
+       from every compartment), served by the libc-malloc model.}}
+
+    This is the extended GlobalAlloc surface: [alloc_trusted] is
+    [__rust_alloc], [alloc_untrusted] is [__rust_untrusted_alloc], and
+    [realloc] always reallocates from the pool the base pointer originated
+    in, so an object's compartment never changes across reallocation —
+    the property the provenance-tracking runtime depends on (§4.2).
+
+    The [mu_backend] knob reproduces the paper's §5.3 experiment of
+    swapping the MU allocator for the fast one, which removed the
+    alloc-configuration overhead. *)
+
+type mu_backend =
+  | Mu_dlmalloc  (** default: libc-style allocator, as in the paper *)
+  | Mu_jemalloc  (** ablation: fast allocator for MU *)
+
+type t
+
+val create :
+  ?mu_backend:mu_backend ->
+  ?trusted_pkey:Mpk.Pkey.t ->
+  Sim.Machine.t ->
+  (t, string) result
+(** Reserves both pools on the machine's page table ([trusted_pkey]
+    defaults to key 1) and builds the two allocators. *)
+
+val machine : t -> Sim.Machine.t
+val trusted_pkey : t -> Mpk.Pkey.t
+
+val alloc_trusted : t -> int -> int option
+(** [__rust_alloc]: allocate from MT. *)
+
+val alloc_untrusted : t -> int -> int option
+(** [__rust_untrusted_alloc]: allocate from MU. *)
+
+val dealloc : t -> int -> unit
+(** [__rust_dealloc]: dispatches on the pool owning the pointer.
+    @raise Invalid_argument on a foreign pointer. *)
+
+val realloc : t -> int -> int -> int option
+(** [realloc t addr new_size] grows/shrinks in the {e same} pool, copying
+    the payload through checked machine accesses.  [None] on exhaustion. *)
+
+val usable_size : t -> int -> int option
+
+val pool_of_addr : t -> int -> [ `Trusted | `Untrusted ] option
+(** Which compartment's pool an address belongs to (reservation-range
+    test, usable on any address including the secret page). *)
+
+val trusted_pool : t -> Pool.t
+val untrusted_pool : t -> Pool.t
+val trusted_stats : t -> Alloc_stats.t
+val untrusted_stats : t -> Alloc_stats.t
+
+val percent_untrusted_bytes : t -> float
+(** Fraction (in percent) of all allocated bytes served from MU — the
+    "%MU" column of Table 1. *)

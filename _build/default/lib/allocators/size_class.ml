@@ -1,0 +1,36 @@
+(* The ladder matches jemalloc's classic small classes: multiples of 8 up
+   to 128, then progressively coarser steps up to 3584. *)
+let ladder =
+  [|
+    8; 16; 24; 32; 40; 48; 56; 64; 80; 96; 112; 128; 160; 192; 224; 256; 320; 384; 448; 512;
+    640; 768; 896; 1024; 1280; 1536; 1792; 2048; 2560; 3072; 3584;
+  |]
+
+type t = int
+
+let count = Array.length ladder
+
+let max_small = ladder.(count - 1)
+
+let of_size n =
+  if n <= 0 || n > max_small then None
+  else
+    (* The ladder is tiny; a linear scan is clearer than binary search and
+       not a bottleneck (simulated cost is charged separately). *)
+    let rec find i = if ladder.(i) >= n then Some i else find (i + 1) in
+    find 0
+
+let bytes c = ladder.(c)
+
+let page_size = Vmm.Layout.page_size
+
+let run_pages c =
+  let b = bytes c in
+  if b <= 256 then 1
+  else if b <= 1024 then 2
+  else if b <= 2048 then 4
+  else 8
+
+let slots_per_run c = run_pages c * page_size / bytes c
+
+let to_int c = c

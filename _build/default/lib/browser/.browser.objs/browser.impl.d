@@ -1,0 +1,1 @@
+lib/browser/browser.ml: Dom Engine Format Hashtbl Html Layout List Pkru_safe Printf Selector Sim Sites String Style Vmm

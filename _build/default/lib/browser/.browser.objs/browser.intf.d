@@ -1,0 +1,1 @@
+lib/browser/browser.mli: Dom Engine Html Layout Pkru_safe Selector Sites Style

@@ -1,0 +1,1 @@
+lib/browser/dom.ml: Array Buffer Bytes Hashtbl List Pkru_safe Printf Sim Sites String

@@ -1,0 +1,1 @@
+lib/browser/dom.mli: Pkru_safe Runtime

@@ -1,0 +1,1 @@
+lib/browser/html.ml: Buffer List Printexc Printf String

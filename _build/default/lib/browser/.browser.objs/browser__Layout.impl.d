@@ -1,0 +1,1 @@
+lib/browser/layout.ml: Dom Hashtbl List Option Pkru_safe Sim Sites String Style

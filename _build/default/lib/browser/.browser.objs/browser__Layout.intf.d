@@ -1,0 +1,1 @@
+lib/browser/layout.mli: Dom

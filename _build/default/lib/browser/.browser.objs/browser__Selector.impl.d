@@ -1,0 +1,1 @@
+lib/browser/selector.ml: Dom List Printexc Printf String

@@ -1,0 +1,1 @@
+lib/browser/selector.mli: Dom

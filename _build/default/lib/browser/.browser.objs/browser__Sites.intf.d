@@ -1,0 +1,1 @@
+lib/browser/sites.mli: Runtime

@@ -1,0 +1,1 @@
+lib/browser/style.ml: List Option Pkru_safe Printf Sim Sites String

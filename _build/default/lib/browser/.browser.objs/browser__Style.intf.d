@@ -1,0 +1,1 @@
+lib/browser/style.mli: Pkru_safe Sim

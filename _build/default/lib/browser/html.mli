@@ -1,0 +1,16 @@
+(** A small HTML parser for page loads and innerHTML assignment.
+
+    Supports nested elements, double-quoted attributes, self-closing tags
+    and text; enough for the benchmark pages.  No entities or comments. *)
+
+type tree =
+  | Element of string * (string * string) list * tree list
+  | Text of string
+
+exception Html_error of string
+
+val parse : string -> tree list
+(** @raise Html_error on mismatched or malformed tags. *)
+
+val to_string : tree list -> string
+(** Inverse of {!parse} (canonical form, for tests). *)

@@ -1,0 +1,100 @@
+type box = {
+  x : int;
+  y : int;
+  width : int;
+  height : int;
+}
+
+type t = {
+  machine : Sim.Machine.t;
+  records : (Dom.node, int) Hashtbl.t; (* node -> box record address *)
+  mutable total_height : int;
+}
+
+let line_height = 16
+let chars_per_line = 40
+
+let box_record_size = 32
+
+let write_box env records node (b : box) =
+  let machine = Pkru_safe.Env.machine env in
+  let addr = Pkru_safe.Env.alloc env ~site:Sites.layout_scratch box_record_size in
+  Sim.Machine.write_u32 machine addr b.x;
+  Sim.Machine.write_u32 machine (addr + 4) b.y;
+  Sim.Machine.write_u32 machine (addr + 8) b.width;
+  Sim.Machine.write_u32 machine (addr + 12) b.height;
+  Hashtbl.replace records node addr
+
+let read_box machine addr =
+  {
+    x = Sim.Machine.read_u32 machine addr;
+    y = Sim.Machine.read_u32 machine (addr + 4);
+    width = Sim.Machine.read_u32 machine (addr + 8);
+    height = Sim.Machine.read_u32 machine (addr + 12);
+  }
+
+let text_height text =
+  let len = String.length text in
+  if len = 0 then 0 else line_height * (1 + ((len - 1) / chars_per_line))
+
+let style_of dom node =
+  match Dom.get_attribute dom node "style" with
+  | Some text -> Style.parse text
+  | None -> Style.default
+
+(* Lay out [node] with its top-left at (x, y) and at most [avail] width;
+   returns the height consumed. *)
+let rec layout_node env dom records node ~x ~y ~avail =
+  if Dom.is_text dom node then begin
+    let height = text_height (Dom.text_of dom node) in
+    write_box env records node { x; y; width = avail; height };
+    height
+  end
+  else begin
+    let style = style_of dom node in
+    match style.Style.display with
+    | Style.None_display -> 0
+    | Style.Block | Style.Inline ->
+      let margin = style.Style.margin in
+      let padding = style.Style.padding in
+      let width =
+        match style.Style.width with
+        | Some w -> min w (max 0 (avail - (2 * margin)))
+        | None -> max 0 (avail - (2 * margin))
+      in
+      let content_x = x + margin + padding in
+      let content_y = y + margin + padding in
+      let content_width = max 0 (width - (2 * padding)) in
+      let children_height =
+        List.fold_left
+          (fun offset child ->
+            offset
+            + layout_node env dom records child ~x:content_x ~y:(content_y + offset)
+                ~avail:content_width)
+          0 (Dom.children dom node)
+      in
+      let height =
+        match style.Style.height with
+        | Some h -> h + (2 * padding)
+        | None -> children_height + (2 * padding)
+      in
+      write_box env records node { x = x + margin; y = y + margin; width; height };
+      height + (2 * margin)
+  end
+
+let reflow ?(viewport_width = 800) dom =
+  let env = Dom.env dom in
+  let machine = Pkru_safe.Env.machine env in
+  let records = Hashtbl.create 64 in
+  let total_height =
+    layout_node env dom records (Dom.root dom) ~x:0 ~y:0 ~avail:viewport_width
+  in
+  { machine; records; total_height }
+
+let box_record_addr t node = Hashtbl.find_opt t.records node
+
+let box_of t node = Option.map (read_box t.machine) (box_record_addr t node)
+
+let document_height t = t.total_height
+
+let boxes_computed t = Hashtbl.length t.records

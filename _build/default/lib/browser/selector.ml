@@ -1,0 +1,131 @@
+(* A compound selector is a conjunction of simple conditions on one
+   element; a path is a descendant chain of compounds (rightmost matches
+   the candidate, the rest must match ancestors in order); a selector is a
+   disjunction of paths. *)
+
+type simple =
+  | Tag of string
+  | Id of string
+  | Class of string
+  | Universal
+
+type compound = simple list (* non-empty *)
+
+type t = compound list list (* disjunction of descendant chains *)
+
+exception Parse_error of string
+
+let () =
+  Printexc.register_printer (function
+    | Parse_error msg -> Some ("Selector.Parse_error: " ^ msg)
+    | _ -> None)
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '-' || c = '_'
+
+(* Parse one compound like "div#main.note" or ".row" or "*". *)
+let parse_compound text =
+  let n = String.length text in
+  let rec name_end i = if i < n && is_name_char text.[i] then name_end (i + 1) else i in
+  let rec loop i acc =
+    if i >= n then List.rev acc
+    else
+      match text.[i] with
+      | '*' -> loop (i + 1) (Universal :: acc)
+      | '#' ->
+        let stop = name_end (i + 1) in
+        if stop = i + 1 then raise (Parse_error ("empty id in " ^ text));
+        loop stop (Id (String.sub text (i + 1) (stop - i - 1)) :: acc)
+      | '.' ->
+        let stop = name_end (i + 1) in
+        if stop = i + 1 then raise (Parse_error ("empty class in " ^ text));
+        loop stop (Class (String.sub text (i + 1) (stop - i - 1)) :: acc)
+      | c when is_name_char c ->
+        let stop = name_end i in
+        loop stop (Tag (String.sub text i (stop - i)) :: acc)
+      | c -> raise (Parse_error (Printf.sprintf "unexpected %C in selector %S" c text))
+  in
+  match loop 0 [] with
+  | [] -> raise (Parse_error ("empty selector component in " ^ text))
+  | compound -> compound
+
+let split_on_whitespace text =
+  String.split_on_char ' ' text |> List.filter (fun s -> s <> "")
+
+let parse text =
+  let alternatives =
+    String.split_on_char ',' text
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+    |> List.map (fun path -> List.map parse_compound (split_on_whitespace path))
+  in
+  if alternatives = [] || List.exists (fun path -> path = []) alternatives then
+    raise (Parse_error (Printf.sprintf "empty selector %S" text));
+  alternatives
+
+let simple_to_string = function
+  | Tag t -> t
+  | Id i -> "#" ^ i
+  | Class c -> "." ^ c
+  | Universal -> "*"
+
+let to_string t =
+  String.concat ", "
+    (List.map
+       (fun path ->
+         String.concat " "
+           (List.map (fun compound -> String.concat "" (List.map simple_to_string compound)) path))
+       t)
+
+(* --- Matching --- *)
+
+let has_class dom node cls =
+  match Dom.get_attribute dom node "class" with
+  | None -> false
+  | Some value -> List.mem cls (split_on_whitespace value)
+
+let matches_simple dom node = function
+  | Universal -> true
+  | Tag tag -> Dom.tag_name dom node = tag
+  | Id id -> Dom.get_attribute dom node "id" = Some id
+  | Class cls -> has_class dom node cls
+
+let matches_compound dom node compound =
+  (not (Dom.is_text dom node)) && List.for_all (matches_simple dom node) compound
+
+(* rev_path is the descendant chain rightmost-first; the head must match
+   [node], the rest must match some strictly-ascending ancestors. *)
+let rec matches_rev_path dom node = function
+  | [] -> true
+  | compound :: rest ->
+    matches_compound dom node compound
+    &&
+    let rec some_ancestor current =
+      match Dom.parent dom current with
+      | None -> rest = []
+      | Some parent ->
+        (match rest with
+        | [] -> true
+        | next :: _ ->
+          ignore next;
+          matches_rev_path dom parent rest || some_ancestor parent)
+    in
+    (match rest with
+    | [] -> true
+    | _ -> some_ancestor node)
+
+let matches dom node t = List.exists (fun path -> matches_rev_path dom node (List.rev path)) t
+
+let query_all dom t =
+  let acc = ref [] in
+  let rec walk node =
+    if node <> Dom.root dom && matches dom node t then acc := node :: !acc;
+    List.iter walk (Dom.children dom node)
+  in
+  walk (Dom.root dom);
+  List.rev !acc
+
+let query_first dom t =
+  match query_all dom t with
+  | [] -> None
+  | node :: _ -> Some node

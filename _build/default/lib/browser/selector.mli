@@ -1,0 +1,32 @@
+(** CSS-selector matching over the machine-resident DOM.
+
+    Supports the selector core that drives jQuery-style workloads:
+    {ul
+    {- simple selectors: [div], [#id], [.class], [*];}
+    {- compound selectors: [div.row], [p#main.note];}
+    {- descendant combinators: [ul li], [div .row span];}
+    {- selector lists: [h1, h2].}}
+
+    Class matching reads the element's [class] attribute out of simulated
+    memory (whitespace-separated word match), so selector-heavy workloads
+    cost checked machine loads like real style matching does. *)
+
+type t
+
+exception Parse_error of string
+
+val parse : string -> t
+(** @raise Parse_error on empty or malformed selectors. *)
+
+val to_string : t -> string
+(** Canonical rendering (single spaces, original component order). *)
+
+val matches : Dom.t -> Dom.node -> t -> bool
+(** Whether a node matches (considering its ancestors for descendant
+    combinators). *)
+
+val query_all : Dom.t -> t -> Dom.node list
+(** All matching elements, in document order (the root itself is never
+    returned; text nodes never match). *)
+
+val query_first : Dom.t -> t -> Dom.node option

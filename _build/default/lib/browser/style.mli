@@ -1,0 +1,40 @@
+(** Styles: parsed [style="..."] attributes and computed style records.
+
+    A computed style is stored as a machine-resident record (site
+    {!Sites.style_record}) owned by the trusted side — layout data is
+    exactly the kind of browser-internal state the paper's partition keeps
+    in MT unless profiling shows it shared. *)
+
+type display =
+  | Block
+  | Inline
+  | None_display
+
+type t = {
+  display : display;
+  width : int option;   (** device units; None = auto *)
+  height : int option;
+  margin : int;
+  padding : int;
+}
+
+val default : t
+
+val parse : string -> t
+(** Parses ["display:block;width:100;margin:4"]-style declarations;
+    unknown properties and malformed declarations are ignored (CSS error
+    recovery). *)
+
+val to_string : t -> string
+(** Canonical rendering of the non-default properties. *)
+
+(* Machine-resident computed-style records. *)
+
+val record_size : int
+
+val write_record : Pkru_safe.Env.t -> t -> int
+(** Allocates a style record (from {!Sites.style_record}) and serialises
+    the computed style into it; returns its address. *)
+
+val read_record : Sim.Machine.t -> int -> t
+(** Reads a computed style back from machine memory. *)

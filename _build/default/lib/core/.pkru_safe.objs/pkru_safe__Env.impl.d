@@ -1,0 +1,1 @@
+lib/core/env.ml: Allocators Config Fun Hashtbl List Runtime Sim

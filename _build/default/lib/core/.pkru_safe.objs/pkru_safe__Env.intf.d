@@ -1,0 +1,1 @@
+lib/core/env.mli: Allocators Config Runtime Sim

@@ -1,0 +1,32 @@
+type mode =
+  | Base
+  | Alloc
+  | Profiling
+  | Mpk
+
+type t = {
+  mode : mode;
+  mu_backend : Allocators.Pkalloc.mu_backend;
+  cost : Sim.Cost.t;
+  trusted_pkey : Mpk.Pkey.t;
+}
+
+let make ?(mu_backend = Allocators.Pkalloc.Mu_dlmalloc) ?(cost = Sim.Cost.default)
+    ?(trusted_pkey = Mpk.Pkey.of_int 1) mode =
+  { mode; mu_backend; cost; trusted_pkey }
+
+let mode_to_string = function
+  | Base -> "base"
+  | Alloc -> "alloc"
+  | Profiling -> "profiling"
+  | Mpk -> "mpk"
+
+let gates_active t =
+  match t.mode with
+  | Base | Alloc -> false
+  | Profiling | Mpk -> true
+
+let split_heap t =
+  match t.mode with
+  | Base | Profiling -> false
+  | Alloc | Mpk -> true

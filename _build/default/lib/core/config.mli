@@ -1,0 +1,41 @@
+(** Build configurations.
+
+    These mirror the paper's evaluation configurations (§5.3):
+    {ul
+    {- [Base]: unmodified application — the fast allocator everywhere, no
+       compartment boundaries;}
+    {- [Alloc]: pkalloc substituted as the global allocator (profile-driven
+       MT/MU split) but no call gates — isolates allocator overhead;}
+    {- [Profiling]: the instrumented profile build — everything in MT,
+       gates active, provenance tracking and the permissive fault handler
+       installed;}
+    {- [Mpk]: the final enforcement build — pkalloc split plus call gates;
+       an unprofiled cross-compartment access crashes the program.}} *)
+
+type mode =
+  | Base
+  | Alloc
+  | Profiling
+  | Mpk
+
+type t = {
+  mode : mode;
+  mu_backend : Allocators.Pkalloc.mu_backend;
+  cost : Sim.Cost.t;
+  trusted_pkey : Mpk.Pkey.t;
+}
+
+val make :
+  ?mu_backend:Allocators.Pkalloc.mu_backend ->
+  ?cost:Sim.Cost.t ->
+  ?trusted_pkey:Mpk.Pkey.t ->
+  mode ->
+  t
+
+val mode_to_string : mode -> string
+
+val gates_active : t -> bool
+(** Whether this configuration inserts call gates at the boundary. *)
+
+val split_heap : t -> bool
+(** Whether allocation sites named by the profile draw from MU. *)

@@ -1,0 +1,162 @@
+type thread = {
+  t_cpu : Sim.Cpu.t;
+  t_gate : Runtime.Gate.t;
+}
+
+type t = {
+  config : Config.t;
+  machine : Sim.Machine.t;
+  pkalloc : Allocators.Pkalloc.t;
+  main : thread;
+  mutable active : thread;
+  mutable threads : thread list;
+  profiler : Runtime.Profiler.t option;
+  input_profile : Runtime.Profile.t;
+  sites_seen : (Runtime.Alloc_id.t, unit) Hashtbl.t;
+  mutable sites_moved : int;
+  mutable t_heap_bytes_mt : int; (* Env.alloc traffic kept in MT *)
+  mutable t_heap_bytes_mu : int; (* Env.alloc traffic moved to MU *)
+}
+
+let create ?profile config =
+  let machine = Sim.Machine.create ~cost:config.Config.cost () in
+  match
+    Allocators.Pkalloc.create ~mu_backend:config.Config.mu_backend
+      ~trusted_pkey:config.Config.trusted_pkey machine
+  with
+  | Error _ as e -> e
+  | Ok pkalloc ->
+    let main =
+      {
+        t_cpu = machine.Sim.Machine.cpu;
+        t_gate = Runtime.Gate.create ~trusted_pkey:config.Config.trusted_pkey machine;
+      }
+    in
+    let profiler =
+      match config.Config.mode with
+      | Config.Profiling ->
+        let p = Runtime.Profiler.create ~trusted_pkey:config.Config.trusted_pkey machine in
+        Runtime.Profiler.install p;
+        Some p
+      | Config.Base | Config.Alloc | Config.Mpk -> None
+    in
+    let input_profile =
+      match profile with
+      | Some p -> p
+      | None -> Runtime.Profile.create ()
+    in
+    Ok
+      {
+        config;
+        machine;
+        pkalloc;
+        main;
+        active = main;
+        threads = [ main ];
+        profiler;
+        input_profile;
+        sites_seen = Hashtbl.create 256;
+        sites_moved = 0;
+        t_heap_bytes_mt = 0;
+        t_heap_bytes_mu = 0;
+      }
+
+let config t = t.config
+let machine t = t.machine
+let pkalloc t = t.pkalloc
+let gate t = t.active.t_gate
+let profiler t = t.profiler
+
+let main_thread t = t.main
+
+let spawn_thread t =
+  let thread =
+    {
+      t_cpu = Sim.Machine.spawn_cpu t.machine;
+      t_gate = Runtime.Gate.create ~trusted_pkey:t.config.Config.trusted_pkey t.machine;
+    }
+  in
+  t.threads <- t.threads @ [ thread ];
+  thread
+
+let run_on_thread t thread f =
+  let previous = t.active in
+  t.active <- thread;
+  Fun.protect
+    ~finally:(fun () -> t.active <- previous)
+    (fun () -> Sim.Machine.run_on t.machine thread.t_cpu f)
+
+let note_site t site moved =
+  if not (Hashtbl.mem t.sites_seen site) then begin
+    Hashtbl.add t.sites_seen site ();
+    if moved then t.sites_moved <- t.sites_moved + 1
+  end
+
+let alloc t ~site size =
+  let moved = Config.split_heap t.config && Runtime.Profile.mem t.input_profile site in
+  note_site t site moved;
+  let result =
+    if moved then Allocators.Pkalloc.alloc_untrusted t.pkalloc size
+    else Allocators.Pkalloc.alloc_trusted t.pkalloc size
+  in
+  match result with
+  | None -> raise Out_of_memory
+  | Some addr ->
+    if moved then t.t_heap_bytes_mu <- t.t_heap_bytes_mu + size
+    else t.t_heap_bytes_mt <- t.t_heap_bytes_mt + size;
+    (match t.profiler with
+    | Some p -> Runtime.Profiler.log_alloc p ~alloc_id:site ~addr ~size
+    | None -> ());
+    addr
+
+let dealloc t addr =
+  (match t.profiler with
+  | Some p -> Runtime.Profiler.log_dealloc p ~addr
+  | None -> ());
+  Allocators.Pkalloc.dealloc t.pkalloc addr
+
+let realloc t addr new_size =
+  match Allocators.Pkalloc.realloc t.pkalloc addr new_size with
+  | None -> raise Out_of_memory
+  | Some fresh ->
+    (match t.profiler with
+    | Some p -> Runtime.Profiler.log_realloc p ~old_addr:addr ~new_addr:fresh ~new_size
+    | None -> ());
+    fresh
+
+let malloc_untrusted t size =
+  match Allocators.Pkalloc.alloc_untrusted t.pkalloc size with
+  | None -> raise Out_of_memory
+  | Some addr -> addr
+
+let ffi_call t f =
+  if Config.gates_active t.config then Runtime.Gate.call_untrusted t.active.t_gate f else f ()
+
+let callback t f =
+  if Config.gates_active t.config then Runtime.Gate.callback_trusted t.active.t_gate f else f ()
+
+let recorded_profile t =
+  match t.profiler with
+  | Some p -> Runtime.Profiler.profile p
+  | None -> invalid_arg "Env.recorded_profile: not a profiling build"
+
+let transitions t =
+  List.fold_left (fun acc thread -> acc + Runtime.Gate.transitions thread.t_gate) 0 t.threads
+
+let reset_counters t =
+  List.iter Sim.Cpu.reset_cycles t.machine.Sim.Machine.cpus;
+  List.iter (fun thread -> Runtime.Gate.reset_transitions thread.t_gate) t.threads
+
+let cycles t = Sim.Machine.cycles t.machine
+
+(* The paper's %MU counts how much of the safe language's heap traffic the
+   instrumentation redirected to MU; U's own mallocs are not part of it. *)
+let percent_untrusted_bytes t =
+  let mt = float_of_int t.t_heap_bytes_mt in
+  let mu = float_of_int t.t_heap_bytes_mu in
+  if mt +. mu = 0.0 then 0.0 else 100.0 *. mu /. (mt +. mu)
+
+let t_heap_bytes t = (t.t_heap_bytes_mt, t.t_heap_bytes_mu)
+
+let sites_used t = Hashtbl.length t.sites_seen
+let sites_moved t = t.sites_moved

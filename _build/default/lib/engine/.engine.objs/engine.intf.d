@@ -1,0 +1,1 @@
+lib/engine/engine.mli: Ast Bytecode Eval Lexer Parser Pkru_safe Value

@@ -1,0 +1,1 @@
+lib/engine/bytecode.ml: Array Ast Buffer Eval Hashtbl List Printf String Value

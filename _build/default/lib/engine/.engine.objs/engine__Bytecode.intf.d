@@ -1,0 +1,1 @@
+lib/engine/bytecode.mli: Ast Eval Value

@@ -1,0 +1,1 @@
+lib/engine/eval.ml: Array Ast Buffer Bytes Char Float Format Hashtbl List Pkru_safe Printexc Printf Sim String Util Value

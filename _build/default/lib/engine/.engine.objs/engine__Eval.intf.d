@@ -1,0 +1,1 @@
+lib/engine/eval.mli: Ast Format Value

@@ -1,0 +1,1 @@
+lib/engine/lexer.ml: Buffer Char List Printexc Printf String Value

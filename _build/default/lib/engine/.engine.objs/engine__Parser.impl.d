@@ -1,0 +1,1 @@
+lib/engine/parser.ml: Ast Lexer List Printexc Printf

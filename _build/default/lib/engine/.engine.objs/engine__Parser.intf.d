@@ -1,0 +1,1 @@
+lib/engine/parser.mli: Ast Lexer

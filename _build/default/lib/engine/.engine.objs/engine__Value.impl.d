@@ -1,0 +1,1 @@
+lib/engine/value.ml: Array Bytes Float Hashtbl Int64 List Pkru_safe Printf Sim String

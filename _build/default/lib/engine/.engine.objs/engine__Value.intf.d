@@ -1,0 +1,1 @@
+lib/engine/value.mli: Hashtbl Pkru_safe

@@ -1,0 +1,33 @@
+(** MiniJS abstract syntax. *)
+
+type expr =
+  | Num of float
+  | Str of string
+  | Bool of bool
+  | Null
+  | Ident of string
+  | Array_lit of expr list
+  | Object_lit of (string * expr) list
+  | Func_lit of string list * stmt list
+  | Unary of string * expr                (* ! -  *)
+  | Binary of string * expr * expr        (* arithmetic, comparison, && || *)
+  | Assign of string * expr * expr        (* op, lvalue, rhs; op is "=", "+=", ... *)
+  | Ternary of expr * expr * expr
+  | Index of expr * expr                  (* a[i] *)
+  | Member of expr * string               (* a.b  *)
+  | Call of expr * expr list
+  | Method_call of expr * string * expr list (* a.b(args) — kept separate for builtins *)
+
+and stmt =
+  | Expr of expr
+  | Var of string * expr
+  | Func_decl of string * string list * stmt list
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of stmt option * expr option * stmt option * stmt list
+  | Return of expr option
+  | Break
+  | Continue
+  | Block of stmt list
+
+type program = stmt list

@@ -1,0 +1,29 @@
+(** The bytecode execution tier.
+
+    Real engines are tiered — SpiderMonkey parses to bytecode and runs a
+    baseline interpreter before JIT compilation.  This module is that
+    second tier for MiniJS: {!compile} lowers a parsed program to a stack
+    bytecode, and {!run} executes it on a value stack, driving the exact
+    same semantic core as the AST tier ({!Eval}'s shared primitives), so
+    both tiers are observationally identical — a property the test suite
+    checks differentially on every benchmark kernel.
+
+    Functions compile lazily on first call (a compile-on-demand baseline
+    tier); closures remain interoperable with the AST tier, so a DOM
+    callback may AST-interpret a function the VM created. *)
+
+type program
+
+val compile : Ast.program -> program
+(** Pure lowering; no evaluator state involved. *)
+
+val disassemble : program -> string
+(** Human-readable listing of the top-level code (for tests/debugging). *)
+
+val instruction_count : program -> int
+(** Instructions in the top-level code object. *)
+
+val run : Eval.t -> program -> Value.t
+(** Executes top-level code against the evaluator's global scope; like the
+    AST tier, yields the value of the final expression statement.
+    @raise Eval.Script_error on runtime errors / fuel exhaustion. *)

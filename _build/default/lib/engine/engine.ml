@@ -1,0 +1,44 @@
+module Value = Value
+module Lexer = Lexer
+module Parser = Parser
+module Ast = Ast
+module Eval = Eval
+module Bytecode = Bytecode
+
+type tier =
+  | Ast_tier
+  | Bytecode_tier
+
+type t = {
+  env : Pkru_safe.Env.t;
+  heap : Value.heap;
+  eval : Eval.t;
+}
+
+let create ?seed ?fuel env =
+  let heap = Value.create_heap env in
+  { env; heap; eval = Eval.create ?seed ?fuel heap }
+
+let env t = t.env
+let heap t = t.heap
+let evaluator t = t.eval
+
+let register_host t name fn = Eval.register_host t.eval name fn
+
+let eval_source ?(tier = Ast_tier) t src =
+  let tokens = Lexer.tokenize t.heap src in
+  let program = Parser.parse tokens in
+  match tier with
+  | Ast_tier -> Eval.run_program t.eval program
+  | Bytecode_tier -> Bytecode.run t.eval (Bytecode.compile program)
+
+let eval_string ?tier t text =
+  match Value.str_of_string t.heap text with
+  | Value.Str s -> eval_source ?tier t s
+  | _ -> assert false
+
+let take_output t = Eval.take_output t.eval
+
+let collect t = Eval.gc t.eval
+
+let add_gc_root t provider = Eval.add_gc_root t.eval provider

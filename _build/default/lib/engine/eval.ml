@@ -1,0 +1,764 @@
+exception Script_error of string
+
+let () =
+  Printexc.register_printer (function
+    | Script_error msg -> Some ("Eval.Script_error: " ^ msg)
+    | _ -> None)
+
+type host = Value.t list -> Value.t
+
+type scope = {
+  vars : (string, Value.t) Hashtbl.t;
+  parent : scope option;
+}
+
+type closure = {
+  c_params : string list;
+  c_body : Ast.stmt list;
+  c_scope : scope;
+}
+
+type t = {
+  heap : Value.heap;
+  machine : Sim.Machine.t;
+  globals : scope;
+  hosts : (string, host) Hashtbl.t;
+  mutable closures : closure array;
+  mutable nclosures : int;
+  rng : Util.Rng.t;
+  mutable output : string list; (* reversed *)
+  mutable fuel : int;
+  mutable steps : int;
+  mutable gc_roots : (unit -> Value.t list) list;
+}
+
+(* Non-local control flow inside function bodies. *)
+exception Return_exc of Value.t
+exception Break_exc
+exception Continue_exc
+
+let create ?(seed = 1) ?(fuel = 200_000_000) heap =
+  {
+    heap;
+    machine = Pkru_safe.Env.machine (Value.env heap);
+    globals = { vars = Hashtbl.create 64; parent = None };
+    hosts = Hashtbl.create 32;
+    closures = Array.make 16 { c_params = []; c_body = []; c_scope = { vars = Hashtbl.create 1; parent = None } };
+    nclosures = 0;
+    rng = Util.Rng.create seed;
+    output = [];
+    fuel;
+    steps = 0;
+    gc_roots = [];
+  }
+
+let heap t = t.heap
+
+let register_host t name fn = Hashtbl.replace t.hosts name fn
+
+let set_global t name v = Hashtbl.replace t.globals.vars name v
+
+let get_global t name = Hashtbl.find_opt t.globals.vars name
+
+let take_output t =
+  let lines = List.rev t.output in
+  t.output <- [];
+  lines
+
+let steps t = t.steps
+
+let fail fmt = Format.kasprintf (fun msg -> raise (Script_error msg)) fmt
+
+let charge t n = Sim.Machine.charge t.machine n
+
+let tick t n =
+  t.steps <- t.steps + 1;
+  t.fuel <- t.fuel - 1;
+  if t.fuel <= 0 then fail "script ran out of fuel";
+  charge t n
+
+let add_closure t c =
+  if t.nclosures >= Array.length t.closures then begin
+    let bigger = Array.make (2 * Array.length t.closures) c in
+    Array.blit t.closures 0 bigger 0 t.nclosures;
+    t.closures <- bigger
+  end;
+  t.closures.(t.nclosures) <- c;
+  t.nclosures <- t.nclosures + 1;
+  t.nclosures - 1
+
+let rec lookup t scope name =
+  charge t 2;
+  match Hashtbl.find_opt scope.vars name with
+  | Some v -> Some v
+  | None ->
+    (match scope.parent with
+    | Some p -> lookup t p name
+    | None -> None)
+
+let rec assign_existing t scope name v =
+  match Hashtbl.find_opt scope.vars name with
+  | Some _ ->
+    Hashtbl.replace scope.vars name v;
+    true
+  | None ->
+    (match scope.parent with
+    | Some p -> assign_existing t p name v
+    | None -> false)
+
+let to_num t v =
+  match v with
+  | Value.Num f -> f
+  | Value.Bool true -> 1.0
+  | Value.Bool false -> 0.0
+  | Value.Null -> 0.0
+  | Value.Str s ->
+    (match float_of_string_opt (String.trim (Value.string_of_str t.heap s)) with
+    | Some f -> f
+    | None -> Float.nan)
+  | v -> fail "cannot convert %s to a number" (Value.type_name v)
+
+let to_int t v = int_of_float (to_num t v)
+
+(* JS ToInt32: wrap the integral part into signed 32-bit range. *)
+let wrap32 x =
+  let m = x land 0xFFFFFFFF in
+  if m >= 0x80000000 then m - 0x100000000 else m
+
+let to_i32 t v =
+  let f = to_num t v in
+  if Float.is_nan f || Float.is_integer f = false then wrap32 (int_of_float f)
+  else wrap32 (int_of_float (Float.rem f 4294967296.0))
+
+let of_i32 x = float_of_int (wrap32 x)
+
+let to_str t v =
+  match v with
+  | Value.Str _ -> v
+  | v -> Value.str_of_string t.heap (Value.to_display_string t.heap v)
+
+let as_str = function
+  | Value.Str s -> s
+  | v -> fail "expected a string, got %s" (Value.type_name v)
+
+let as_arr = function
+  | Value.Arr a -> a
+  | v -> fail "expected an array, got %s" (Value.type_name v)
+
+(* --- JSON builtins (kraken-style json-parse / json-stringify) --- *)
+
+let rec json_stringify t buf v =
+  match v with
+  | Value.Null -> Buffer.add_string buf "null"
+  | Value.Bool b -> Buffer.add_string buf (string_of_bool b)
+  | Value.Num f ->
+    Buffer.add_string buf
+      (if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+       else Printf.sprintf "%.12g" f)
+  | Value.Str s ->
+    Buffer.add_char buf '"';
+    String.iter
+      (function
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c -> Buffer.add_char buf c)
+      (Value.string_of_str t.heap s);
+    Buffer.add_char buf '"'
+  | Value.Arr a ->
+    Buffer.add_char buf '[';
+    for i = 0 to a.Value.a_len - 1 do
+      if i > 0 then Buffer.add_char buf ',';
+      json_stringify t buf (Value.arr_get t.heap a i)
+    done;
+    Buffer.add_char buf ']'
+  | Value.Obj o ->
+    Buffer.add_char buf '{';
+    let first = ref true in
+    Hashtbl.iter
+      (fun k v ->
+        if not !first then Buffer.add_char buf ',';
+        first := false;
+        Buffer.add_string buf (Printf.sprintf "%S" k);
+        Buffer.add_char buf ':';
+        json_stringify t buf v)
+      o.Value.o_props;
+    Buffer.add_char buf '}'
+  | Value.Fun _ | Value.Host _ | Value.Handle _ -> Buffer.add_string buf "null"
+
+let json_parse t (s : Value.str) =
+  (* Reuse the util JSON parser on a copy of the bytes (the copy itself is
+     a charged machine read), then rebuild engine values. *)
+  let text = Value.string_of_str t.heap s in
+  let rec convert = function
+    | Util.Json.Null -> Value.Null
+    | Util.Json.Bool b -> Value.Bool b
+    | Util.Json.Int i -> Value.Num (float_of_int i)
+    | Util.Json.Float f -> Value.Num f
+    | Util.Json.String s -> Value.str_of_string t.heap s
+    | Util.Json.List items ->
+      let arr = Value.arr_make t.heap 0 in
+      let a = as_arr arr in
+      List.iter (fun item -> Value.arr_push t.heap a (convert item)) items;
+      arr
+    | Util.Json.Obj fields ->
+      let obj = Value.obj_make t.heap in
+      (match obj with
+      | Value.Obj o -> List.iter (fun (k, v) -> Value.obj_set t.heap o k (convert v)) fields
+      | _ -> assert false);
+      obj
+  in
+  match Util.Json.of_string text with
+  | v -> convert v
+  | exception Util.Json.Parse_error msg -> fail "JSON.parse: %s" msg
+
+(* --- Static namespaces --- *)
+
+let math_call t name args =
+  let num i = to_num t (List.nth args i) in
+  let unary f = Value.Num (f (num 0)) in
+  charge t 4;
+  match (name, List.length args) with
+  | "floor", 1 -> unary Float.floor
+  | "ceil", 1 -> unary Float.ceil
+  | "round", 1 -> unary Float.round
+  | "abs", 1 -> unary Float.abs
+  | "sqrt", 1 -> unary sqrt
+  | "sin", 1 -> unary sin
+  | "cos", 1 -> unary cos
+  | "tan", 1 -> unary tan
+  | "atan", 1 -> unary atan
+  | "log", 1 -> unary log
+  | "exp", 1 -> unary exp
+  | "atan2", 2 -> Value.Num (atan2 (num 0) (num 1))
+  | "pow", 2 -> Value.Num (Float.pow (num 0) (num 1))
+  | "min", 2 -> Value.Num (Float.min (num 0) (num 1))
+  | "max", 2 -> Value.Num (Float.max (num 0) (num 1))
+  | "random", 0 -> Value.Num (Util.Rng.float t.rng 1.0)
+  | "trunc", 1 -> unary Float.trunc
+  | "sign", 1 -> unary (fun f -> if f > 0.0 then 1.0 else if f < 0.0 then -1.0 else 0.0)
+  | "hypot", 2 -> Value.Num (Float.hypot (num 0) (num 1))
+  | "log2", 1 -> unary (fun f -> log f /. log 2.0)
+  | _ -> fail "Math.%s: unknown function or bad arity" name
+
+let string_ns_call t name args =
+  match (name, args) with
+  | "fromCharCode", codes ->
+    let bytes = Bytes.create (List.length codes) in
+    List.iteri (fun i c -> Bytes.set bytes i (Char.chr (to_int t c land 0xFF))) codes;
+    Value.str_of_string t.heap (Bytes.to_string bytes)
+  | _ -> fail "String.%s: unknown function" name
+
+let json_ns_call t name args =
+  match (name, args) with
+  | "stringify", [ v ] ->
+    let buf = Buffer.create 64 in
+    json_stringify t buf v;
+    (* Building the text costs proportional machine writes. *)
+    Value.str_of_string t.heap (Buffer.contents buf)
+  | "parse", [ v ] -> json_parse t (as_str v)
+  | _ -> fail "JSON.%s: unknown function or bad arity" name
+
+(* --- Value methods --- *)
+
+let rec method_call t recv name args =
+  match recv with
+  | Value.Arr a ->
+    (match (name, args) with
+    | "push", [ v ] ->
+      Value.arr_push t.heap a v;
+      Value.Num (float_of_int a.Value.a_len)
+    | "pop", [] -> Value.arr_pop t.heap a
+    | "join", [ sep ] ->
+      let sep = Value.string_of_str t.heap (as_str (to_str t sep)) in
+      let parts =
+        List.init a.Value.a_len (fun i ->
+            Value.to_display_string t.heap (Value.arr_get t.heap a i))
+      in
+      Value.str_of_string t.heap (String.concat sep parts)
+    | "indexOf", [ v ] ->
+      let rec find i =
+        if i >= a.Value.a_len then -1
+        else if Value.equals t.heap (Value.arr_get t.heap a i) v then i
+        else find (i + 1)
+      in
+      Value.Num (float_of_int (find 0))
+    | "slice", [ lo; hi ] ->
+      let len = a.Value.a_len in
+      let norm i = if i < 0 then max 0 (len + i) else min i len in
+      let lo = norm (to_int t lo) and hi = norm (to_int t hi) in
+      let out = Value.arr_make t.heap 0 in
+      let o = as_arr out in
+      for i = lo to hi - 1 do
+        Value.arr_push t.heap o (Value.arr_get t.heap a i)
+      done;
+      out
+    | "concat", [ other ] ->
+      let other = as_arr other in
+      let out = Value.arr_make t.heap 0 in
+      let o = as_arr out in
+      for i = 0 to a.Value.a_len - 1 do
+        Value.arr_push t.heap o (Value.arr_get t.heap a i)
+      done;
+      for i = 0 to other.Value.a_len - 1 do
+        Value.arr_push t.heap o (Value.arr_get t.heap other i)
+      done;
+      out
+    | "reverse", [] ->
+      let n = a.Value.a_len in
+      for i = 0 to (n / 2) - 1 do
+        let x = Value.arr_get t.heap a i in
+        let y = Value.arr_get t.heap a (n - 1 - i) in
+        Value.arr_set t.heap a i y;
+        Value.arr_set t.heap a (n - 1 - i) x
+      done;
+      recv
+    | "fill", [ v ] ->
+      for i = 0 to a.Value.a_len - 1 do
+        Value.arr_set t.heap a i v
+      done;
+      recv
+    | "map", [ f ] ->
+      let out = Value.arr_make t.heap 0 in
+      let o = as_arr out in
+      for i = 0 to a.Value.a_len - 1 do
+        Value.arr_push t.heap o (call_value t f [ Value.arr_get t.heap a i ])
+      done;
+      out
+    | "filter", [ f ] ->
+      let out = Value.arr_make t.heap 0 in
+      let o = as_arr out in
+      for i = 0 to a.Value.a_len - 1 do
+        let v = Value.arr_get t.heap a i in
+        if Value.truthy (call_value t f [ v ]) then Value.arr_push t.heap o v
+      done;
+      out
+    | "reduce", [ f; init ] ->
+      let acc = ref init in
+      for i = 0 to a.Value.a_len - 1 do
+        acc := call_value t f [ !acc; Value.arr_get t.heap a i ]
+      done;
+      !acc
+    | "sort", [] ->
+      (* Numeric ascending (insertion sort through machine slots). *)
+      for i = 1 to a.Value.a_len - 1 do
+        let v = Value.arr_get t.heap a i in
+        let key = to_num t v in
+        let j = ref (i - 1) in
+        while !j >= 0 && to_num t (Value.arr_get t.heap a !j) > key do
+          Value.arr_set t.heap a (!j + 1) (Value.arr_get t.heap a !j);
+          decr j
+        done;
+        Value.arr_set t.heap a (!j + 1) v
+      done;
+      recv
+    | _ -> fail "array has no method %s/%d" name (List.length args))
+  | Value.Str s ->
+    (match (name, args) with
+    | "charCodeAt", [ i ] -> Value.Num (float_of_int (Value.str_get t.heap s (to_int t i)))
+    | "charAt", [ i ] ->
+      let i = to_int t i in
+      if i < 0 || i >= s.Value.s_len then Value.str_of_string t.heap ""
+      else Value.str_sub t.heap s i 1
+    | "substring", [ a; b ] ->
+      let a = to_int t a and b = to_int t b in
+      let lo = min a b and hi = max a b in
+      Value.str_sub t.heap s lo (hi - lo)
+    | "indexOf", [ needle ] ->
+      Value.Num (float_of_int (Value.str_index_of t.heap s (as_str needle)))
+    | "split", [ sep ] ->
+      let text = Value.string_of_str t.heap s in
+      let sep = Value.string_of_str t.heap (as_str sep) in
+      let parts =
+        if String.length sep = 1 then String.split_on_char sep.[0] text
+        else fail "split: only single-character separators are supported"
+      in
+      let arr = Value.arr_make t.heap 0 in
+      let a = as_arr arr in
+      List.iter (fun p -> Value.arr_push t.heap a (Value.str_of_string t.heap p)) parts;
+      arr
+    | "slice", [ a; b ] ->
+      let len = s.Value.s_len in
+      let norm i = if i < 0 then max 0 (len + i) else min i len in
+      let a = norm (to_int t a) and b = norm (to_int t b) in
+      Value.str_sub t.heap s a (max 0 (b - a))
+    | "trim", [] ->
+      Value.str_of_string t.heap (String.trim (Value.string_of_str t.heap s))
+    | "startsWith", [ p ] ->
+      Value.Bool (Value.str_index_of t.heap s (as_str p) = 0)
+    | "replace", [ find; repl ] ->
+      (* First occurrence only, like the JS string (not regex) form. *)
+      let find = as_str find in
+      let idx = Value.str_index_of t.heap s find in
+      if idx < 0 then Value.Str s
+      else begin
+        let text = Value.string_of_str t.heap s in
+        let repl = Value.string_of_str t.heap (as_str repl) in
+        Value.str_of_string t.heap
+          (String.sub text 0 idx ^ repl
+          ^ String.sub text (idx + find.Value.s_len) (String.length text - idx - find.Value.s_len))
+      end
+    | "toUpperCase", [] ->
+      Value.str_of_string t.heap (String.uppercase_ascii (Value.string_of_str t.heap s))
+    | "toLowerCase", [] ->
+      Value.str_of_string t.heap (String.lowercase_ascii (Value.string_of_str t.heap s))
+    | _ -> fail "string has no method %s/%d" name (List.length args))
+  | Value.Obj o ->
+    (* Calling a function-valued property. *)
+    (match Value.obj_get t.heap o name with
+    | Value.Null -> fail "object has no method %s" name
+    | f -> call_value t f args)
+  | v -> fail "%s has no methods" (Value.type_name v)
+
+and member t recv name =
+  match (recv, name) with
+  | Value.Arr a, "length" -> Value.Num (float_of_int a.Value.a_len)
+  | Value.Str s, "length" -> Value.Num (float_of_int s.Value.s_len)
+  | Value.Obj o, _ -> Value.obj_get t.heap o name
+  | v, _ -> fail "cannot read property %s of %s" name (Value.type_name v)
+
+and call_value t callee args =
+  charge t t.machine.Sim.Machine.cpu.Sim.Cpu.cost.Sim.Cost.call;
+  match callee with
+  | Value.Fun id ->
+    let c = t.closures.(id) in
+    let scope = { vars = Hashtbl.create 8; parent = Some c.c_scope } in
+    List.iteri
+      (fun i p ->
+        let v =
+          match List.nth_opt args i with
+          | Some v -> v
+          | None -> Value.Null
+        in
+        Hashtbl.replace scope.vars p v)
+      c.c_params;
+    (try
+       exec_stmts t scope c.c_body;
+       Value.Null
+     with Return_exc v -> v)
+  | Value.Host name ->
+    (match Hashtbl.find_opt t.hosts name with
+    | Some fn -> fn args
+    | None -> fail "unknown host function %s" name)
+  | v -> fail "%s is not callable" (Value.type_name v)
+
+and eval t scope (e : Ast.expr) : Value.t =
+  tick t 1;
+  match e with
+  | Ast.Num f -> Value.Num f
+  | Ast.Str s -> Value.str_of_string t.heap s
+  | Ast.Bool b -> Value.Bool b
+  | Ast.Null -> Value.Null
+  | Ast.Ident "Math" | Ast.Ident "JSON" | Ast.Ident "String" ->
+    fail "namespace %s cannot be used as a value"
+      (match e with
+      | Ast.Ident n -> n
+      | _ -> assert false)
+  | Ast.Ident name ->
+    (match lookup t scope name with
+    | Some v -> v
+    | None ->
+      if Hashtbl.mem t.hosts name then Value.Host name
+      else fail "undefined variable %s" name)
+  | Ast.Array_lit items ->
+    let arr = Value.arr_make t.heap 0 in
+    let a = as_arr arr in
+    List.iter (fun item -> Value.arr_push t.heap a (eval t scope item)) items;
+    arr
+  | Ast.Object_lit fields ->
+    let obj = Value.obj_make t.heap in
+    (match obj with
+    | Value.Obj o -> List.iter (fun (k, v) -> Value.obj_set t.heap o k (eval t scope v)) fields
+    | _ -> assert false);
+    obj
+  | Ast.Func_lit (params, body) ->
+    Value.Fun (add_closure t { c_params = params; c_body = body; c_scope = scope })
+  | Ast.Unary ("!", e) -> Value.Bool (not (Value.truthy (eval t scope e)))
+  | Ast.Unary ("-", e) -> Value.Num (-.to_num t (eval t scope e))
+  | Ast.Unary ("~", e) -> Value.Num (of_i32 (lnot (to_i32 t (eval t scope e))))
+  | Ast.Unary (op, _) -> fail "unknown unary operator %s" op
+  | Ast.Binary ("&&", a, b) ->
+    let va = eval t scope a in
+    if Value.truthy va then eval t scope b else va
+  | Ast.Binary ("||", a, b) ->
+    let va = eval t scope a in
+    if Value.truthy va then va else eval t scope b
+  | Ast.Binary (op, a, b) -> binary t op (eval t scope a) (eval t scope b)
+  | Ast.Ternary (c, a, b) -> if Value.truthy (eval t scope c) then eval t scope a else eval t scope b
+  | Ast.Assign (op, lhs, rhs) ->
+    let v = eval t scope rhs in
+    let v =
+      if op = "=" then v
+      else
+        let old = eval t scope lhs in
+        binary t (String.sub op 0 1) old v
+    in
+    store t scope lhs v;
+    v
+  | Ast.Index (a, i) ->
+    (match eval t scope a with
+    | Value.Arr arr ->
+      let i = to_int t (eval t scope i) in
+      if i < 0 || i >= arr.Value.a_len then Value.Null else Value.arr_get t.heap arr i
+    | Value.Str s ->
+      let i = to_int t (eval t scope i) in
+      if i < 0 || i >= s.Value.s_len then Value.Null else Value.str_sub t.heap s i 1
+    | Value.Obj o -> Value.obj_get t.heap o (Value.string_of_str t.heap (as_str (to_str t (eval t scope i))))
+    | v -> fail "cannot index %s" (Value.type_name v))
+  | Ast.Member (e, name) -> member t (eval t scope e) name
+  | Ast.Method_call (Ast.Ident "Math", name, args) ->
+    math_call t name (List.map (eval t scope) args)
+  | Ast.Method_call (Ast.Ident "JSON", name, args) ->
+    json_ns_call t name (List.map (eval t scope) args)
+  | Ast.Method_call (Ast.Ident "String", name, args) ->
+    string_ns_call t name (List.map (eval t scope) args)
+  | Ast.Method_call (recv, name, args) ->
+    let recv = eval t scope recv in
+    let args = List.map (eval t scope) args in
+    charge t 3;
+    method_call t recv name args
+  | Ast.Call (Ast.Ident "parseInt", [ arg ]) ->
+    let f = to_num t (eval t scope arg) in
+    Value.Num (Float.trunc f)
+  | Ast.Call (Ast.Ident "parseFloat", [ arg ]) -> Value.Num (to_num t (eval t scope arg))
+  | Ast.Call (Ast.Ident "isNaN", [ arg ]) ->
+    Value.Bool (Float.is_nan (to_num t (eval t scope arg)))
+  | Ast.Call (Ast.Ident "Number", [ arg ]) -> Value.Num (to_num t (eval t scope arg))
+  | Ast.Call (Ast.Ident "typeof", [ arg ]) ->
+    Value.str_of_string t.heap (Value.type_name (eval t scope arg))
+  | Ast.Call (Ast.Ident "print", args) ->
+    let parts = List.map (fun a -> Value.to_display_string t.heap (eval t scope a)) args in
+    t.output <- String.concat " " parts :: t.output;
+    Value.Null
+  | Ast.Call (Ast.Ident "__new_array", [ n ]) ->
+    Value.arr_make t.heap (to_int t (eval t scope n))
+  | Ast.Call (callee, args) ->
+    let callee = eval t scope callee in
+    let args = List.map (eval t scope) args in
+    call_value t callee args
+
+and binary t op a b =
+  charge t 1;
+  match op with
+  | "+" ->
+    (match (a, b) with
+    | Value.Str _, _ | _, Value.Str _ ->
+      Value.str_concat t.heap (as_str (to_str t a)) (as_str (to_str t b))
+    | _ -> Value.Num (to_num t a +. to_num t b))
+  | "-" -> Value.Num (to_num t a -. to_num t b)
+  | "*" -> Value.Num (to_num t a *. to_num t b)
+  | "/" -> Value.Num (to_num t a /. to_num t b)
+  | "%" -> Value.Num (Float.rem (to_num t a) (to_num t b))
+  | "&" -> Value.Num (of_i32 (to_i32 t a land to_i32 t b))
+  | "|" -> Value.Num (of_i32 (to_i32 t a lor to_i32 t b))
+  | "^" -> Value.Num (of_i32 (to_i32 t a lxor to_i32 t b))
+  | "<<" -> Value.Num (of_i32 (to_i32 t a lsl (to_i32 t b land 31)))
+  | ">>" -> Value.Num (of_i32 (to_i32 t a asr (to_i32 t b land 31)))
+  | "==" -> Value.Bool (Value.equals t.heap a b)
+  | "!=" -> Value.Bool (not (Value.equals t.heap a b))
+  | "<" -> Value.Bool (to_num t a < to_num t b)
+  | "<=" -> Value.Bool (to_num t a <= to_num t b)
+  | ">" -> Value.Bool (to_num t a > to_num t b)
+  | ">=" -> Value.Bool (to_num t a >= to_num t b)
+  | op -> fail "unknown operator %s" op
+
+and store t scope lhs v =
+  match lhs with
+  | Ast.Ident name ->
+    if not (assign_existing t scope name v) then Hashtbl.replace t.globals.vars name v
+  | Ast.Index (a, i) ->
+    (match eval t scope a with
+    | Value.Arr arr ->
+      let i = to_int t (eval t scope i) in
+      if i = arr.Value.a_len then Value.arr_push t.heap arr v
+      else if i >= 0 && i < arr.Value.a_len then Value.arr_set t.heap arr i v
+      else fail "array store out of range: %d (len %d)" i arr.Value.a_len
+    | Value.Obj o ->
+      Value.obj_set t.heap o (Value.string_of_str t.heap (as_str (to_str t (eval t scope i)))) v
+    | v -> fail "cannot index-assign %s" (Value.type_name v))
+  | Ast.Member (e, name) ->
+    (match eval t scope e with
+    | Value.Obj o -> Value.obj_set t.heap o name v
+    | v -> fail "cannot set property %s on %s" name (Value.type_name v))
+  | _ -> fail "invalid assignment target"
+
+and exec_stmt t scope (s : Ast.stmt) =
+  tick t 1;
+  match s with
+  | Ast.Expr e -> ignore (eval t scope e)
+  | Ast.Var (name, init) ->
+    let v = eval t scope init in
+    Hashtbl.replace scope.vars name v
+  | Ast.Func_decl (name, params, body) ->
+    let id = add_closure t { c_params = params; c_body = body; c_scope = scope } in
+    Hashtbl.replace scope.vars name (Value.Fun id)
+  | Ast.If (cond, then_, else_) ->
+    if Value.truthy (eval t scope cond) then exec_stmts t scope then_
+    else exec_stmts t scope else_
+  | Ast.While (cond, body) ->
+    (try
+       while Value.truthy (eval t scope cond) do
+         try exec_stmts t scope body with Continue_exc -> ()
+       done
+     with Break_exc -> ())
+  | Ast.For (init, cond, step, body) ->
+    let loop_scope = { vars = Hashtbl.create 4; parent = Some scope } in
+    (match init with
+    | Some s -> exec_stmt t loop_scope s
+    | None -> ());
+    let check () =
+      match cond with
+      | Some c -> Value.truthy (eval t loop_scope c)
+      | None -> true
+    in
+    (try
+       while check () do
+         (try exec_stmts t loop_scope body with Continue_exc -> ());
+         match step with
+         | Some s -> exec_stmt t loop_scope s
+         | None -> ()
+       done
+     with Break_exc -> ())
+  | Ast.Return v ->
+    raise
+      (Return_exc
+         (match v with
+         | Some e -> eval t scope e
+         | None -> Value.Null))
+  | Ast.Break -> raise Break_exc
+  | Ast.Continue -> raise Continue_exc
+  | Ast.Block body ->
+    exec_stmts t { vars = Hashtbl.create 4; parent = Some scope } body
+
+and exec_stmts t scope stmts = List.iter (exec_stmt t scope) stmts
+
+(* --- Garbage collection (see the interface for the safety contract) --- *)
+
+let gc t =
+  let live = Hashtbl.create 256 in
+  let seen_closures = Hashtbl.create 64 in
+  let seen_scopes : scope list ref = ref [] in
+  let rec mark_value v =
+    match v with
+    | Value.Null | Value.Bool _ | Value.Num _ | Value.Host _ | Value.Handle _ -> ()
+    | Value.Str s -> if s.Value.s_owned then Hashtbl.replace live s.Value.s_addr ()
+    | Value.Arr a ->
+      if not (Hashtbl.mem live a.Value.a_buf) then begin
+        Hashtbl.replace live a.Value.a_buf ();
+        for i = 0 to a.Value.a_len - 1 do
+          mark_value (Value.arr_get t.heap a i)
+        done
+      end
+    | Value.Obj o ->
+      if not (Hashtbl.mem live o.Value.o_addr) then begin
+        Hashtbl.replace live o.Value.o_addr ();
+        Hashtbl.iter (fun _ v -> mark_value v) o.Value.o_props
+      end
+    | Value.Fun id ->
+      if not (Hashtbl.mem seen_closures id) then begin
+        Hashtbl.add seen_closures id ();
+        mark_scope t.closures.(id).c_scope
+      end
+  and mark_scope scope =
+    if not (List.memq scope !seen_scopes) then begin
+      seen_scopes := scope :: !seen_scopes;
+      Hashtbl.iter (fun _ v -> mark_value v) scope.vars;
+      match scope.parent with
+      | Some parent -> mark_scope parent
+      | None -> ()
+    end
+  in
+  mark_scope t.globals;
+  List.iter (fun provider -> List.iter mark_value (provider ())) t.gc_roots;
+  Value.sweep t.heap ~live:(Hashtbl.mem live)
+
+let run_program t (prog : Ast.program) =
+  let result = ref Value.Null in
+  List.iter
+    (fun s ->
+      match s with
+      | Ast.Expr e -> result := eval t t.globals e
+      | s -> exec_stmt t t.globals s)
+    prog;
+  !result
+
+let call_function t f args = call_value t f args
+
+
+(* --- The tier-shared semantic core (see the interface) --- *)
+
+let globals_scope t = t.globals
+
+let new_scope ~parent = { vars = Hashtbl.create 8; parent = Some parent }
+
+let scope_declare scope name v = Hashtbl.replace scope.vars name v
+
+let scope_lookup t scope name = lookup t scope name
+
+let scope_assign t scope name v =
+  if not (assign_existing t scope name v) then Hashtbl.replace t.globals.vars name v
+
+let host_exists t name = Hashtbl.mem t.hosts name
+
+let binary_op t op a b = binary t op a b
+
+let truthy_value = Value.truthy
+
+let unary_op t op v =
+  match op with
+  | "!" -> Value.Bool (not (Value.truthy v))
+  | "-" -> Value.Num (-.to_num t v)
+  | "~" -> Value.Num (of_i32 (lnot (to_i32 t v)))
+  | op -> fail "unknown unary operator %s" op
+
+let member_get t recv name = member t recv name
+
+let member_set t recv name v =
+  match recv with
+  | Value.Obj o -> Value.obj_set t.heap o name v
+  | v -> fail "cannot set property %s on %s" name (Value.type_name v)
+
+let index_get t recv idx =
+  match recv with
+  | Value.Arr arr ->
+    let i = to_int t idx in
+    if i < 0 || i >= arr.Value.a_len then Value.Null else Value.arr_get t.heap arr i
+  | Value.Str s ->
+    let i = to_int t idx in
+    if i < 0 || i >= s.Value.s_len then Value.Null else Value.str_sub t.heap s i 1
+  | Value.Obj o -> Value.obj_get t.heap o (Value.string_of_str t.heap (as_str (to_str t idx)))
+  | v -> fail "cannot index %s" (Value.type_name v)
+
+let index_set t recv idx v =
+  match recv with
+  | Value.Arr arr ->
+    let i = to_int t idx in
+    if i = arr.Value.a_len then Value.arr_push t.heap arr v
+    else if i >= 0 && i < arr.Value.a_len then Value.arr_set t.heap arr i v
+    else fail "array store out of range: %d (len %d)" i arr.Value.a_len
+  | Value.Obj o -> Value.obj_set t.heap o (Value.string_of_str t.heap (as_str (to_str t idx))) v
+  | v -> fail "cannot index-assign %s" (Value.type_name v)
+
+let ns_call t ns name args =
+  match ns with
+  | "Math" -> math_call t name args
+  | "JSON" -> json_ns_call t name args
+  | "String" -> string_ns_call t name args
+  | ns -> fail "unknown namespace %s" ns
+
+let print_values t args =
+  let parts = List.map (Value.to_display_string t.heap) args in
+  t.output <- String.concat " " parts :: t.output
+
+let array_of_size t n = Value.arr_make t.heap (to_int t n)
+
+let make_closure t ~params ~body scope =
+  Value.Fun (add_closure t { c_params = params; c_body = body; c_scope = scope })
+
+let closure_parts t id =
+  let c = t.closures.(id) in
+  (c.c_params, c.c_body, c.c_scope)
+
+let tick = tick
+
+let add_gc_root t provider = t.gc_roots <- provider :: t.gc_roots

@@ -1,0 +1,115 @@
+(** The MiniJS evaluator.
+
+    A tree-walking interpreter whose data lives in machine memory (see
+    {!Value}).  Built-in namespaces ([Math], [JSON], [String]) and methods
+    on strings/arrays are provided here; embedder bindings (the DOM API)
+    are registered as host functions and appear as globals.
+
+    Every evaluation step charges cycles on the simulated CPU, and every
+    string/array access is a checked machine access, so running a script
+    inside an untrusted compartment faults exactly where real engine code
+    would. *)
+
+exception Script_error of string
+
+type host = Value.t list -> Value.t
+
+type t
+
+val create : ?seed:int -> ?fuel:int -> Value.heap -> t
+(** [seed] drives [Math.random]; [fuel] bounds evaluation steps
+    (default 200M). *)
+
+val heap : t -> Value.heap
+
+val register_host : t -> string -> host -> unit
+(** Exposes a native function as a global. *)
+
+val set_global : t -> string -> Value.t -> unit
+val get_global : t -> string -> Value.t option
+
+val run_program : t -> Ast.program -> Value.t
+(** Executes top-level statements; the value of the last expression
+    statement is returned (like a REPL), [Null] otherwise.
+    @raise Script_error on runtime errors or fuel exhaustion. *)
+
+val call_function : t -> Value.t -> Value.t list -> Value.t
+(** Invoke a [Fun] or [Host] value from the embedder. *)
+
+val take_output : t -> string list
+(** Lines produced by [print], oldest first; clears the buffer. *)
+
+val steps : t -> int
+
+(* {2 The tier-shared semantic core}
+
+   The bytecode tier ({!Bytecode}) executes the same language with the
+   same observable semantics; rather than duplicating them, the VM drives
+   these primitives.  They are exact counterparts of what the AST
+   evaluator does internally. *)
+
+type scope
+
+val globals_scope : t -> scope
+val new_scope : parent:scope -> scope
+
+val scope_declare : scope -> string -> Value.t -> unit
+(** [var name = v] in this scope. *)
+
+val scope_lookup : t -> scope -> string -> Value.t option
+(** Walks the scope chain (charging the same lookup cost). *)
+
+val scope_assign : t -> scope -> string -> Value.t -> unit
+(** Assignment: updates the innermost binding, or creates a global (the
+    language's fallback, as in the AST tier). *)
+
+val host_exists : t -> string -> bool
+
+val call_value : t -> Value.t -> Value.t list -> Value.t
+(** Call a [Fun] (AST-interpreted) or [Host] value. *)
+
+val binary_op : t -> string -> Value.t -> Value.t -> Value.t
+val truthy_value : Value.t -> bool
+val unary_op : t -> string -> Value.t -> Value.t
+val method_call : t -> Value.t -> string -> Value.t list -> Value.t
+val member_get : t -> Value.t -> string -> Value.t
+val member_set : t -> Value.t -> string -> Value.t -> unit
+val index_get : t -> Value.t -> Value.t -> Value.t
+val index_set : t -> Value.t -> Value.t -> Value.t -> unit
+val ns_call : t -> string -> string -> Value.t list -> Value.t
+(** Math / JSON / String namespace calls. *)
+
+val print_values : t -> Value.t list -> unit
+val array_of_size : t -> Value.t -> Value.t
+(** The [new Array(n)] builtin. *)
+
+val make_closure : t -> params:string list -> body:Ast.stmt list -> scope -> Value.t
+val closure_parts : t -> int -> string list * Ast.stmt list * scope
+(** Inverse of {!make_closure} for a [Fun] id (used by the VM's
+    compile-on-call cache). *)
+
+val tick : t -> int -> unit
+(** One evaluation step: fuel accounting plus a cycle charge.
+    @raise Script_error on fuel exhaustion. *)
+
+val fail : ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** Raise {!Script_error} with a formatted message. *)
+
+val gc : t -> int
+(** Mark-sweep collection of the engine heap: marks everything reachable
+    from the global scope (through arrays' machine slots, object
+    properties and closure environments) and frees the machine buffers of
+    everything else.  Returns the number of buffers freed.
+
+    Only safe at a quiescence point — between scripts — because values
+    held solely on the evaluator's OCaml stack are invisible to the
+    marker; the embedder API ([Engine.collect]) is the intended entry
+    point, and no [gc()] builtin is exposed to scripts.
+
+    Embedders that retain engine values outside the global scope (e.g.
+    the browser's event-listener table) must register them as GC roots
+    with {!add_gc_root}, the moral equivalent of a handle scope. *)
+
+val add_gc_root : t -> (unit -> Value.t list) -> unit
+(** Registers a provider of additional roots, consulted at every
+    collection. *)

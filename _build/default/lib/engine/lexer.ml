@@ -1,0 +1,207 @@
+type token =
+  | Num of float
+  | Str of string
+  | Ident of string
+  | Keyword of string
+  | Punct of string
+  | Eof
+
+type located = {
+  tok : token;
+  line : int;
+}
+
+exception Lex_error of string
+
+let () =
+  Printexc.register_printer (function
+    | Lex_error msg -> Some ("Lexer.Lex_error: " ^ msg)
+    | _ -> None)
+
+let keywords =
+  [ "var"; "function"; "if"; "else"; "while"; "for"; "return"; "break"; "continue";
+    "true"; "false"; "null"; "new" ]
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = '$'
+let is_ident_char c = is_ident_start c || is_digit c
+
+(* Two- and one-character punctuators, longest match first. *)
+let puncts2 = [ "=="; "!="; "<="; ">="; "&&"; "||"; "+="; "-="; "*="; "/="; "%="; "<<"; ">>" ]
+let puncts1 = [ "+"; "-"; "*"; "/"; "%"; "<"; ">"; "="; "!"; "("; ")"; "{"; "}"; "["; "]";
+                ";"; ","; "."; ":"; "?"; "&"; "|"; "^"; "~" ]
+
+type cursor = {
+  heap : Value.heap;
+  src : Value.str;
+  mutable pos : int;
+  mutable line : int;
+}
+
+let peek cur =
+  if cur.pos >= cur.src.Value.s_len then None
+  else Some (Char.chr (Value.str_get cur.heap cur.src cur.pos))
+
+let peek2 cur =
+  if cur.pos + 1 >= cur.src.Value.s_len then None
+  else Some (Char.chr (Value.str_get cur.heap cur.src (cur.pos + 1)))
+
+let advance cur =
+  (match peek cur with
+  | Some '\n' -> cur.line <- cur.line + 1
+  | _ -> ());
+  cur.pos <- cur.pos + 1
+
+let fail cur msg = raise (Lex_error (Printf.sprintf "line %d: %s" cur.line msg))
+
+let rec skip_trivia cur =
+  match peek cur with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance cur;
+    skip_trivia cur
+  | Some '/' when peek2 cur = Some '/' ->
+    let rec to_eol () =
+      match peek cur with
+      | Some '\n' | None -> ()
+      | Some _ ->
+        advance cur;
+        to_eol ()
+    in
+    to_eol ();
+    skip_trivia cur
+  | Some '/' when peek2 cur = Some '*' ->
+    advance cur;
+    advance cur;
+    let rec to_close () =
+      match (peek cur, peek2 cur) with
+      | Some '*', Some '/' ->
+        advance cur;
+        advance cur
+      | None, _ -> fail cur "unterminated block comment"
+      | _ ->
+        advance cur;
+        to_close ()
+    in
+    to_close ();
+    skip_trivia cur
+  | _ -> ()
+
+let lex_number cur =
+  let buf = Buffer.create 16 in
+  let rec digits () =
+    match peek cur with
+    | Some c when is_digit c ->
+      Buffer.add_char buf c;
+      advance cur;
+      digits ()
+    | _ -> ()
+  in
+  digits ();
+  (match (peek cur, peek2 cur) with
+  | Some '.', Some c when is_digit c ->
+    Buffer.add_char buf '.';
+    advance cur;
+    digits ()
+  | _ -> ());
+  (match peek cur with
+  | Some ('e' | 'E') ->
+    Buffer.add_char buf 'e';
+    advance cur;
+    (match peek cur with
+    | Some (('+' | '-') as sign) ->
+      Buffer.add_char buf sign;
+      advance cur
+    | _ -> ());
+    digits ()
+  | _ -> ());
+  match float_of_string_opt (Buffer.contents buf) with
+  | Some f -> Num f
+  | None -> fail cur ("bad number literal " ^ Buffer.contents buf)
+
+let lex_string cur quote =
+  advance cur;
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek cur with
+    | None -> fail cur "unterminated string literal"
+    | Some c when c = quote -> advance cur
+    | Some '\\' ->
+      advance cur;
+      (match peek cur with
+      | Some 'n' -> Buffer.add_char buf '\n'
+      | Some 't' -> Buffer.add_char buf '\t'
+      | Some 'r' -> Buffer.add_char buf '\r'
+      | Some '\\' -> Buffer.add_char buf '\\'
+      | Some c when c = quote -> Buffer.add_char buf c
+      | Some c -> Buffer.add_char buf c
+      | None -> fail cur "unterminated escape");
+      advance cur;
+      loop ()
+    | Some c ->
+      Buffer.add_char buf c;
+      advance cur;
+      loop ()
+  in
+  loop ();
+  Str (Buffer.contents buf)
+
+let lex_word cur =
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek cur with
+    | Some c when is_ident_char c ->
+      Buffer.add_char buf c;
+      advance cur;
+      loop ()
+    | _ -> ()
+  in
+  loop ();
+  let word = Buffer.contents buf in
+  if List.mem word keywords then Keyword word else Ident word
+
+let lex_punct cur c =
+  let two =
+    match peek2 cur with
+    | Some c2 ->
+      let candidate = Printf.sprintf "%c%c" c c2 in
+      if List.mem candidate puncts2 then Some candidate else None
+    | None -> None
+  in
+  match two with
+  | Some p ->
+    advance cur;
+    advance cur;
+    Punct p
+  | None ->
+    let one = String.make 1 c in
+    if List.mem one puncts1 then begin
+      advance cur;
+      Punct one
+    end
+    else fail cur (Printf.sprintf "unexpected character %C" c)
+
+let tokenize heap src =
+  let cur = { heap; src; pos = 0; line = 1 } in
+  let rec loop acc =
+    skip_trivia cur;
+    let line = cur.line in
+    match peek cur with
+    | None -> List.rev ({ tok = Eof; line } :: acc)
+    | Some c ->
+      let tok =
+        if is_digit c then lex_number cur
+        else if is_ident_start c then lex_word cur
+        else if c = '"' || c = '\'' then lex_string cur c
+        else lex_punct cur c
+      in
+      loop ({ tok; line } :: acc)
+  in
+  loop []
+
+let token_to_string = function
+  | Num f -> Printf.sprintf "number %g" f
+  | Str s -> Printf.sprintf "string %S" s
+  | Ident s -> Printf.sprintf "identifier %s" s
+  | Keyword s -> Printf.sprintf "keyword %s" s
+  | Punct s -> Printf.sprintf "%S" s
+  | Eof -> "end of input"

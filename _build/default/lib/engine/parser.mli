@@ -1,0 +1,6 @@
+(** Recursive-descent MiniJS parser with standard operator precedence. *)
+
+exception Parse_error of string
+
+val parse : Lexer.located list -> Ast.program
+(** @raise Parse_error on malformed input, with a line number. *)

@@ -1,0 +1,307 @@
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of str
+  | Arr of arr
+  | Obj of obj
+  | Fun of int
+  | Host of string
+  | Handle of int
+
+and str = {
+  s_addr : int;
+  s_len : int;
+  s_owned : bool;
+}
+
+and arr = {
+  mutable a_buf : int;
+  mutable a_cap : int;
+  mutable a_len : int;
+}
+
+and obj = {
+  o_id : int;
+  o_addr : int;
+  o_props : (string, t) Hashtbl.t;
+}
+
+type heap = {
+  env : Pkru_safe.Env.t;
+  machine : Sim.Machine.t;
+  mutable boxed : t array; (* host-side table for NaN-boxed references *)
+  mutable nboxed : int;
+  mutable objects : int;
+  owned : (int, unit) Hashtbl.t; (* engine-owned machine buffers *)
+}
+
+let create_heap env =
+  {
+    env;
+    machine = Pkru_safe.Env.machine env;
+    boxed = Array.make 64 Null;
+    nboxed = 0;
+    objects = 0;
+    owned = Hashtbl.create 256;
+  }
+
+let env h = h.env
+
+let malloc h size =
+  let addr = Pkru_safe.Env.malloc_untrusted h.env size in
+  Hashtbl.replace h.owned addr ();
+  addr
+
+(* --- NaN boxing ---
+
+   Slots are 64-bit patterns, stored with the machine's f64 accessors (the
+   full 64 bits survive OCaml's 63-bit ints that way).  Numbers are their
+   own IEEE bits, canonicalised so a computed NaN cannot collide with a
+   box.  The 0xFFF1 tag carries a table index for reference values, 0xFFF2
+   carries the three immediates. *)
+
+let tag_ref = 0xFFF1
+let tag_imm = 0xFFF2
+
+let canonical_nan = Int64.of_string "0x7FF8000000000000"
+
+let tag_of bits = Int64.to_int (Int64.shift_right_logical bits 48)
+let payload_of bits = Int64.to_int (Int64.logand bits 0xFFFF_FFFF_FFFFL)
+let with_tag tag payload = Int64.logor (Int64.shift_left (Int64.of_int tag) 48) (Int64.of_int payload)
+
+let box_ref h v =
+  if h.nboxed >= Array.length h.boxed then begin
+    let bigger = Array.make (2 * Array.length h.boxed) Null in
+    Array.blit h.boxed 0 bigger 0 h.nboxed;
+    h.boxed <- bigger
+  end;
+  h.boxed.(h.nboxed) <- v;
+  h.nboxed <- h.nboxed + 1;
+  h.nboxed - 1
+
+let box_bits h v =
+  match v with
+  | Num f -> if Float.is_nan f then canonical_nan else Int64.bits_of_float f
+  | Null -> with_tag tag_imm 0
+  | Bool false -> with_tag tag_imm 1
+  | Bool true -> with_tag tag_imm 2
+  | Str _ | Arr _ | Obj _ | Fun _ | Host _ | Handle _ -> with_tag tag_ref (box_ref h v)
+
+let unbox_bits h bits =
+  let tag = tag_of bits in
+  if tag = tag_ref then h.boxed.(payload_of bits)
+  else if tag = tag_imm then
+    match payload_of bits with
+    | 0 -> Null
+    | 1 -> Bool false
+    | _ -> Bool true
+  else Num (Int64.float_of_bits bits)
+
+let box = box_bits
+let unbox = unbox_bits
+
+let write_slot h addr v = Sim.Machine.write_f64 h.machine addr (Int64.float_of_bits (box_bits h v))
+
+let read_slot h addr = unbox_bits h (Int64.bits_of_float (Sim.Machine.read_f64 h.machine addr))
+
+(* --- Strings --- *)
+
+let str_of_string h s =
+  let len = String.length s in
+  let addr = malloc h (max len 1) in
+  if len > 0 then Sim.Machine.write_string h.machine addr s;
+  Str { s_addr = addr; s_len = len; s_owned = true }
+
+let string_of_str h (s : str) =
+  if s.s_len = 0 then ""
+  else Bytes.to_string (Sim.Machine.read_bytes h.machine s.s_addr s.s_len)
+
+let of_foreign_buffer ~addr ~len = Str { s_addr = addr; s_len = len; s_owned = false }
+
+let str_get h (s : str) i =
+  if i < 0 || i >= s.s_len then invalid_arg "Value.str_get: index out of range";
+  Sim.Machine.read_u8 h.machine (s.s_addr + i)
+
+let str_concat h (a : str) (b : str) =
+  let len = a.s_len + b.s_len in
+  let addr = malloc h (max len 1) in
+  if a.s_len > 0 then
+    Sim.Machine.write_bytes h.machine addr (Sim.Machine.read_bytes h.machine a.s_addr a.s_len);
+  if b.s_len > 0 then
+    Sim.Machine.write_bytes h.machine (addr + a.s_len)
+      (Sim.Machine.read_bytes h.machine b.s_addr b.s_len);
+  Str { s_addr = addr; s_len = len; s_owned = true }
+
+let str_sub h (s : str) start len =
+  let start = max 0 start in
+  let len = max 0 (min len (s.s_len - start)) in
+  let addr = malloc h (max len 1) in
+  if len > 0 then
+    Sim.Machine.write_bytes h.machine addr
+      (Sim.Machine.read_bytes h.machine (s.s_addr + start) len);
+  Str { s_addr = addr; s_len = len; s_owned = true }
+
+let str_equal h (a : str) (b : str) =
+  a.s_len = b.s_len
+  && (a.s_addr = b.s_addr
+     ||
+     let rec cmp i =
+       i >= a.s_len
+       || Sim.Machine.read_u8 h.machine (a.s_addr + i) = Sim.Machine.read_u8 h.machine (b.s_addr + i)
+          && cmp (i + 1)
+     in
+     cmp 0)
+
+let str_index_of h (s : str) (needle : str) =
+  if needle.s_len = 0 then 0
+  else begin
+    let limit = s.s_len - needle.s_len in
+    let rec matches_at i j =
+      j >= needle.s_len
+      || Sim.Machine.read_u8 h.machine (s.s_addr + i + j)
+         = Sim.Machine.read_u8 h.machine (needle.s_addr + j)
+         && matches_at i (j + 1)
+    in
+    let rec scan i = if i > limit then -1 else if matches_at i 0 then i else scan (i + 1) in
+    scan 0
+  end
+
+(* --- Arrays --- *)
+
+let arr_make h n =
+  let cap = max n 4 in
+  let buf = malloc h (cap * 8) in
+  let a = { a_buf = buf; a_cap = cap; a_len = n } in
+  for i = 0 to n - 1 do
+    write_slot h (buf + (8 * i)) Null
+  done;
+  Arr a
+
+let check_index (a : arr) i op =
+  if i < 0 || i >= a.a_len then
+    invalid_arg (Printf.sprintf "Value.%s: index %d out of range (len %d)" op i a.a_len)
+
+let arr_get h (a : arr) i =
+  check_index a i "arr_get";
+  read_slot h (a.a_buf + (8 * i))
+
+let arr_set h (a : arr) i v =
+  check_index a i "arr_set";
+  write_slot h (a.a_buf + (8 * i)) v
+
+let grow h (a : arr) =
+  let cap = a.a_cap * 2 in
+  (* U's realloc: stays in MU and copies the slots; keep the ownership
+     registry pointing at the (possibly moved) buffer. *)
+  Hashtbl.remove h.owned a.a_buf;
+  a.a_buf <- Pkru_safe.Env.realloc h.env a.a_buf (cap * 8);
+  Hashtbl.replace h.owned a.a_buf ();
+  a.a_cap <- cap
+
+let arr_push h (a : arr) v =
+  if a.a_len = a.a_cap then grow h a;
+  a.a_len <- a.a_len + 1;
+  write_slot h (a.a_buf + (8 * (a.a_len - 1))) v
+
+let arr_pop h (a : arr) =
+  if a.a_len = 0 then Null
+  else begin
+    let v = read_slot h (a.a_buf + (8 * (a.a_len - 1))) in
+    a.a_len <- a.a_len - 1;
+    v
+  end
+
+(* --- Objects --- *)
+
+let obj_make h =
+  h.objects <- h.objects + 1;
+  let addr = malloc h 16 in
+  Sim.Machine.write_u64 h.machine addr h.objects;
+  Obj { o_id = h.objects; o_addr = addr; o_props = Hashtbl.create 8 }
+
+(* Property maps live host-side; charge a representative cost per access
+   (hash + probe) so object-heavy workloads still cost cycles. *)
+let prop_cost = 6
+
+let obj_get h (o : obj) name =
+  Sim.Machine.charge h.machine prop_cost;
+  match Hashtbl.find_opt o.o_props name with
+  | Some v -> v
+  | None -> Null
+
+let obj_set h (o : obj) name v =
+  Sim.Machine.charge h.machine prop_cost;
+  Hashtbl.replace o.o_props name v
+
+let obj_has h (o : obj) name =
+  Sim.Machine.charge h.machine prop_cost;
+  Hashtbl.mem o.o_props name
+
+(* --- Misc --- *)
+
+let truthy = function
+  | Null -> false
+  | Bool b -> b
+  | Num f -> f <> 0.0 && not (Float.is_nan f)
+  | Str s -> s.s_len > 0
+  | Arr _ | Obj _ | Fun _ | Host _ | Handle _ -> true
+
+let type_name = function
+  | Null -> "null"
+  | Bool _ -> "boolean"
+  | Num _ -> "number"
+  | Str _ -> "string"
+  | Arr _ -> "array"
+  | Obj _ -> "object"
+  | Fun _ | Host _ -> "function"
+  | Handle _ -> "handle"
+
+let number_to_string f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.12g" f
+
+let rec to_display_string h = function
+  | Null -> "null"
+  | Bool b -> string_of_bool b
+  | Num f -> number_to_string f
+  | Str s -> string_of_str h s
+  | Arr a ->
+    let parts = List.init a.a_len (fun i -> to_display_string h (arr_get h a i)) in
+    "[" ^ String.concat "," parts ^ "]"
+  | Obj o -> Printf.sprintf "[object #%d]" o.o_id
+  | Fun _ -> "[function]"
+  | Host name -> Printf.sprintf "[host %s]" name
+  | Handle n -> Printf.sprintf "[handle %d]" n
+
+let equals h a b =
+  match (a, b) with
+  | Null, Null -> true
+  | Bool x, Bool y -> x = y
+  | Num x, Num y -> x = y
+  | Str x, Str y -> str_equal h x y
+  | Arr x, Arr y -> x == y
+  | Obj x, Obj y -> x == y
+  | Fun x, Fun y -> x = y
+  | Host x, Host y -> x = y
+  | Handle x, Handle y -> x = y
+  | _ -> false
+
+let stats_objects h = h.objects
+
+let owned_buffer = function
+  | Str s -> if s.s_owned then Some s.s_addr else None
+  | Arr a -> Some a.a_buf
+  | Obj o -> Some o.o_addr
+  | Null | Bool _ | Num _ | Fun _ | Host _ | Handle _ -> None
+
+let owned_count h = Hashtbl.length h.owned
+
+let sweep h ~live =
+  let victims = Hashtbl.fold (fun addr () acc -> if live addr then acc else addr :: acc) h.owned [] in
+  List.iter
+    (fun addr ->
+      Hashtbl.remove h.owned addr;
+      Pkru_safe.Env.dealloc h.env addr)
+    victims;
+  List.length victims

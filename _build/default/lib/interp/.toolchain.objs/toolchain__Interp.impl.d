@@ -1,0 +1,1 @@
+lib/interp/interp.ml: Allocators Array Fun Hashtbl Ir List Pkru_safe Printexc Printf Runtime Sim Vmm

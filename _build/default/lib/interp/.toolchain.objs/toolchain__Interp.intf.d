@@ -1,0 +1,1 @@
+lib/interp/interp.mli: Ir Pkru_safe

@@ -1,0 +1,1 @@
+lib/interp/pipeline.ml: Interp Ir List Option Pkru_safe Runtime

@@ -1,0 +1,1 @@
+lib/interp/pipeline.mli: Allocators Interp Ir Pkru_safe Runtime Sim

@@ -1,0 +1,1 @@
+lib/ir/builder.ml: Array Fun Func Instr Int List Printf Runtime

@@ -1,0 +1,1 @@
+lib/ir/func.ml: Array Format Instr List Printf

@@ -1,0 +1,1 @@
+lib/ir/ir_text.ml: Array Format Func Instr Int List Module_ir Option Printexc Printf Runtime Str_split String

@@ -1,0 +1,1 @@
+lib/ir/ir_text.mli: Module_ir

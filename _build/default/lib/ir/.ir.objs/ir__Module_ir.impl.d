@@ -1,0 +1,1 @@
+lib/ir/module_ir.ml: Array Format Func Hashtbl List Printf

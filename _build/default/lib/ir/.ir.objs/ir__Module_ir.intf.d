@@ -1,0 +1,1 @@
+lib/ir/module_ir.mli: Format Func

@@ -1,0 +1,1 @@
+lib/ir/passes.ml: Array Fun Func Instr List Module_ir Runtime Verifier

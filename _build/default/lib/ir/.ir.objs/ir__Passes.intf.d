@@ -1,0 +1,1 @@
+lib/ir/passes.mli: Module_ir Runtime

@@ -1,0 +1,1 @@
+lib/ir/static_taint.ml: Array Func Hashtbl Instr List Module_ir Runtime

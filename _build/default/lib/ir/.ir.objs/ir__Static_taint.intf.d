@@ -1,0 +1,1 @@
+lib/ir/static_taint.mli: Module_ir Runtime

@@ -1,0 +1,1 @@
+lib/ir/str_split.ml: List String

@@ -1,0 +1,1 @@
+lib/ir/verifier.ml: Array Format Fun Func Instr Int List Module_ir Set

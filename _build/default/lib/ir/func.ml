@@ -1,0 +1,100 @@
+type block = {
+  block_id : int;
+  mutable instrs : Instr.t list;
+  mutable term : Instr.terminator;
+}
+
+type t = {
+  name : string;
+  crate : string;
+  params : Instr.reg list;
+  mutable blocks : block array;
+  mutable frame_size : int;
+  mutable address_taken : bool;
+  mutable exported : bool;
+  mutable is_wrapper : bool;
+}
+
+let max_reg_of_operand acc = function
+  | Instr.Imm _ -> acc
+  | Instr.Reg r -> max acc r
+
+let max_reg_of_instr acc instr =
+  let acc =
+    match Instr.defined_reg instr with
+    | Some r -> max acc r
+    | None -> acc
+  in
+  List.fold_left max_reg_of_operand acc (Instr.used_operands instr)
+
+let compute_frame_size params blocks =
+  let acc = List.fold_left max (-1) params in
+  let acc =
+    Array.fold_left
+      (fun acc block ->
+        let acc = List.fold_left max_reg_of_instr acc block.instrs in
+        match block.term with
+        | Instr.Ret (Some v) | Instr.Cond_br (v, _, _) -> max_reg_of_operand acc v
+        | Instr.Ret None | Instr.Br _ -> acc)
+      acc blocks
+  in
+  acc + 1
+
+let create ~name ~crate ~params ?(exported = false) blocks =
+  if Array.length blocks = 0 then invalid_arg "Func.create: no blocks";
+  {
+    name;
+    crate;
+    params;
+    blocks;
+    frame_size = compute_frame_size params blocks;
+    address_taken = false;
+    exported;
+    is_wrapper = false;
+  }
+
+let block t id =
+  if id < 0 || id >= Array.length t.blocks then
+    invalid_arg (Printf.sprintf "Func.block: no block %d in %s" id t.name);
+  t.blocks.(id)
+
+let iter_instrs t f =
+  Array.iter (fun b -> List.iter (fun i -> f b i) b.instrs) t.blocks
+
+let copy_instr (i : Instr.t) : Instr.t =
+  match i with
+  | Instr.Alloc { dst; size; site; pool; instrumented } ->
+    Instr.Alloc { dst; size; site; pool; instrumented }
+  | Instr.Alloca { dst; size; site; shared; instrumented } ->
+    Instr.Alloca { dst; size; site; shared; instrumented }
+  | Instr.Call { dst; callee; args } -> Instr.Call { dst; callee; args }
+  | Instr.Const _ | Instr.Binop _ | Instr.Load _ | Instr.Store _ | Instr.Dealloc _
+  | Instr.Realloc _ | Instr.Call_indirect _ | Instr.Func_addr _ | Instr.Call_host _
+  | Instr.Gate _ ->
+    i (* immutable constructors can be shared *)
+
+let copy t =
+  {
+    t with
+    blocks =
+      Array.map
+        (fun b -> { block_id = b.block_id; instrs = List.map copy_instr b.instrs; term = b.term })
+        t.blocks;
+  }
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>func @%s(%a) ; crate=%s%s%s%s@," t.name
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+       (fun fmt r -> Format.fprintf fmt "%%r%d" r))
+    t.params t.crate
+    (if t.exported then " exported" else "")
+    (if t.address_taken then " address-taken" else "")
+    (if t.is_wrapper then " wrapper" else "");
+  Array.iter
+    (fun b ->
+      Format.fprintf fmt "^%d:@," b.block_id;
+      List.iter (fun i -> Format.fprintf fmt "  %a@," Instr.pp i) b.instrs;
+      Format.fprintf fmt "  %a@," Instr.pp_terminator b.term)
+    t.blocks;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,182 @@
+type reg = int
+
+type operand =
+  | Imm of int
+  | Reg of reg
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Rem
+  | And
+  | Or
+  | Xor
+  | Shl
+  | Shr
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+
+type pool =
+  | Trusted_pool
+  | Untrusted_pool
+
+type gate_op =
+  | Enter_untrusted
+  | Exit_untrusted
+  | Enter_trusted
+  | Exit_trusted
+
+type t =
+  | Const of reg * int
+  | Binop of binop * reg * operand * operand
+  | Load of {
+      dst : reg;
+      addr : operand;
+      width : int;
+    }
+  | Store of {
+      src : operand;
+      addr : operand;
+      width : int;
+    }
+  | Alloc of {
+      dst : reg;
+      size : operand;
+      mutable site : Runtime.Alloc_id.t;
+      mutable pool : pool;
+      mutable instrumented : bool;
+    }
+  | Alloca of {
+      dst : reg;
+      size : operand;
+      mutable site : Runtime.Alloc_id.t;
+      mutable shared : bool;
+      mutable instrumented : bool;
+    }
+  | Dealloc of operand
+  | Realloc of {
+      dst : reg;
+      addr : operand;
+      size : operand;
+    }
+  | Call of {
+      dst : reg option;
+      mutable callee : string;
+      args : operand list;
+    }
+  | Call_indirect of {
+      dst : reg option;
+      target : operand;
+      args : operand list;
+    }
+  | Func_addr of reg * string
+  | Call_host of {
+      dst : reg option;
+      host : string;
+      args : operand list;
+    }
+  | Gate of gate_op
+
+type terminator =
+  | Ret of operand option
+  | Br of int
+  | Cond_br of operand * int * int
+
+let pp_operand fmt = function
+  | Imm i -> Format.fprintf fmt "%d" i
+  | Reg r -> Format.fprintf fmt "%%r%d" r
+
+let binop_to_string = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Div -> "div"
+  | Rem -> "rem"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Shl -> "shl"
+  | Shr -> "shr"
+  | Eq -> "eq"
+  | Ne -> "ne"
+  | Lt -> "lt"
+  | Le -> "le"
+  | Gt -> "gt"
+  | Ge -> "ge"
+
+let gate_op_to_string = function
+  | Enter_untrusted -> "enter_untrusted"
+  | Exit_untrusted -> "exit_untrusted"
+  | Enter_trusted -> "enter_trusted"
+  | Exit_trusted -> "exit_trusted"
+
+let pp_args fmt args =
+  Format.pp_print_list
+    ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+    pp_operand fmt args
+
+let pp_dst fmt = function
+  | Some r -> Format.fprintf fmt "%%r%d = " r
+  | None -> ()
+
+let pp fmt = function
+  | Const (r, v) -> Format.fprintf fmt "%%r%d = const %d" r v
+  | Binop (op, r, a, b) ->
+    Format.fprintf fmt "%%r%d = %s %a, %a" r (binop_to_string op) pp_operand a pp_operand b
+  | Load { dst; addr; width } ->
+    Format.fprintf fmt "%%r%d = load.%d [%a]" dst width pp_operand addr
+  | Store { src; addr; width } ->
+    Format.fprintf fmt "store.%d %a -> [%a]" width pp_operand src pp_operand addr
+  | Alloc { dst; size; site; pool; instrumented } ->
+    Format.fprintf fmt "%%r%d = %s(%a) ; %a%s" dst
+      (match pool with
+      | Trusted_pool -> "__rust_alloc"
+      | Untrusted_pool -> "__rust_untrusted_alloc")
+      pp_operand size Runtime.Alloc_id.pp site
+      (if instrumented then " [instrumented]" else "")
+  | Alloca { dst; size; site; shared; instrumented } ->
+    Format.fprintf fmt "%%r%d = %s(%a) ; %a%s" dst
+      (if shared then "alloca_shared" else "alloca")
+      pp_operand size Runtime.Alloc_id.pp site
+      (if instrumented then " [instrumented]" else "")
+  | Dealloc addr -> Format.fprintf fmt "__rust_dealloc(%a)" pp_operand addr
+  | Realloc { dst; addr; size } ->
+    Format.fprintf fmt "%%r%d = __rust_realloc(%a, %a)" dst pp_operand addr pp_operand size
+  | Call { dst; callee; args } ->
+    Format.fprintf fmt "%acall @%s(%a)" pp_dst dst callee pp_args args
+  | Call_indirect { dst; target; args } ->
+    Format.fprintf fmt "%acall_indirect %a(%a)" pp_dst dst pp_operand target pp_args args
+  | Func_addr (r, name) -> Format.fprintf fmt "%%r%d = func_addr @%s" r name
+  | Call_host { dst; host; args } ->
+    Format.fprintf fmt "%acall_host @%s(%a)" pp_dst dst host pp_args args
+  | Gate op -> Format.fprintf fmt "gate.%s" (gate_op_to_string op)
+
+let pp_terminator fmt = function
+  | Ret None -> Format.pp_print_string fmt "ret"
+  | Ret (Some v) -> Format.fprintf fmt "ret %a" pp_operand v
+  | Br b -> Format.fprintf fmt "br ^%d" b
+  | Cond_br (c, a, b) -> Format.fprintf fmt "cond_br %a, ^%d, ^%d" pp_operand c a b
+
+let defined_reg = function
+  | Const (r, _) | Binop (_, r, _, _) | Func_addr (r, _) -> Some r
+  | Load { dst; _ } | Alloc { dst; _ } | Alloca { dst; _ } | Realloc { dst; _ } -> Some dst
+  | Call { dst; _ } | Call_indirect { dst; _ } | Call_host { dst; _ } -> dst
+  | Store _ | Dealloc _ | Gate _ -> None
+
+let used_operands = function
+  | Const _ | Func_addr _ | Gate _ -> []
+  | Binop (_, _, a, b) -> [ a; b ]
+  | Load { addr; _ } -> [ addr ]
+  | Store { src; addr; _ } -> [ src; addr ]
+  | Alloc { size; _ } | Alloca { size; _ } -> [ size ]
+  | Dealloc addr -> [ addr ]
+  | Realloc { addr; size; _ } -> [ addr; size ]
+  | Call { args; _ } -> args
+  | Call_indirect { target; args; _ } -> target :: args
+  | Call_host { args; _ } -> args

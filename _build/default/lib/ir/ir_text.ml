@@ -1,0 +1,396 @@
+exception Syntax_error of string
+
+let () =
+  Printexc.register_printer (function
+    | Syntax_error msg -> Some ("Ir_text.Syntax_error: " ^ msg)
+    | _ -> None)
+
+let to_string m = Format.asprintf "%a" Module_ir.pp m
+
+(* --- Parsing --- *)
+
+type cursor = {
+  mutable lineno : int;
+  text : string;
+}
+
+let fail cur fmt =
+  Format.kasprintf (fun msg -> raise (Syntax_error (Printf.sprintf "line %d: %s" cur.lineno msg))) fmt
+
+(* Tiny string scanners over one line. *)
+
+let strip s = String.trim s
+
+let starts_with prefix s =
+  String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
+
+let after prefix s = String.sub s (String.length prefix) (String.length s - String.length prefix)
+
+let split_comment line =
+  match String.index_opt line ';' with
+  | Some i -> (strip (String.sub line 0 i), Some (strip (String.sub line (i + 1) (String.length line - i - 1))))
+  | None -> (strip line, None)
+
+let parse_reg cur token =
+  let token = strip token in
+  if starts_with "%r" token then
+    match int_of_string_opt (after "%r" token) with
+    | Some r -> r
+    | None -> fail cur "bad register %S" token
+  else fail cur "expected a register, got %S" token
+
+let parse_operand cur token =
+  let token = strip token in
+  if starts_with "%r" token then Instr.Reg (parse_reg cur token)
+  else
+    match int_of_string_opt token with
+    | Some v -> Instr.Imm v
+    | None -> fail cur "expected an operand, got %S" token
+
+let split_args cur text =
+  let text = strip text in
+  if not (starts_with "(" text) || not (String.length text > 1 && text.[String.length text - 1] = ')')
+  then fail cur "expected an argument list, got %S" text
+  else begin
+    let inner = strip (String.sub text 1 (String.length text - 2)) in
+    if inner = "" then [] else List.map strip (String.split_on_char ',' inner)
+  end
+
+let binop_of_string = function
+  | "add" -> Some Instr.Add
+  | "sub" -> Some Instr.Sub
+  | "mul" -> Some Instr.Mul
+  | "div" -> Some Instr.Div
+  | "rem" -> Some Instr.Rem
+  | "and" -> Some Instr.And
+  | "or" -> Some Instr.Or
+  | "xor" -> Some Instr.Xor
+  | "shl" -> Some Instr.Shl
+  | "shr" -> Some Instr.Shr
+  | "eq" -> Some Instr.Eq
+  | "ne" -> Some Instr.Ne
+  | "lt" -> Some Instr.Lt
+  | "le" -> Some Instr.Le
+  | "gt" -> Some Instr.Gt
+  | "ge" -> Some Instr.Ge
+  | _ -> None
+
+let parse_site cur comment =
+  (* "alloc<f:b:c>" possibly followed by "[instrumented]" *)
+  match comment with
+  | None -> fail cur "allocation without its AllocId comment"
+  | Some comment ->
+    let instrumented =
+      String.length comment >= 14 && String.sub comment (String.length comment - 14) 14 = "[instrumented]"
+    in
+    let comment = strip (if instrumented then String.sub comment 0 (String.length comment - 14) else comment) in
+    if not (starts_with "alloc<" comment && comment.[String.length comment - 1] = '>') then
+      fail cur "malformed AllocId comment %S" comment
+    else begin
+      let inner = String.sub comment 6 (String.length comment - 7) in
+      match List.map int_of_string_opt (String.split_on_char ':' inner) with
+      | [ Some func_id; Some block_id; Some call_id ] ->
+        (Runtime.Alloc_id.make ~func_id ~block_id ~call_id, instrumented)
+      | _ -> fail cur "malformed AllocId %S" inner
+    end
+
+let parse_callee cur token =
+  let token = strip token in
+  match String.index_opt token '(' with
+  | None -> fail cur "expected a call, got %S" token
+  | Some i ->
+    let name = strip (String.sub token 0 i) in
+    let args = String.sub token i (String.length token - i) in
+    if starts_with "@" name then (after "@" name, split_args cur args)
+    else fail cur "expected @function, got %S" name
+
+(* Parse the right-hand side of "%rN = <rhs>". *)
+let parse_rhs cur dst rhs comment =
+  let rhs = strip rhs in
+  if starts_with "const " rhs then
+    match int_of_string_opt (strip (after "const " rhs)) with
+    | Some v -> Instr.Const (dst, v)
+    | None -> fail cur "bad const %S" rhs
+  else if starts_with "load." rhs then begin
+    match String.index_opt rhs ' ' with
+    | None -> fail cur "bad load %S" rhs
+    | Some i ->
+      let width =
+        match int_of_string_opt (String.sub rhs 5 (i - 5)) with
+        | Some w -> w
+        | None -> fail cur "bad load width in %S" rhs
+      in
+      let addr_text = strip (String.sub rhs i (String.length rhs - i)) in
+      if starts_with "[" addr_text && addr_text.[String.length addr_text - 1] = ']' then
+        Instr.Load
+          { dst; addr = parse_operand cur (String.sub addr_text 1 (String.length addr_text - 2)); width }
+      else fail cur "bad load address %S" addr_text
+  end
+  else if starts_with "__rust_alloc" rhs || starts_with "__rust_untrusted_alloc" rhs then begin
+    let pool, rest =
+      if starts_with "__rust_untrusted_alloc" rhs then
+        (Instr.Untrusted_pool, after "__rust_untrusted_alloc" rhs)
+      else (Instr.Trusted_pool, after "__rust_alloc" rhs)
+    in
+    match split_args cur rest with
+    | [ size ] ->
+      let site, instrumented = parse_site cur comment in
+      Instr.Alloc { dst; size = parse_operand cur size; site; pool; instrumented }
+    | _ -> fail cur "allocator call takes one size argument"
+  end
+  else if starts_with "alloca" rhs then begin
+    let shared, rest =
+      if starts_with "alloca_shared" rhs then (true, after "alloca_shared" rhs)
+      else (false, after "alloca" rhs)
+    in
+    match split_args cur rest with
+    | [ size ] ->
+      let site, instrumented = parse_site cur comment in
+      Instr.Alloca { dst; size = parse_operand cur size; site; shared; instrumented }
+    | _ -> fail cur "alloca takes one size argument"
+  end
+  else if starts_with "__rust_realloc" rhs then begin
+    match split_args cur (after "__rust_realloc" rhs) with
+    | [ addr; size ] ->
+      Instr.Realloc { dst; addr = parse_operand cur addr; size = parse_operand cur size }
+    | _ -> fail cur "__rust_realloc takes (addr, size)"
+  end
+  else if starts_with "call_indirect " rhs then begin
+    let rest = strip (after "call_indirect " rhs) in
+    match String.index_opt rest '(' with
+    | None -> fail cur "bad call_indirect %S" rest
+    | Some i ->
+      let target = parse_operand cur (String.sub rest 0 i) in
+      let args = split_args cur (String.sub rest i (String.length rest - i)) in
+      Instr.Call_indirect { dst = Some dst; target; args = List.map (parse_operand cur) args }
+  end
+  else if starts_with "call_host " rhs then begin
+    let host, args = parse_callee cur (after "call_host " rhs) in
+    Instr.Call_host { dst = Some dst; host; args = List.map (parse_operand cur) args }
+  end
+  else if starts_with "call " rhs then begin
+    let callee, args = parse_callee cur (after "call " rhs) in
+    Instr.Call { dst = Some dst; callee; args = List.map (parse_operand cur) args }
+  end
+  else if starts_with "func_addr " rhs then begin
+    let name = strip (after "func_addr " rhs) in
+    if starts_with "@" name then Instr.Func_addr (dst, after "@" name)
+    else fail cur "bad func_addr %S" name
+  end
+  else begin
+    (* Binop: "<op> <a>, <b>". *)
+    match String.index_opt rhs ' ' with
+    | None -> fail cur "unrecognized instruction %S" rhs
+    | Some i ->
+      let op_text = String.sub rhs 0 i in
+      (match binop_of_string op_text with
+      | None -> fail cur "unrecognized instruction %S" rhs
+      | Some op ->
+        (match String.split_on_char ',' (String.sub rhs i (String.length rhs - i)) with
+        | [ a; b ] -> Instr.Binop (op, dst, parse_operand cur a, parse_operand cur b)
+        | _ -> fail cur "binop takes two operands in %S" rhs))
+  end
+
+let parse_instr cur line comment =
+  if starts_with "store." line then begin
+    (* store.W <src> -> [<addr>] *)
+    match String.index_opt line ' ' with
+    | None -> fail cur "bad store %S" line
+    | Some i ->
+      let width =
+        match int_of_string_opt (String.sub line 6 (i - 6)) with
+        | Some w -> w
+        | None -> fail cur "bad store width %S" line
+      in
+      (match Str_split.split_on_substring ~sub:" -> " (String.sub line i (String.length line - i)) with
+      | [ src; addr_text ] ->
+        let addr_text = strip addr_text in
+        if starts_with "[" addr_text && addr_text.[String.length addr_text - 1] = ']' then
+          Instr.Store
+            {
+              src = parse_operand cur src;
+              addr = parse_operand cur (String.sub addr_text 1 (String.length addr_text - 2));
+              width;
+            }
+        else fail cur "bad store address %S" addr_text
+      | _ -> fail cur "bad store %S" line)
+  end
+  else if starts_with "__rust_dealloc" line then begin
+    match split_args cur (after "__rust_dealloc" line) with
+    | [ addr ] -> Instr.Dealloc (parse_operand cur addr)
+    | _ -> fail cur "__rust_dealloc takes one argument"
+  end
+  else if starts_with "gate." line then begin
+    match strip (after "gate." line) with
+    | "enter_untrusted" -> Instr.Gate Instr.Enter_untrusted
+    | "exit_untrusted" -> Instr.Gate Instr.Exit_untrusted
+    | "enter_trusted" -> Instr.Gate Instr.Enter_trusted
+    | "exit_trusted" -> Instr.Gate Instr.Exit_trusted
+    | other -> fail cur "unknown gate %S" other
+  end
+  else if starts_with "call_indirect " line then begin
+    let rest = strip (after "call_indirect " line) in
+    match String.index_opt rest '(' with
+    | None -> fail cur "bad call_indirect %S" rest
+    | Some i ->
+      Instr.Call_indirect
+        {
+          dst = None;
+          target = parse_operand cur (String.sub rest 0 i);
+          args =
+            List.map (parse_operand cur) (split_args cur (String.sub rest i (String.length rest - i)));
+        }
+  end
+  else if starts_with "call_host " line then begin
+    let host, args = parse_callee cur (after "call_host " line) in
+    Instr.Call_host { dst = None; host; args = List.map (parse_operand cur) args }
+  end
+  else if starts_with "call " line then begin
+    let callee, args = parse_callee cur (after "call " line) in
+    Instr.Call { dst = None; callee; args = List.map (parse_operand cur) args }
+  end
+  else begin
+    (* "%rN = <rhs>" *)
+    match Str_split.split_on_substring ~sub:" = " line with
+    | [ dst; rhs ] -> parse_rhs cur (parse_reg cur dst) rhs comment
+    | _ -> fail cur "unrecognized instruction %S" line
+  end
+
+let parse_terminator cur line =
+  if line = "ret" then Some (Instr.Ret None)
+  else if starts_with "ret " line then Some (Instr.Ret (Some (parse_operand cur (after "ret " line))))
+  else if starts_with "br ^" line then
+    match int_of_string_opt (strip (after "br ^" line)) with
+    | Some b -> Some (Instr.Br b)
+    | None -> fail cur "bad branch target %S" line
+  else if starts_with "cond_br " line then begin
+    match String.split_on_char ',' (after "cond_br " line) with
+    | [ c; a; b ] ->
+      let block token =
+        let token = strip token in
+        if starts_with "^" token then
+          match int_of_string_opt (after "^" token) with
+          | Some v -> v
+          | None -> fail cur "bad block ref %S" token
+        else fail cur "bad block ref %S" token
+      in
+      Some (Instr.Cond_br (parse_operand cur c, block a, block b))
+    | _ -> fail cur "cond_br takes condition and two targets"
+  end
+  else None
+
+type fn_header = {
+  h_name : string;
+  h_params : Instr.reg list;
+  h_crate : string;
+  h_exported : bool;
+  h_address_taken : bool;
+  h_wrapper : bool;
+}
+
+let parse_fn_header cur line comment =
+  (* "func @name(%r0, %r1)" with comment "crate=app exported ..." *)
+  let rest = strip (after "func @" line) in
+  match String.index_opt rest '(' with
+  | None -> fail cur "bad function header %S" line
+  | Some i ->
+    let h_name = strip (String.sub rest 0 i) in
+    let params_text = String.sub rest i (String.length rest - i) in
+    let h_params = List.map (parse_reg cur) (split_args cur params_text) in
+    (match comment with
+    | None -> fail cur "function header missing its crate comment"
+    | Some comment ->
+      let words = String.split_on_char ' ' comment |> List.filter (fun w -> w <> "") in
+      let crate =
+        match List.find_opt (starts_with "crate=") words with
+        | Some w -> after "crate=" w
+        | None -> fail cur "function header missing crate="
+      in
+      {
+        h_name;
+        h_params;
+        h_crate = crate;
+        h_exported = List.mem "exported" words;
+        h_address_taken = List.mem "address-taken" words;
+        h_wrapper = List.mem "wrapper" words;
+      })
+
+let of_string text =
+  let cur = { lineno = 0; text } in
+  let lines = String.split_on_char '\n' text in
+  let m = Module_ir.create () in
+  (* Mutable parse state for the function under construction. *)
+  let header : fn_header option ref = ref None in
+  let blocks : Func.block list ref = ref [] in
+  let current_instrs : Instr.t list ref = ref [] in
+  let current_block : int option ref = ref None in
+  let finish_block term =
+    match !current_block with
+    | None -> fail cur "terminator outside a block"
+    | Some block_id ->
+      blocks := { Func.block_id; instrs = List.rev !current_instrs; term } :: !blocks;
+      current_instrs := [];
+      current_block := None
+  in
+  let finish_function () =
+    match !header with
+    | None -> ()
+    | Some h ->
+      if !current_block <> None then fail cur "block %d lacks a terminator" (Option.get !current_block);
+      let sorted =
+        List.sort (fun a b -> Int.compare a.Func.block_id b.Func.block_id) (List.rev !blocks)
+      in
+      if sorted = [] then fail cur "function @%s has no blocks" h.h_name;
+      let f =
+        Func.create ~name:h.h_name ~crate:h.h_crate ~params:h.h_params ~exported:h.h_exported
+          (Array.of_list sorted)
+      in
+      f.Func.address_taken <- h.h_address_taken;
+      f.Func.is_wrapper <- h.h_wrapper;
+      Module_ir.add_func m f;
+      header := None;
+      blocks := []
+  in
+  List.iter
+    (fun raw ->
+      cur.lineno <- cur.lineno + 1;
+      let body, comment = split_comment raw in
+      if body = "" then ()
+      else if starts_with "crate " body then begin
+        finish_function ();
+        let rest = strip (after "crate " body) in
+        let untrusted =
+          String.length rest >= 11
+          && String.sub rest (String.length rest - 11) 11 = "[untrusted]"
+        in
+        let name =
+          strip (if untrusted then String.sub rest 0 (String.length rest - 11) else rest)
+        in
+        Module_ir.declare_crate m name;
+        if untrusted then Module_ir.mark_untrusted m name
+      end
+      else if starts_with "func @" body then begin
+        finish_function ();
+        header := Some (parse_fn_header cur body comment)
+      end
+      else if starts_with "^" body then begin
+        if !current_block <> None then fail cur "previous block not terminated";
+        match String.index_opt body ':' with
+        | None -> fail cur "bad block label %S" body
+        | Some i ->
+          (match int_of_string_opt (String.sub body 1 (i - 1)) with
+          | Some id -> current_block := Some id
+          | None -> fail cur "bad block label %S" body)
+      end
+      else begin
+        if !header = None then fail cur "instruction outside a function: %S" body;
+        match parse_terminator cur body with
+        | Some term -> finish_block term
+        | None ->
+          if !current_block = None then fail cur "instruction outside a block: %S" body;
+          current_instrs := parse_instr cur body comment :: !current_instrs
+      end)
+    lines;
+  finish_function ();
+  ignore cur.text;
+  m

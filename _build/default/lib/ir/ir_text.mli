@@ -1,0 +1,36 @@
+(** Textual IR: parse the exact syntax {!Module_ir.pp} prints.
+
+    Gives the toolchain a durable on-disk program format (the CLI can load
+    [.ir] files) and the test suite a print/parse round-trip oracle.
+
+    Grammar, line oriented:
+    {v
+    crate <name> [untrusted]?
+    func @<name>(%r0, %r1, ...) ; crate=<name> [exported] [address-taken] [wrapper]
+    ^<n>:
+      %r3 = const 42
+      %r4 = add %r3, 7            (binops: add sub mul div rem and or xor
+                                   shl shr eq ne lt le gt ge)
+      %r5 = load.8 [%r4]
+      store.4 %r5 -> [%r4]
+      %r6 = __rust_alloc(64) ; alloc<f:b:c>
+      %r6 = __rust_untrusted_alloc(64) ; alloc<f:b:c> [instrumented]
+      __rust_dealloc(%r6)
+      %r7 = __rust_realloc(%r6, 128)
+      %r8 = call @foo(%r1, 3)     (also without destination)
+      %r9 = call_indirect %r5(%r1)
+      %r10 = func_addr @foo
+      %r11 = call_host @print(%r1)
+      gate.enter_untrusted        (and the other three gate ops)
+      ret %r8 | ret | br ^1 | cond_br %r3, ^1, ^2
+    v} *)
+
+exception Syntax_error of string
+(** Carries a 1-based line number and message. *)
+
+val of_string : string -> Module_ir.t
+(** Parses a whole module. AllocIds in comments are restored verbatim.
+    @raise Syntax_error on malformed input. *)
+
+val to_string : Module_ir.t -> string
+(** [Format.asprintf "%a" Module_ir.pp], for symmetry. *)

@@ -1,0 +1,98 @@
+type crate = {
+  crate_name : string;
+  mutable untrusted : bool;
+}
+
+type t = {
+  crates_tbl : (string, crate) Hashtbl.t;
+  funcs : (string, Func.t) Hashtbl.t;
+  mutable order : string list; (* function insertion order, for printing *)
+  mutable table : string array; (* indirect-call table *)
+  index_of : (string, int) Hashtbl.t;
+}
+
+let create () =
+  {
+    crates_tbl = Hashtbl.create 16;
+    funcs = Hashtbl.create 64;
+    order = [];
+    table = [||];
+    index_of = Hashtbl.create 16;
+  }
+
+let declare_crate t name =
+  if not (Hashtbl.mem t.crates_tbl name) then
+    Hashtbl.replace t.crates_tbl name { crate_name = name; untrusted = false }
+
+let crates t = Hashtbl.fold (fun _ c acc -> c :: acc) t.crates_tbl []
+
+let crate t name = Hashtbl.find t.crates_tbl name
+
+let mark_untrusted t name = (crate t name).untrusted <- true
+
+let is_untrusted_fn t (f : Func.t) =
+  match Hashtbl.find_opt t.crates_tbl f.Func.crate with
+  | Some c -> c.untrusted
+  | None -> false
+
+let add_func t (f : Func.t) =
+  if Hashtbl.mem t.funcs f.Func.name then
+    invalid_arg (Printf.sprintf "Module_ir.add_func: duplicate %s" f.Func.name);
+  declare_crate t f.Func.crate;
+  Hashtbl.replace t.funcs f.Func.name f;
+  t.order <- f.Func.name :: t.order
+
+let find_func t name = Hashtbl.find_opt t.funcs name
+
+let func t name =
+  match find_func t name with
+  | Some f -> f
+  | None -> invalid_arg (Printf.sprintf "Module_ir.func: unknown function %s" name)
+
+let iter_funcs t f = List.iter (fun name -> f (Hashtbl.find t.funcs name)) (List.rev t.order)
+
+let fold_funcs t f init =
+  List.fold_left (fun acc name -> f acc (Hashtbl.find t.funcs name)) init (List.rev t.order)
+
+let func_index t name =
+  match Hashtbl.find_opt t.index_of name with
+  | Some i -> i
+  | None ->
+    let f = func t name in
+    f.Func.address_taken <- true;
+    let i = Array.length t.table in
+    t.table <- Array.append t.table [| name |];
+    Hashtbl.replace t.index_of name i;
+    i
+
+let func_table_entry t i = if i >= 0 && i < Array.length t.table then Some t.table.(i) else None
+
+let find_index t name = Hashtbl.find_opt t.index_of name
+
+let retarget_entry t ~index name =
+  if index < 0 || index >= Array.length t.table then
+    invalid_arg "Module_ir.retarget_entry: bad index";
+  t.table.(index) <- name
+
+let copy t =
+  let fresh = create () in
+  Hashtbl.iter
+    (fun name c ->
+      Hashtbl.replace fresh.crates_tbl name { crate_name = c.crate_name; untrusted = c.untrusted })
+    t.crates_tbl;
+  List.iter
+    (fun name -> Hashtbl.replace fresh.funcs name (Func.copy (Hashtbl.find t.funcs name)))
+    t.order;
+  fresh.order <- t.order;
+  fresh.table <- Array.copy t.table;
+  Hashtbl.iter (fun k v -> Hashtbl.replace fresh.index_of k v) t.index_of;
+  fresh
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun c ->
+      Format.fprintf fmt "crate %s%s@," c.crate_name (if c.untrusted then " [untrusted]" else ""))
+    (List.sort compare (crates t));
+  iter_funcs t (fun f -> Format.fprintf fmt "%a@," Func.pp f);
+  Format.fprintf fmt "@]"

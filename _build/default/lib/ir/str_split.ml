@@ -1,0 +1,12 @@
+let split_on_substring ~sub s =
+  assert (String.length sub > 0);
+  let sl = String.length sub in
+  let n = String.length s in
+  let rec matches_at i j = j >= sl || (s.[i + j] = sub.[j] && matches_at i (j + 1))
+  in
+  let rec scan start i acc =
+    if i + sl > n then List.rev (String.sub s start (n - start) :: acc)
+    else if matches_at i 0 then scan (i + sl) (i + sl) (String.sub s start (i - start) :: acc)
+    else scan start (i + 1) acc
+  in
+  scan 0 0 []

@@ -1,0 +1,6 @@
+(** String splitting on multi-character separators (stdlib only splits on
+    single characters). *)
+
+val split_on_substring : sub:string -> string -> string list
+(** [split_on_substring ~sub s] splits [s] at every occurrence of [sub].
+    [sub] must be non-empty. *)

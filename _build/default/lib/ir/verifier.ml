@@ -1,0 +1,184 @@
+let ( let* ) r f =
+  match r with
+  | Ok v -> f v
+  | Error _ as e -> e
+
+let err fmt = Format.kasprintf (fun msg -> Error msg) fmt
+
+module Reg_set = Set.Make (Int)
+
+let check_instr m ~hosts (f : Func.t) (instr : Instr.t) =
+  let check_reg r =
+    if r < 0 || r >= f.Func.frame_size then
+      err "%s: register %%r%d out of frame (size %d)" f.Func.name r f.Func.frame_size
+    else Ok ()
+  in
+  let check_operand = function
+    | Instr.Imm _ -> Ok ()
+    | Instr.Reg r -> check_reg r
+  in
+  let check_width w =
+    match w with
+    | 1 | 2 | 4 | 8 -> Ok ()
+    | _ -> err "%s: invalid access width %d" f.Func.name w
+  in
+  let check_callee name args =
+    match Module_ir.find_func m name with
+    | None -> err "%s: call to unknown function %s" f.Func.name name
+    | Some callee ->
+      if List.length args <> List.length callee.Func.params then
+        err "%s: call to %s with %d args, expected %d" f.Func.name name (List.length args)
+          (List.length callee.Func.params)
+      else Ok ()
+  in
+  let* () =
+    match Instr.defined_reg instr with
+    | Some r -> check_reg r
+    | None -> Ok ()
+  in
+  let* () =
+    List.fold_left
+      (fun acc op ->
+        let* () = acc in
+        check_operand op)
+      (Ok ()) (Instr.used_operands instr)
+  in
+  match instr with
+  | Instr.Load { width; _ } | Instr.Store { width; _ } -> check_width width
+  | Instr.Call { callee; args; _ } -> check_callee callee args
+  | Instr.Func_addr (_, name) ->
+    if Module_ir.find_func m name = None then
+      err "%s: func_addr of unknown function %s" f.Func.name name
+    else Ok ()
+  | Instr.Call_host { host; _ } ->
+    if hosts host then Ok () else err "%s: unknown host function %s" f.Func.name host
+  | Instr.Gate _ ->
+    if f.Func.is_wrapper then Ok ()
+    else err "%s: gate instruction outside a generated wrapper" f.Func.name
+  | Instr.Const _ | Instr.Binop _ | Instr.Alloc _ | Instr.Alloca _ | Instr.Dealloc _
+  | Instr.Realloc _ | Instr.Call_indirect _ ->
+    Ok ()
+
+let check_terminator (f : Func.t) (term : Instr.terminator) =
+  let nblocks = Array.length f.Func.blocks in
+  let check_target b =
+    if b < 0 || b >= nblocks then err "%s: branch to missing block %d" f.Func.name b else Ok ()
+  in
+  match term with
+  | Instr.Ret _ -> Ok ()
+  | Instr.Br b -> check_target b
+  | Instr.Cond_br (_, a, b) ->
+    let* () = check_target a in
+    check_target b
+
+(* Forward dataflow: a register may be used only if it is defined on every
+   path from entry. *)
+let check_definite_assignment (f : Func.t) =
+  let nblocks = Array.length f.Func.blocks in
+  let all_regs = Reg_set.of_list (List.init f.Func.frame_size Fun.id) in
+  let entry_in = Reg_set.of_list f.Func.params in
+  let in_sets = Array.make nblocks all_regs in
+  in_sets.(0) <- entry_in;
+  let preds = Array.make nblocks [] in
+  Array.iteri
+    (fun i b ->
+      match b.Func.term with
+      | Instr.Br t -> preds.(t) <- i :: preds.(t)
+      | Instr.Cond_br (_, a, bb) ->
+        preds.(a) <- i :: preds.(a);
+        preds.(bb) <- i :: preds.(bb)
+      | Instr.Ret _ -> ())
+    f.Func.blocks;
+  let out_of block in_set =
+    List.fold_left
+      (fun acc instr ->
+        match Instr.defined_reg instr with
+        | Some r -> Reg_set.add r acc
+        | None -> acc)
+      in_set block.Func.instrs
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iteri
+      (fun i b ->
+        ignore b;
+        if i > 0 then begin
+          let new_in =
+            match preds.(i) with
+            | [] -> entry_in (* unreachable block: treat like entry, stricter *)
+            | ps ->
+              List.fold_left
+                (fun acc p -> Reg_set.inter acc (out_of f.Func.blocks.(p) in_sets.(p)))
+                all_regs ps
+          in
+          if not (Reg_set.equal new_in in_sets.(i)) then begin
+            in_sets.(i) <- new_in;
+            changed := true
+          end
+        end)
+      f.Func.blocks
+  done;
+  let check_block i block =
+    let use_check defined op =
+      match op with
+      | Instr.Imm _ -> Ok ()
+      | Instr.Reg r ->
+        if Reg_set.mem r defined then Ok ()
+        else err "%s: block %d uses %%r%d before definition" f.Func.name i r
+    in
+    let* defined =
+      List.fold_left
+        (fun acc instr ->
+          let* defined = acc in
+          let* () =
+            List.fold_left
+              (fun acc op ->
+                let* () = acc in
+                use_check defined op)
+              (Ok ()) (Instr.used_operands instr)
+          in
+          match Instr.defined_reg instr with
+          | Some r -> Ok (Reg_set.add r defined)
+          | None -> Ok defined)
+        (Ok in_sets.(i)) block.Func.instrs
+    in
+    match block.Func.term with
+    | Instr.Ret (Some v) | Instr.Cond_br (v, _, _) -> use_check defined v
+    | Instr.Ret None | Instr.Br _ -> Ok ()
+  in
+  let rec loop i =
+    if i >= nblocks then Ok ()
+    else
+      let* () = check_block i f.Func.blocks.(i) in
+      loop (i + 1)
+  in
+  loop 0
+
+let verify_func m ~hosts (f : Func.t) =
+  let* () =
+    if Array.length f.Func.blocks = 0 then err "%s: no blocks" f.Func.name else Ok ()
+  in
+  let* () =
+    Array.to_list f.Func.blocks
+    |> List.fold_left
+         (fun acc (b : Func.block) ->
+           let* () = acc in
+           let* () =
+             List.fold_left
+               (fun acc i ->
+                 let* () = acc in
+                 check_instr m ~hosts f i)
+               (Ok ()) b.Func.instrs
+           in
+           check_terminator f b.Func.term)
+         (Ok ())
+  in
+  check_definite_assignment f
+
+let verify ?(hosts = fun _ -> false) m =
+  Module_ir.fold_funcs m
+    (fun acc f ->
+      let* () = acc in
+      verify_func m ~hosts f)
+    (Ok ())

@@ -1,0 +1,1 @@
+lib/machine/machine.ml: Bytes Char Cost Cpu Fun Int64 List Mpk Signals Vmm

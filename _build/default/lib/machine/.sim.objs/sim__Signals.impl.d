@@ -1,0 +1,1 @@
+lib/machine/signals.ml: List Printexc Vmm

@@ -1,0 +1,1 @@
+lib/machine/signals.mli: Vmm

@@ -1,0 +1,38 @@
+type t = {
+  alu : int;
+  mul : int;
+  div : int;
+  float_op : int;
+  branch : int;
+  load : int;
+  store : int;
+  call : int;
+  ret : int;
+  call_indirect : int;
+  wrpkru : int;
+  rdpkru : int;
+  gate_bookkeeping : int;
+  soft_page_fault : int;
+  signal_dispatch : int;
+}
+
+let default =
+  {
+    alu = 1;
+    mul = 3;
+    div = 20;
+    float_op = 3;
+    branch = 1;
+    load = 2;
+    store = 2;
+    call = 5;
+    ret = 5;
+    call_indirect = 7;
+    wrpkru = 28;
+    rdpkru = 8;
+    gate_bookkeeping = 2;
+    soft_page_fault = 300;
+    signal_dispatch = 700;
+  }
+
+let with_wrpkru t n = { t with wrpkru = n }

@@ -1,0 +1,31 @@
+(** The cycle-cost model.
+
+    All simulated time in the project is charged through these constants,
+    so the benchmark harness and the ablation studies share a single source
+    of truth.  Defaults are calibrated so that a round-trip call gate costs
+    about 80 cycles against a ~10-cycle empty FFI call, reproducing the
+    paper's micro-benchmark ratios (Empty 8.55x); see DESIGN.md §5. *)
+
+type t = {
+  alu : int;             (** integer add/sub/logic *)
+  mul : int;
+  div : int;
+  float_op : int;
+  branch : int;
+  load : int;            (** one cache-hit load *)
+  store : int;
+  call : int;            (** direct call *)
+  ret : int;
+  call_indirect : int;
+  wrpkru : int;          (** PKRU write, serialising *)
+  rdpkru : int;
+  gate_bookkeeping : int; (** compartment-stack push/pop + PKRU verify, per gate side *)
+  soft_page_fault : int; (** demand-paging a reserved page *)
+  signal_dispatch : int; (** kernel SIGSEGV/SIGTRAP delivery + sigreturn *)
+}
+
+val default : t
+
+val with_wrpkru : t -> int -> t
+(** [with_wrpkru t n] is [t] with the WRPKRU cost replaced — used by the
+    gate-cost-sweep ablation. *)

@@ -1,0 +1,26 @@
+type t = {
+  id : int;
+  cost : Cost.t;
+  mutable pkru : Mpk.Pkru.t;
+  mutable trap_flag : bool;
+  mutable cycles : int;
+  mutable wrpkru_retired : int;
+}
+
+let create ?(cost = Cost.default) ?(id = 0) () =
+  { id; cost; pkru = Mpk.Pkru.all_enabled; trap_flag = false; cycles = 0; wrpkru_retired = 0 }
+
+let charge t n = t.cycles <- t.cycles + n
+
+let wrpkru t v =
+  charge t t.cost.Cost.wrpkru;
+  t.wrpkru_retired <- t.wrpkru_retired + 1;
+  t.pkru <- v
+
+let rdpkru t =
+  charge t t.cost.Cost.rdpkru;
+  t.pkru
+
+let cycles t = t.cycles
+
+let reset_cycles t = t.cycles <- 0

@@ -1,0 +1,33 @@
+(** Per-hart execution state: PKRU register, trap flag (single-stepping)
+    and the retired-cycle counter.
+
+    PKRU lives in a register, never in attacker-writable memory, matching
+    the threat model's assumption that adversaries cannot manipulate it
+    directly. *)
+
+type t = {
+  id : int; (** hart id; 0 is the boot thread *)
+  cost : Cost.t;
+  mutable pkru : Mpk.Pkru.t;
+  mutable trap_flag : bool;
+  mutable cycles : int;
+  mutable wrpkru_retired : int;
+}
+
+val create : ?cost:Cost.t -> ?id:int -> unit -> t
+(** Fresh CPU with PKRU fully enabled (kernel default for a new thread). *)
+
+val charge : t -> int -> unit
+(** [charge cpu n] retires [n] cycles of straight-line work. *)
+
+val wrpkru : t -> Mpk.Pkru.t -> unit
+(** Executes WRPKRU: charges its cost and replaces the register. *)
+
+val rdpkru : t -> Mpk.Pkru.t
+(** Executes RDPKRU: charges its cost and reads the register. *)
+
+val cycles : t -> int
+(** Total cycles retired so far. *)
+
+val reset_cycles : t -> unit
+(** Zeroes the counter (used between benchmark phases). *)

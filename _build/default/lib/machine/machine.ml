@@ -1,0 +1,240 @@
+type t = {
+  page_table : Vmm.Page_table.t;
+  mutable cpu : Cpu.t;
+  mutable cpus : Cpu.t list;
+  signals : Signals.t;
+  pkeys : Vmm.Pkeys.t;
+}
+
+let create ?cost () =
+  let boot = Cpu.create ?cost ~id:0 () in
+  {
+    page_table = Vmm.Page_table.create ();
+    cpu = boot;
+    cpus = [ boot ];
+    signals = Signals.create ();
+    pkeys = Vmm.Pkeys.create ();
+  }
+
+let spawn_cpu t =
+  let cpu = Cpu.create ~cost:t.cpu.Cpu.cost ~id:(List.length t.cpus) () in
+  t.cpus <- t.cpus @ [ cpu ];
+  cpu
+
+let run_on t cpu f =
+  let previous = t.cpu in
+  t.cpu <- cpu;
+  Fun.protect ~finally:(fun () -> t.cpu <- previous) f
+
+let page_size = Vmm.Layout.page_size
+
+let check_page t access (page : Vmm.Page.t) =
+  let prot_ok =
+    match access with
+    | Vmm.Fault.Read -> page.prot.Vmm.Prot.read
+    | Vmm.Fault.Write -> page.prot.Vmm.Prot.write
+    | Vmm.Fault.Execute -> page.prot.Vmm.Prot.execute
+  in
+  if not prot_ok then Some Vmm.Fault.Prot_violation
+  else
+    let key = page.pkey in
+    let pkru = t.cpu.Cpu.pkru in
+    let pkey_ok =
+      match access with
+      | Vmm.Fault.Read | Vmm.Fault.Execute -> Mpk.Pkru.can_read pkru key
+      | Vmm.Fault.Write -> Mpk.Pkru.can_write pkru key
+    in
+    if pkey_ok then None else Some (Vmm.Fault.Pkey_violation key)
+
+let probe t access addr =
+  match Vmm.Page_table.lookup t.page_table addr with
+  | None -> Some Vmm.Fault.Not_mapped
+  | Some page -> check_page t access page
+
+(* Resolve one in-page access, delivering faults until it succeeds.  The
+   retry bound breaks the livelock a buggy handler would otherwise cause
+   (return-from-handler normally re-executes the faulting instruction). *)
+let resolve t access addr =
+  let rec attempt retries =
+    if retries = 0 then
+      raise (Vmm.Fault.Unhandled { Vmm.Fault.addr; access; kind = Vmm.Fault.Prot_violation });
+    let faults_before = Vmm.Page_table.demand_faults t.page_table in
+    match Vmm.Page_table.lookup t.page_table addr with
+    | None ->
+      Cpu.charge t.cpu t.cpu.Cpu.cost.Cost.signal_dispatch;
+      Signals.deliver_segv t.signals { Vmm.Fault.addr; access; kind = Vmm.Fault.Not_mapped };
+      attempt (retries - 1)
+    | Some page ->
+      if Vmm.Page_table.demand_faults t.page_table > faults_before then
+        Cpu.charge t.cpu t.cpu.Cpu.cost.Cost.soft_page_fault;
+      (match check_page t access page with
+      | None -> page
+      | Some kind ->
+        Cpu.charge t.cpu t.cpu.Cpu.cost.Cost.signal_dispatch;
+        Signals.deliver_segv t.signals { Vmm.Fault.addr; access; kind };
+        attempt (retries - 1))
+  in
+  attempt 64
+
+(* The trap flag fires after the instruction completes (x86 #DB). *)
+let post_access t =
+  if t.cpu.Cpu.trap_flag then begin
+    t.cpu.Cpu.trap_flag <- false;
+    Cpu.charge t.cpu t.cpu.Cpu.cost.Cost.signal_dispatch;
+    Signals.deliver_trap t.signals
+  end
+
+let rec read_le t addr len =
+  let offset = Vmm.Layout.page_offset addr in
+  if offset + len <= page_size then begin
+    Cpu.charge t.cpu t.cpu.Cpu.cost.Cost.load;
+    let page = resolve t Vmm.Fault.Read addr in
+    let v = ref 0 in
+    for i = len - 1 downto 0 do
+      v := (!v lsl 8) lor Char.code (Bytes.get page.Vmm.Page.data (offset + i))
+    done;
+    post_access t;
+    !v
+  end
+  else begin
+    (* Page-straddling access: split at the boundary. *)
+    let first_len = page_size - offset in
+    let low = read_le t addr first_len in
+    let high = read_le t (addr + first_len) (len - first_len) in
+    (high lsl (8 * first_len)) lor low
+  end
+
+let rec write_le t addr len v =
+  let offset = Vmm.Layout.page_offset addr in
+  if offset + len <= page_size then begin
+    Cpu.charge t.cpu t.cpu.Cpu.cost.Cost.store;
+    let page = resolve t Vmm.Fault.Write addr in
+    for i = 0 to len - 1 do
+      Bytes.set page.Vmm.Page.data (offset + i) (Char.chr ((v lsr (8 * i)) land 0xFF))
+    done;
+    post_access t
+  end
+  else begin
+    let first_len = page_size - offset in
+    write_le t addr first_len v;
+    write_le t (addr + first_len) (len - first_len) (v asr (8 * first_len))
+  end
+
+let read_u8 t addr = read_le t addr 1
+let read_u16 t addr = read_le t addr 2
+let read_u32 t addr = read_le t addr 4
+let read_u64 t addr = read_le t addr 8
+let write_u8 t addr v = write_le t addr 1 v
+let write_u16 t addr v = write_le t addr 2 v
+let write_u32 t addr v = write_le t addr 4 v
+let write_u64 t addr v = write_le t addr 8 v
+
+(* Floats are stored via their bit pattern.  OCaml ints hold 63 bits, so we
+   move the top byte separately. *)
+let read_f64 t addr =
+  let low = read_le t addr 7 in
+  let high = read_le t (addr + 7) 1 in
+  Int64.float_of_bits Int64.(logor (of_int low) (shift_left (of_int high) 56))
+
+let write_f64 t addr f =
+  let bits = Int64.bits_of_float f in
+  write_le t addr 7 Int64.(to_int (logand bits 0xFF_FFFF_FFFF_FFFFL));
+  write_le t (addr + 7) 1 Int64.(to_int (logand (shift_right_logical bits 56) 0xFFL))
+
+let read_bytes t addr len =
+  let out = Bytes.create len in
+  let pos = ref 0 in
+  while !pos < len do
+    let a = addr + !pos in
+    let offset = Vmm.Layout.page_offset a in
+    let chunk = min (len - !pos) (page_size - offset) in
+    Cpu.charge t.cpu (t.cpu.Cpu.cost.Cost.load * ((chunk + 7) / 8));
+    let page = resolve t Vmm.Fault.Read a in
+    Bytes.blit page.Vmm.Page.data offset out !pos chunk;
+    post_access t;
+    pos := !pos + chunk
+  done;
+  out
+
+let write_bytes t addr src =
+  let len = Bytes.length src in
+  let pos = ref 0 in
+  while !pos < len do
+    let a = addr + !pos in
+    let offset = Vmm.Layout.page_offset a in
+    let chunk = min (len - !pos) (page_size - offset) in
+    Cpu.charge t.cpu (t.cpu.Cpu.cost.Cost.store * ((chunk + 7) / 8));
+    let page = resolve t Vmm.Fault.Write a in
+    Bytes.blit src !pos page.Vmm.Page.data offset chunk;
+    post_access t;
+    pos := !pos + chunk
+  done
+
+let write_string t addr s = write_bytes t addr (Bytes.of_string s)
+
+let memset t addr byte len =
+  let pos = ref 0 in
+  while !pos < len do
+    let a = addr + !pos in
+    let offset = Vmm.Layout.page_offset a in
+    let chunk = min (len - !pos) (page_size - offset) in
+    Cpu.charge t.cpu (t.cpu.Cpu.cost.Cost.store * ((chunk + 7) / 8));
+    let page = resolve t Vmm.Fault.Write a in
+    Bytes.fill page.Vmm.Page.data offset chunk byte;
+    post_access t;
+    pos := !pos + chunk
+  done
+
+(* Privileged path: used by the fault handler ("operates as part of T and
+   is able to inspect trusted memory") and by test setup. *)
+let priv_page t addr =
+  match Vmm.Page_table.lookup t.page_table addr with
+  | Some page -> page
+  | None ->
+    raise (Vmm.Fault.Unhandled { Vmm.Fault.addr; access = Vmm.Fault.Read; kind = Vmm.Fault.Not_mapped })
+
+let priv_read_bytes t addr len =
+  let out = Bytes.create len in
+  let pos = ref 0 in
+  while !pos < len do
+    let a = addr + !pos in
+    let offset = Vmm.Layout.page_offset a in
+    let chunk = min (len - !pos) (page_size - offset) in
+    let page = priv_page t a in
+    Bytes.blit page.Vmm.Page.data offset out !pos chunk;
+    pos := !pos + chunk
+  done;
+  out
+
+let priv_write_bytes t addr src =
+  let len = Bytes.length src in
+  let pos = ref 0 in
+  while !pos < len do
+    let a = addr + !pos in
+    let offset = Vmm.Layout.page_offset a in
+    let chunk = min (len - !pos) (page_size - offset) in
+    let page = priv_page t a in
+    Bytes.blit src !pos page.Vmm.Page.data offset chunk;
+    pos := !pos + chunk
+  done
+
+let priv_read_u64 t addr =
+  let b = priv_read_bytes t addr 8 in
+  let v = ref 0 in
+  for i = 7 downto 0 do
+    v := (!v lsl 8) lor Char.code (Bytes.get b i)
+  done;
+  !v
+
+let priv_write_u64 t addr v =
+  let b = Bytes.create 8 in
+  for i = 0 to 7 do
+    Bytes.set b i (Char.chr ((v lsr (8 * i)) land 0xFF))
+  done;
+  priv_write_bytes t addr b
+
+let priv_read_string t addr len = Bytes.to_string (priv_read_bytes t addr len)
+
+let charge t n = Cpu.charge t.cpu n
+
+let cycles t = List.fold_left (fun acc cpu -> acc + Cpu.cycles cpu) 0 t.cpus

@@ -1,0 +1,83 @@
+(** The simulated machine: page table + CPU + signal chain, with the
+    checked memory-access path.
+
+    Every load and store made by simulated code goes through {!read_u8}
+    .. {!write_u64} (or the block-copy helpers), which walk the page table,
+    apply page protections and the MPK check against the current PKRU
+    value, charge cycles, and deliver faults through the signal chain —
+    re-executing the access when a handler returns [Retry] and honouring
+    the trap flag for single-stepped profiling.
+
+    The [priv_*] accessors bypass checks and charging.  They model two
+    things that are outside the simulated instruction stream: the kernel /
+    fault handler inspecting memory on the process's behalf, and test
+    setup. *)
+
+type t = {
+  page_table : Vmm.Page_table.t;
+  mutable cpu : Cpu.t; (** the hart currently executing *)
+  mutable cpus : Cpu.t list; (** every hart, boot thread first *)
+  signals : Signals.t;
+  pkeys : Vmm.Pkeys.t; (** the kernel's pkey_alloc/pkey_free state *)
+}
+
+val create : ?cost:Cost.t -> unit -> t
+
+(* {2 Threads}
+
+   Simulated threads are cooperative: {!spawn_cpu} registers a new hart
+   with its own PKRU (fully enabled, like a fresh kernel thread) and
+   {!run_on} switches which hart executes a block of code.  Memory, the
+   page table and signal dispositions are process-wide; PKRU, the trap
+   flag and cycle counts are per-hart, as on real hardware. *)
+
+val spawn_cpu : t -> Cpu.t
+(** Creates and registers a new hart (does not switch to it). *)
+
+val run_on : t -> Cpu.t -> (unit -> 'a) -> 'a
+(** [run_on t cpu f] executes [f] with [cpu] as the current hart, restoring
+    the previous hart afterwards (exception-safe). *)
+
+(* {2 Checked accesses (simulated instructions)} *)
+
+val read_u8 : t -> int -> int
+val read_u16 : t -> int -> int
+val read_u32 : t -> int -> int
+val read_u64 : t -> int -> int
+val write_u8 : t -> int -> int -> unit
+val write_u16 : t -> int -> int -> unit
+val write_u32 : t -> int -> int -> unit
+val write_u64 : t -> int -> int -> unit
+
+val read_f64 : t -> int -> float
+val write_f64 : t -> int -> float -> unit
+
+val read_bytes : t -> int -> int -> Bytes.t
+(** [read_bytes t addr len]; charged one load per 8 bytes. *)
+
+val write_bytes : t -> int -> Bytes.t -> unit
+val write_string : t -> int -> string -> unit
+
+val memset : t -> int -> char -> int -> unit
+(** [memset t addr byte len]; charged one store per 8 bytes. *)
+
+val probe : t -> Vmm.Fault.access -> int -> Vmm.Fault.kind option
+(** [probe t access addr] performs the access check only — no data
+    transfer, no cycle charge, no fault delivery.  [None] means the access
+    would succeed. *)
+
+(* {2 Privileged accesses (kernel / test harness)} *)
+
+val priv_read_u64 : t -> int -> int
+val priv_write_u64 : t -> int -> int -> unit
+val priv_read_bytes : t -> int -> int -> Bytes.t
+val priv_write_bytes : t -> int -> Bytes.t -> unit
+val priv_read_string : t -> int -> int -> string
+
+(* {2 Convenience} *)
+
+val charge : t -> int -> unit
+(** Charges straight-line compute cycles on the current hart. *)
+
+val cycles : t -> int
+(** Total cycles retired across every hart. *)

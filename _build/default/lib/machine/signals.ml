@@ -1,0 +1,43 @@
+type segv_action =
+  | Retry
+  | Pass
+  | Kill of string
+
+type segv_handler = Vmm.Fault.t -> segv_action
+type trap_handler = unit -> unit
+
+exception Process_killed of string
+
+type t = {
+  mutable segv_chain : segv_handler list; (* head = most recently registered *)
+  mutable trap : trap_handler option;
+}
+
+let create () = { segv_chain = []; trap = None }
+
+let register_segv t handler = t.segv_chain <- handler :: t.segv_chain
+
+let register_trap t handler = t.trap <- Some handler
+
+let segv_handler_count t = List.length t.segv_chain
+
+let deliver_segv t fault =
+  let rec walk = function
+    | [] -> raise (Vmm.Fault.Unhandled fault)
+    | handler :: rest ->
+      (match handler fault with
+      | Retry -> ()
+      | Pass -> walk rest
+      | Kill msg -> raise (Process_killed msg))
+  in
+  walk t.segv_chain
+
+let deliver_trap t =
+  match t.trap with
+  | Some handler -> handler ()
+  | None -> raise (Process_killed "SIGTRAP with no handler installed")
+
+let () =
+  Printexc.register_printer (function
+    | Process_killed msg -> Some ("Signals.Process_killed: " ^ msg)
+    | _ -> None)

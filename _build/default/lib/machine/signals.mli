@@ -1,0 +1,50 @@
+(** The signal-delivery model (SIGSEGV and SIGTRAP).
+
+    Mirrors how the paper's profiler coexists with an application's own
+    fault handlers: handlers are registered in order (Servo registers many,
+    the profiler registers itself "as late as possible"); on a fault the
+    most recently registered handler runs first and may pass the fault to
+    the handler that preceded it, exactly like keeping a reference to a
+    previously registered sigaction.
+
+    A SIGSEGV handler returns what the kernel should do next:
+    {ul
+    {- [Retry]: return from the handler and re-execute the faulting access
+       (the handler has typically fixed up PKRU and set the trap flag);}
+    {- [Pass]: defer to the previously registered handler;}
+    {- [Kill]: terminate the process with a message.}} *)
+
+type segv_action =
+  | Retry
+  | Pass
+  | Kill of string
+
+type segv_handler = Vmm.Fault.t -> segv_action
+type trap_handler = unit -> unit
+
+exception Process_killed of string
+(** The simulated process terminated abnormally (default SIGSEGV
+    disposition, a handler returning [Kill], or a call-gate PKRU-value
+    mismatch). *)
+
+type t
+
+val create : unit -> t
+
+val register_segv : t -> segv_handler -> unit
+(** Pushes a handler; it becomes the first to see subsequent faults. *)
+
+val register_trap : t -> trap_handler -> unit
+(** Installs the SIGTRAP handler (single handler; latest wins). *)
+
+val segv_handler_count : t -> int
+
+val deliver_segv : t -> Vmm.Fault.t -> unit
+(** Walks the handler chain.  Returns normally iff some handler said
+    [Retry].
+    @raise Vmm.Fault.Unhandled when no handler resolves the fault
+    @raise Process_killed when a handler demands termination *)
+
+val deliver_trap : t -> unit
+(** Invokes the SIGTRAP handler; a trap with no handler kills the process
+    (default SIGTRAP disposition). *)

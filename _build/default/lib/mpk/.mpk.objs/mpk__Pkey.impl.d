@@ -1,0 +1,1 @@
+lib/mpk/pkey.ml: Format Int Printf

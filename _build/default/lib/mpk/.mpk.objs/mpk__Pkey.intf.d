@@ -1,0 +1,1 @@
+lib/mpk/pkey.mli: Format

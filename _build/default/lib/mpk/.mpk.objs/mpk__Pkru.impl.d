@@ -1,0 +1,1 @@
+lib/mpk/pkru.ml: Format Int List Pkey Printf

@@ -1,0 +1,1 @@
+lib/mpk/pkru.mli: Format Pkey

@@ -1,0 +1,15 @@
+type t = int
+
+let count = 16
+
+let of_int k =
+  if k < 0 || k >= count then invalid_arg (Printf.sprintf "Pkey.of_int: %d" k);
+  k
+
+let to_int k = k
+
+let default = 0
+
+let equal = Int.equal
+let compare = Int.compare
+let pp fmt k = Format.fprintf fmt "pkey%d" k

@@ -1,0 +1,1 @@
+lib/runtime/alloc_id.ml: Format Hashtbl Int Map Set Util

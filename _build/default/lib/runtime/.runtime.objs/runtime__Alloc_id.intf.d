@@ -1,0 +1,1 @@
+lib/runtime/alloc_id.mli: Format Map Set Util

@@ -1,0 +1,1 @@
+lib/runtime/comp_stack.ml: Mpk

@@ -1,0 +1,1 @@
+lib/runtime/compartment.ml: Format Mpk

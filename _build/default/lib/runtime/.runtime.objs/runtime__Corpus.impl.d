@@ -1,0 +1,1 @@
+lib/runtime/corpus.ml: Alloc_id Filename Fun In_channel List Printf Profile Sys Util

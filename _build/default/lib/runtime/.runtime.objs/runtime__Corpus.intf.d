@@ -1,0 +1,1 @@
+lib/runtime/corpus.mli: Alloc_id Profile Util

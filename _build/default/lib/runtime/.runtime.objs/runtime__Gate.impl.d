@@ -1,0 +1,1 @@
+lib/runtime/gate.ml: Comp_stack Compartment Fun Mpk Sim

@@ -1,0 +1,1 @@
+lib/runtime/gate.mli: Comp_stack Compartment Mpk Sim

@@ -1,0 +1,1 @@
+lib/runtime/metadata.ml: Alloc_id Int Map

@@ -1,0 +1,1 @@
+lib/runtime/metadata.mli: Alloc_id

@@ -1,0 +1,1 @@
+lib/runtime/profile.ml: Alloc_id Fun In_channel List Util

@@ -1,0 +1,1 @@
+lib/runtime/profiler.ml: Hashtbl Metadata Mpk Profile Sim Vmm

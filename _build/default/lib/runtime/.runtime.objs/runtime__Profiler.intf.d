@@ -1,0 +1,1 @@
+lib/runtime/profiler.mli: Alloc_id Metadata Mpk Profile Sim

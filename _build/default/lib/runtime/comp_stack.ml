@@ -1,0 +1,23 @@
+type t = {
+  mutable items : Mpk.Pkru.t list;
+  mutable depth : int;
+  mutable max_depth : int;
+}
+
+let create () = { items = []; depth = 0; max_depth = 0 }
+
+let push t pkru =
+  t.items <- pkru :: t.items;
+  t.depth <- t.depth + 1;
+  if t.depth > t.max_depth then t.max_depth <- t.depth
+
+let pop t =
+  match t.items with
+  | [] -> invalid_arg "Comp_stack.pop: unbalanced call gates"
+  | pkru :: rest ->
+    t.items <- rest;
+    t.depth <- t.depth - 1;
+    pkru
+
+let depth t = t.depth
+let max_depth t = t.max_depth

@@ -1,0 +1,22 @@
+(** The per-thread compartment stack.
+
+    Call gates do not assume the previous permissions allowed access to MT;
+    they "track permissions in a per-thread compartment stack that ensures
+    the permissions are correctly restored" (paper §3.3).  Each gate entry
+    pushes the PKRU value in force before the transition; the matching exit
+    pops and restores it, so nested and re-entrant cross-compartment calls
+    unwind correctly. *)
+
+type t
+
+val create : unit -> t
+val push : t -> Mpk.Pkru.t -> unit
+
+val pop : t -> Mpk.Pkru.t
+(** @raise Invalid_argument on an empty stack (unbalanced gates). *)
+
+val depth : t -> int
+
+val max_depth : t -> int
+(** Deepest nesting observed, e.g. the "deeply nested stack of compartment
+    transitions" seen in the dom benchmarks (§5.3). *)

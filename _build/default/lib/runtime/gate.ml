@@ -1,0 +1,65 @@
+type t = {
+  machine : Sim.Machine.t;
+  trusted_pkey : Mpk.Pkey.t;
+  untrusted_view : Mpk.Pkru.t;
+  stack : Comp_stack.t;
+  mutable transitions : int;
+}
+
+let create ?(trusted_pkey = Mpk.Pkey.of_int 1) machine =
+  {
+    machine;
+    trusted_pkey;
+    untrusted_view = Compartment.untrusted_view ~trusted_pkey;
+    stack = Comp_stack.create ();
+    transitions = 0;
+  }
+
+let machine t = t.machine
+let trusted_pkey t = t.trusted_pkey
+let stack t = t.stack
+
+let cpu t = t.machine.Sim.Machine.cpu
+
+let current t = Compartment.of_pkru ~trusted_pkey:t.trusted_pkey (cpu t).Sim.Cpu.pkru
+
+(* One gate side: bookkeeping + WRPKRU + the verifying RDPKRU.  A mismatch
+   after the write means PKRU-modifying code was reused out of context, so
+   the gate kills the process rather than continue with broken rights. *)
+let switch_to t target =
+  let cpu = cpu t in
+  Sim.Cpu.charge cpu cpu.Sim.Cpu.cost.Sim.Cost.gate_bookkeeping;
+  Sim.Cpu.wrpkru cpu target;
+  let now = Sim.Cpu.rdpkru cpu in
+  if not (Mpk.Pkru.equal now target) then
+    raise (Sim.Signals.Process_killed "call gate: PKRU value mismatch");
+  t.transitions <- t.transitions + 1
+
+let enter_untrusted t =
+  Comp_stack.push t.stack (cpu t).Sim.Cpu.pkru;
+  switch_to t t.untrusted_view
+
+let exit_untrusted t =
+  let saved = Comp_stack.pop t.stack in
+  switch_to t saved
+
+(* The reverse gate restores T's full view for the duration of a callback;
+   it does not assume where it was called from. *)
+let enter_trusted t =
+  Comp_stack.push t.stack (cpu t).Sim.Cpu.pkru;
+  switch_to t Compartment.trusted_view
+
+let exit_trusted t =
+  let saved = Comp_stack.pop t.stack in
+  switch_to t saved
+
+let call_untrusted t f =
+  enter_untrusted t;
+  Fun.protect ~finally:(fun () -> exit_untrusted t) f
+
+let callback_trusted t f =
+  enter_trusted t;
+  Fun.protect ~finally:(fun () -> exit_trusted t) f
+
+let transitions t = t.transitions
+let reset_transitions t = t.transitions <- 0

@@ -1,0 +1,49 @@
+(** Call gates (paper §3.3 / §4.1).
+
+    Every interface from T to U is wrapped so the call first revokes access
+    to MT, and the previous permissions are restored on return — tracked on
+    the per-thread compartment stack rather than assumed.  Address-taken /
+    externally visible functions of T get the reverse gate so callbacks
+    from U regain access to MT for their duration.
+
+    Each gate verifies that the PKRU value after the write matches the
+    target the gate is meant to enforce and otherwise exits the application
+    ("will otherwise exit the application if the values are mismatched"). *)
+
+type t
+
+val create : ?trusted_pkey:Mpk.Pkey.t -> Sim.Machine.t -> t
+(** [trusted_pkey] defaults to key 1 (pkalloc's default). *)
+
+val machine : t -> Sim.Machine.t
+val trusted_pkey : t -> Mpk.Pkey.t
+val stack : t -> Comp_stack.t
+
+val current : t -> Compartment.t
+(** Compartment implied by the live PKRU value. *)
+
+val enter_untrusted : t -> unit
+(** Gate into U: push current PKRU, write the untrusted view, verify. *)
+
+val exit_untrusted : t -> unit
+(** Gate back from U: pop, restore, verify.
+    @raise Invalid_argument on unbalanced gates. *)
+
+val enter_trusted : t -> unit
+(** Reverse gate, entered when U calls an exported T function. *)
+
+val exit_trusted : t -> unit
+
+val call_untrusted : t -> (unit -> 'a) -> 'a
+(** [call_untrusted t f] runs [f] bracketed by
+    {!enter_untrusted}/{!exit_untrusted}.  The gate is restored even if
+    [f] raises, so a simulated crash in U leaves the harness consistent. *)
+
+val callback_trusted : t -> (unit -> 'a) -> 'a
+(** Bracketed reverse gate for a U→T callback. *)
+
+val transitions : t -> int
+(** Number of compartment transitions executed (each gate side counts
+    one — the Transitions column of Tables 1 and 2). *)
+
+val reset_transitions : t -> unit

@@ -1,0 +1,284 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let float_repr f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.17g" f
+
+let rec write buf ~indent ~level v =
+  let pad n = if indent then Buffer.add_string buf (String.make (2 * n) ' ') in
+  let newline () = if indent then Buffer.add_char buf '\n' in
+  match v with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (float_repr f)
+  | String s -> Buffer.add_string buf (escape_string s)
+  | List [] -> Buffer.add_string buf "[]"
+  | List items ->
+    Buffer.add_char buf '[';
+    newline ();
+    List.iteri
+      (fun i item ->
+        if i > 0 then begin
+          Buffer.add_char buf ',';
+          newline ()
+        end;
+        pad (level + 1);
+        write buf ~indent ~level:(level + 1) item)
+      items;
+    newline ();
+    pad level;
+    Buffer.add_char buf ']'
+  | Obj [] -> Buffer.add_string buf "{}"
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    newline ();
+    List.iteri
+      (fun i (k, item) ->
+        if i > 0 then begin
+          Buffer.add_char buf ',';
+          newline ()
+        end;
+        pad (level + 1);
+        Buffer.add_string buf (escape_string k);
+        Buffer.add_string buf (if indent then ": " else ":");
+        write buf ~indent ~level:(level + 1) item)
+      fields;
+    newline ();
+    pad level;
+    Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  write buf ~indent:false ~level:0 v;
+  Buffer.contents buf
+
+let to_string_pretty v =
+  let buf = Buffer.create 256 in
+  write buf ~indent:true ~level:0 v;
+  Buffer.contents buf
+
+(* Recursive-descent parser over a cursor into the input string. *)
+type cursor = { src : string; mutable pos : int }
+
+let fail cur msg =
+  raise (Parse_error (Printf.sprintf "%s at offset %d" msg cur.pos))
+
+let peek cur = if cur.pos < String.length cur.src then Some cur.src.[cur.pos] else None
+
+let advance cur = cur.pos <- cur.pos + 1
+
+let rec skip_ws cur =
+  match peek cur with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+    advance cur;
+    skip_ws cur
+  | _ -> ()
+
+let expect cur c =
+  match peek cur with
+  | Some c' when c' = c -> advance cur
+  | _ -> fail cur (Printf.sprintf "expected '%c'" c)
+
+let parse_literal cur word value =
+  let n = String.length word in
+  if cur.pos + n <= String.length cur.src && String.sub cur.src cur.pos n = word then begin
+    cur.pos <- cur.pos + n;
+    value
+  end
+  else fail cur (Printf.sprintf "expected %s" word)
+
+let parse_string_body cur =
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek cur with
+    | None -> fail cur "unterminated string"
+    | Some '"' -> advance cur
+    | Some '\\' ->
+      advance cur;
+      (match peek cur with
+      | Some '"' -> Buffer.add_char buf '"'; advance cur; loop ()
+      | Some '\\' -> Buffer.add_char buf '\\'; advance cur; loop ()
+      | Some '/' -> Buffer.add_char buf '/'; advance cur; loop ()
+      | Some 'n' -> Buffer.add_char buf '\n'; advance cur; loop ()
+      | Some 'r' -> Buffer.add_char buf '\r'; advance cur; loop ()
+      | Some 't' -> Buffer.add_char buf '\t'; advance cur; loop ()
+      | Some 'b' -> Buffer.add_char buf '\b'; advance cur; loop ()
+      | Some 'f' -> Buffer.add_char buf '\012'; advance cur; loop ()
+      | Some 'u' ->
+        advance cur;
+        if cur.pos + 4 > String.length cur.src then fail cur "bad \\u escape";
+        let hex = String.sub cur.src cur.pos 4 in
+        let code =
+          try int_of_string ("0x" ^ hex) with _ -> fail cur "bad \\u escape"
+        in
+        cur.pos <- cur.pos + 4;
+        (* Non-ASCII escapes are encoded as UTF-8. *)
+        if code < 0x80 then Buffer.add_char buf (Char.chr code)
+        else if code < 0x800 then begin
+          Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+          Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+        end
+        else begin
+          Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+          Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+          Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+        end;
+        loop ()
+      | _ -> fail cur "bad escape")
+    | Some c ->
+      Buffer.add_char buf c;
+      advance cur;
+      loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let parse_number cur =
+  let start = cur.pos in
+  let is_num_char c =
+    match c with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  let rec loop () =
+    match peek cur with
+    | Some c when is_num_char c ->
+      advance cur;
+      loop ()
+    | _ -> ()
+  in
+  loop ();
+  let text = String.sub cur.src start (cur.pos - start) in
+  let is_float = String.exists (fun c -> c = '.' || c = 'e' || c = 'E') text in
+  if is_float then
+    match float_of_string_opt text with
+    | Some f -> Float f
+    | None -> fail cur "bad number"
+  else
+    match int_of_string_opt text with
+    | Some i -> Int i
+    | None -> fail cur "bad number"
+
+let rec parse_value cur =
+  skip_ws cur;
+  match peek cur with
+  | None -> fail cur "unexpected end of input"
+  | Some 'n' -> parse_literal cur "null" Null
+  | Some 't' -> parse_literal cur "true" (Bool true)
+  | Some 'f' -> parse_literal cur "false" (Bool false)
+  | Some '"' ->
+    advance cur;
+    String (parse_string_body cur)
+  | Some '[' ->
+    advance cur;
+    skip_ws cur;
+    if peek cur = Some ']' then begin
+      advance cur;
+      List []
+    end
+    else begin
+      let items = ref [ parse_value cur ] in
+      let rec loop () =
+        skip_ws cur;
+        match peek cur with
+        | Some ',' ->
+          advance cur;
+          items := parse_value cur :: !items;
+          loop ()
+        | Some ']' -> advance cur
+        | _ -> fail cur "expected ',' or ']'"
+      in
+      loop ();
+      List (List.rev !items)
+    end
+  | Some '{' ->
+    advance cur;
+    skip_ws cur;
+    if peek cur = Some '}' then begin
+      advance cur;
+      Obj []
+    end
+    else begin
+      let parse_field () =
+        skip_ws cur;
+        expect cur '"';
+        let key = parse_string_body cur in
+        skip_ws cur;
+        expect cur ':';
+        let v = parse_value cur in
+        (key, v)
+      in
+      let fields = ref [ parse_field () ] in
+      let rec loop () =
+        skip_ws cur;
+        match peek cur with
+        | Some ',' ->
+          advance cur;
+          fields := parse_field () :: !fields;
+          loop ()
+        | Some '}' -> advance cur
+        | _ -> fail cur "expected ',' or '}'"
+      in
+      loop ();
+      Obj (List.rev !fields)
+    end
+  | Some ('-' | '0' .. '9') -> parse_number cur
+  | Some c -> fail cur (Printf.sprintf "unexpected character '%c'" c)
+
+let of_string s =
+  let cur = { src = s; pos = 0 } in
+  let v = parse_value cur in
+  skip_ws cur;
+  if cur.pos <> String.length s then fail cur "trailing garbage";
+  v
+
+let member key v =
+  match v with
+  | Obj fields -> List.assoc key fields
+  | _ -> raise Not_found
+
+let to_int = function
+  | Int i -> i
+  | Float f when Float.is_integer f -> int_of_float f
+  | _ -> invalid_arg "Json.to_int"
+
+let to_float = function
+  | Int i -> float_of_int i
+  | Float f -> f
+  | _ -> invalid_arg "Json.to_float"
+
+let to_list = function
+  | List l -> l
+  | _ -> invalid_arg "Json.to_list"
+
+let to_str = function
+  | String s -> s
+  | _ -> invalid_arg "Json.to_str"

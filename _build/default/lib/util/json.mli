@@ -1,0 +1,45 @@
+(** A minimal JSON reader/writer.
+
+    Profiles and benchmark reports are serialised as JSON so they can be
+    inspected and diffed by hand, mirroring the artifact's
+    [bench-results/*.json] files.  Only the subset needed by the project is
+    implemented: objects, arrays, strings, numbers, booleans and null. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+(** Raised by {!of_string} with a message locating the first syntax error. *)
+
+val to_string : t -> string
+(** [to_string v] renders compact JSON. *)
+
+val to_string_pretty : t -> string
+(** [to_string_pretty v] renders indented JSON. *)
+
+val of_string : string -> t
+(** [of_string s] parses [s].  Numbers without [.], [e] or [E] become
+    [Int]. @raise Parse_error on malformed input. *)
+
+val member : string -> t -> t
+(** [member key v] looks up [key] in object [v].
+    @raise Not_found if [key] is absent or [v] is not an object. *)
+
+val to_int : t -> int
+(** Coerces [Int] (and integral [Float]) to int.
+    @raise Invalid_argument otherwise. *)
+
+val to_float : t -> float
+(** Coerces [Int] or [Float] to float. @raise Invalid_argument otherwise. *)
+
+val to_list : t -> t list
+(** @raise Invalid_argument if the value is not a [List]. *)
+
+val to_str : t -> string
+(** @raise Invalid_argument if the value is not a [String]. *)

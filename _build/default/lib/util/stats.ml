@@ -1,0 +1,24 @@
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let geomean = function
+  | [] -> 0.0
+  | xs ->
+    let log_sum = List.fold_left (fun acc x -> acc +. log x) 0.0 xs in
+    exp (log_sum /. float_of_int (List.length xs))
+
+let stddev = function
+  | [] | [ _ ] -> 0.0
+  | xs ->
+    let m = mean xs in
+    let var = mean (List.map (fun x -> (x -. m) ** 2.0) xs) in
+    sqrt var
+
+let percent_overhead ~baseline ~measured =
+  assert (baseline <> 0.0);
+  (measured -. baseline) /. baseline *. 100.0
+
+let normalized ~baseline ~measured =
+  assert (baseline <> 0.0);
+  measured /. baseline

@@ -1,0 +1,16 @@
+(** Small statistics helpers used by the benchmark harness. *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0.0 on the empty list. *)
+
+val geomean : float list -> float
+(** Geometric mean; 0.0 on the empty list.  All values must be positive. *)
+
+val stddev : float list -> float
+(** Population standard deviation; 0.0 for fewer than two samples. *)
+
+val percent_overhead : baseline:float -> measured:float -> float
+(** [(measured - baseline) / baseline * 100].  [baseline] must be non-zero. *)
+
+val normalized : baseline:float -> measured:float -> float
+(** [measured / baseline].  [baseline] must be non-zero. *)

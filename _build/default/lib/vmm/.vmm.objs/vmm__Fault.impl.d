@@ -1,0 +1,1 @@
+lib/vmm/fault.ml: Format Mpk Printexc Printf

@@ -1,0 +1,1 @@
+lib/vmm/fault.mli: Format Mpk

@@ -1,0 +1,1 @@
+lib/vmm/page.ml: Bytes Layout Mpk Prot

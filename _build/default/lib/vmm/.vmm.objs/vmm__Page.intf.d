@@ -1,0 +1,1 @@
+lib/vmm/page.mli: Bytes Mpk Prot

@@ -1,0 +1,1 @@
+lib/vmm/page_table.ml: Hashtbl Layout List Mpk Page Printf Prot

@@ -1,0 +1,1 @@
+lib/vmm/page_table.mli: Mpk Page Prot

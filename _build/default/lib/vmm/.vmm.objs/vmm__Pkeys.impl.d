@@ -1,0 +1,1 @@
+lib/vmm/pkeys.ml: Array Mpk

@@ -1,0 +1,38 @@
+type access =
+  | Read
+  | Write
+  | Execute
+
+type kind =
+  | Not_mapped
+  | Prot_violation
+  | Pkey_violation of Mpk.Pkey.t
+
+type t = {
+  addr : int;
+  access : access;
+  kind : kind;
+}
+
+exception Unhandled of t
+
+let access_to_string = function
+  | Read -> "read"
+  | Write -> "write"
+  | Execute -> "execute"
+
+let kind_to_string = function
+  | Not_mapped -> "SEGV_MAPERR"
+  | Prot_violation -> "SEGV_ACCERR"
+  | Pkey_violation key -> Printf.sprintf "SEGV_PKUERR(key=%d)" (Mpk.Pkey.to_int key)
+
+let pp fmt t =
+  Format.fprintf fmt "fault: %s on %s at 0x%x" (kind_to_string t.kind)
+    (access_to_string t.access) t.addr
+
+let to_string t = Format.asprintf "%a" pp t
+
+let () =
+  Printexc.register_printer (function
+    | Unhandled f -> Some ("Fault.Unhandled: " ^ to_string f)
+    | _ -> None)

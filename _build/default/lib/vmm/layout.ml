@@ -1,0 +1,24 @@
+let page_size = 4096
+let page_shift = 12
+
+(* The paper reserves the MT pool with one large mmap at startup and relies
+   on on-demand paging; we keep the same base as the artifact (the secret at
+   0x1680_0000_0000 lives inside it) with a smaller span, since pages are
+   only materialised on first touch anyway. *)
+let trusted_base = 0x1600_0000_0000
+let trusted_size = 0x0100_0000_0000
+
+let untrusted_base = 0x2000_0000_0000
+let untrusted_size = 0x0100_0000_0000
+
+let stack_base = 0x7000_0000_0000
+let stack_size = 0x0100_0000 (* 16 MiB *)
+
+let secret_addr = 0x1680_0000_0000
+
+let in_trusted addr = addr >= trusted_base && addr < trusted_base + trusted_size
+let in_untrusted addr = addr >= untrusted_base && addr < untrusted_base + untrusted_size
+
+let page_of_addr addr = addr lsr page_shift
+let addr_of_page page = page lsl page_shift
+let page_offset addr = addr land (page_size - 1)

@@ -1,0 +1,51 @@
+(** Address-space layout of the simulated process.
+
+    Mirrors the paper's pkalloc layout: a large region reserved at startup
+    for trusted memory [MT] (the paper reserves 46 bits of address space and
+    places the security-experiment secret at [0x1680_0000_0000], inside it),
+    with everything else being untrusted-accessible [MU]. *)
+
+val page_size : int
+(** 4096, as on x86-64. *)
+
+val page_shift : int
+(** log2 of {!page_size}. *)
+
+val trusted_base : int
+(** Base of the MT pool reservation. *)
+
+val trusted_size : int
+(** Size of the MT pool reservation (scaled down from the paper's 46 bits
+    to keep simulated page-table churn reasonable; the on-demand mapping
+    semantics are identical). *)
+
+val untrusted_base : int
+(** Base of the MU pool reservation. *)
+
+val untrusted_size : int
+(** Size of the MU pool reservation. *)
+
+val stack_base : int
+(** Base of the trusted stack region (the §6 stack-protection extension
+    marks T's stack as part of MT). *)
+
+val stack_size : int
+
+val secret_addr : int
+(** The fixed address used by the paper's security experiment
+    (0x1680_0000_0000), inside the trusted region. *)
+
+val in_trusted : int -> bool
+(** [in_trusted addr] is true iff [addr] falls in the MT reservation. *)
+
+val in_untrusted : int -> bool
+(** [in_untrusted addr] is true iff [addr] falls in the MU reservation. *)
+
+val page_of_addr : int -> int
+(** Page number containing an address. *)
+
+val addr_of_page : int -> int
+(** First address of a page. *)
+
+val page_offset : int -> int
+(** Offset of an address within its page. *)

@@ -1,0 +1,7 @@
+type t = {
+  data : Bytes.t;
+  mutable prot : Prot.t;
+  mutable pkey : Mpk.Pkey.t;
+}
+
+let create ~prot ~pkey = { data = Bytes.make Layout.page_size '\000'; prot; pkey }

@@ -1,0 +1,11 @@
+(** A single materialised page: backing bytes plus its page-table-entry
+    attributes (protection bits and MPK key). *)
+
+type t = {
+  data : Bytes.t;
+  mutable prot : Prot.t;
+  mutable pkey : Mpk.Pkey.t;
+}
+
+val create : prot:Prot.t -> pkey:Mpk.Pkey.t -> t
+(** Fresh zeroed page. *)

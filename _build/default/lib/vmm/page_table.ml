@@ -1,0 +1,112 @@
+type region = {
+  base : int;
+  size : int;
+  mutable prot : Prot.t;
+  mutable pkey : Mpk.Pkey.t;
+}
+
+type t = {
+  pages : (int, Page.t) Hashtbl.t; (* page number -> page *)
+  mutable regions : region list;
+  mutable demand_faults : int;
+}
+
+let create () = { pages = Hashtbl.create 4096; regions = []; demand_faults = 0 }
+
+let aligned addr = Layout.page_offset addr = 0
+
+let overlaps a b = a.base < b.base + b.size && b.base < a.base + a.size
+
+let region_of t addr =
+  List.find_opt (fun r -> addr >= r.base && addr < r.base + r.size) t.regions
+
+let reserve t ~base ~size ~prot ~pkey =
+  match Prot.validate prot with
+  | Error _ as e -> e
+  | Ok prot ->
+    if not (aligned base && aligned size) then
+      Error (Printf.sprintf "reserve: unaligned range 0x%x+0x%x" base size)
+    else if size <= 0 then Error "reserve: empty range"
+    else
+      let fresh = { base; size; prot; pkey } in
+      if List.exists (overlaps fresh) t.regions then
+        Error (Printf.sprintf "reserve: overlap at 0x%x" base)
+      else begin
+        t.regions <- fresh :: t.regions;
+        Ok ()
+      end
+
+let materialise t region page_number =
+  let page = Page.create ~prot:region.prot ~pkey:region.pkey in
+  Hashtbl.replace t.pages page_number page;
+  page
+
+let lookup t addr =
+  let page_number = Layout.page_of_addr addr in
+  match Hashtbl.find_opt t.pages page_number with
+  | Some _ as found -> found
+  | None ->
+    (match region_of t addr with
+    | None -> None
+    | Some region ->
+      t.demand_faults <- t.demand_faults + 1;
+      Some (materialise t region page_number))
+
+let map_now t ~base ~size ~prot ~pkey =
+  match reserve t ~base ~size ~prot ~pkey with
+  | Error _ as e -> e
+  | Ok () ->
+    let region =
+      match region_of t base with
+      | Some r -> r
+      | None -> assert false
+    in
+    let first = Layout.page_of_addr base in
+    let last = Layout.page_of_addr (base + size - 1) in
+    for page_number = first to last do
+      ignore (materialise t region page_number)
+    done;
+    Ok ()
+
+let is_reserved t addr = region_of t addr <> None
+
+let iter_range_pages t ~base ~size f =
+  let first = Layout.page_of_addr base in
+  let last = Layout.page_of_addr (base + size - 1) in
+  for page_number = first to last do
+    match Hashtbl.find_opt t.pages page_number with
+    | Some page -> f page
+    | None -> ()
+  done
+
+let covering_regions t ~base ~size =
+  List.filter (fun r -> r.base < base + size && base < r.base + r.size) t.regions
+
+let pkey_mprotect t ~base ~size pkey =
+  if not (aligned base && aligned size) then
+    Error (Printf.sprintf "pkey_mprotect: unaligned range 0x%x+0x%x" base size)
+  else
+    match covering_regions t ~base ~size with
+    | [] -> Error (Printf.sprintf "pkey_mprotect: no mapping at 0x%x" base)
+    | regions ->
+      List.iter (fun r -> r.pkey <- pkey) regions;
+      iter_range_pages t ~base ~size (fun page -> page.Page.pkey <- pkey);
+      Ok ()
+
+let mprotect t ~base ~size prot =
+  match Prot.validate prot with
+  | Error _ as e -> e
+  | Ok prot ->
+    if not (aligned base && aligned size) then
+      Error (Printf.sprintf "mprotect: unaligned range 0x%x+0x%x" base size)
+    else
+      (match covering_regions t ~base ~size with
+      | [] -> Error (Printf.sprintf "mprotect: no mapping at 0x%x" base)
+      | regions ->
+        List.iter (fun r -> r.prot <- prot) regions;
+        iter_range_pages t ~base ~size (fun page -> page.Page.prot <- prot);
+        Ok ())
+
+let resident_pages t = Hashtbl.length t.pages
+
+let demand_faults t = t.demand_faults

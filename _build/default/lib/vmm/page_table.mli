@@ -1,0 +1,44 @@
+(** The simulated process page table.
+
+    Supports the two mapping idioms pkalloc relies on:
+    {ul
+    {- [reserve]: one large up-front mmap with on-demand paging — pages are
+       only materialised (zeroed, counted) on first touch, so reserving a
+       huge MT region "has virtually no cost if those pages are never
+       used" (paper §4.4);}
+    {- [map_now]: eager mapping for small fixed regions such as the secret
+       page in the security experiment.}}
+
+    Pages carry MPK keys; [pkey_mprotect] retags a range, like the Linux
+    syscall of the same name. *)
+
+type t
+
+val create : unit -> t
+
+val reserve : t -> base:int -> size:int -> prot:Prot.t -> pkey:Mpk.Pkey.t -> (unit, string) result
+(** Registers an on-demand region.  Fails on overlap with an existing
+    reservation, on W^X-violating protections, or on unaligned arguments. *)
+
+val map_now : t -> base:int -> size:int -> prot:Prot.t -> pkey:Mpk.Pkey.t -> (unit, string) result
+(** [reserve] followed by materialising every page in the range. *)
+
+val lookup : t -> int -> Page.t option
+(** [lookup t addr] returns the page holding [addr], materialising it on
+    demand if [addr] falls in a reservation; [None] if unmapped. *)
+
+val is_reserved : t -> int -> bool
+(** True if [addr] lies inside any reservation (mapped or not yet). *)
+
+val pkey_mprotect : t -> base:int -> size:int -> Mpk.Pkey.t -> (unit, string) result
+(** Retags all pages of an existing reservation range with a new key, and
+    records the key so pages materialised later also get it. *)
+
+val mprotect : t -> base:int -> size:int -> Prot.t -> (unit, string) result
+(** Changes protection bits over a reserved range. *)
+
+val resident_pages : t -> int
+(** Number of materialised pages (the simulated RSS, in pages). *)
+
+val demand_faults : t -> int
+(** Number of pages materialised lazily, i.e. soft page faults taken. *)

@@ -1,0 +1,21 @@
+(** Page protection bits (the classic mmap PROT_* triple).
+
+    The threat model assumes a strict W^X policy, so {!validate} refuses
+    writable-and-executable combinations. *)
+
+type t = {
+  read : bool;
+  write : bool;
+  execute : bool;
+}
+
+val none : t
+val read_only : t
+val read_write : t
+val read_execute : t
+
+val validate : t -> (t, string) result
+(** Rejects W^X violations (write && execute). *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/workloads/ablation.ml: Allocators Bench_def Browser Dom_scripts List Mpk Option Pkru_safe Runner Runtime Sim Util Vmm

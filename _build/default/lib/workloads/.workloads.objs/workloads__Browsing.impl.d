@@ -1,0 +1,1 @@
+lib/workloads/browsing.ml: Browser Dom_scripts List Pkru_safe Runtime

@@ -1,0 +1,1 @@
+lib/workloads/browsing.mli: Pkru_safe Runtime

@@ -1,0 +1,1 @@
+lib/workloads/dom_scripts.mli:

@@ -1,0 +1,1 @@
+lib/workloads/dromaeo.ml: Bench_def Dom_scripts Kernels List

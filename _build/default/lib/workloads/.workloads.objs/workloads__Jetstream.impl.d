@@ -1,0 +1,1 @@
+lib/workloads/jetstream.ml: Bench_def Dom_scripts Kernels

@@ -1,0 +1,1 @@
+lib/workloads/kraken.ml: Bench_def Dom_scripts Kernels

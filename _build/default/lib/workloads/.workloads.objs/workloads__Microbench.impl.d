@@ -1,0 +1,1 @@
+lib/workloads/microbench.ml: List Pkru_safe Printf Runtime Sim

@@ -1,0 +1,1 @@
+lib/workloads/octane.ml: Bench_def Dom_scripts Kernels

@@ -1,0 +1,1 @@
+lib/workloads/runner.ml: Bench_def Browser List Pkru_safe Runtime Util

@@ -1,0 +1,1 @@
+lib/workloads/runner.mli: Bench_def Pkru_safe Runtime

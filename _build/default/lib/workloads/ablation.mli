@@ -1,0 +1,29 @@
+(** Ablation studies for the design choices DESIGN.md calls out.
+
+    {ul
+    {- {!fast_mu_allocator}: §5.3's experiment — swapping the MU allocator
+       for the fast one should remove most of the alloc-configuration
+       overhead;}
+    {- {!gate_cost_sweep}: how the dom-style overhead scales with the cost
+       of WRPKRU, showing the overhead is gate-bound;}
+    {- {!profile_coverage}: enforcement built from a randomly thinned
+       profile — missed dataflows crash, quantifying §6's discussion of
+       profiling-corpus completeness.}} *)
+
+val fast_mu_allocator : unit -> float * float
+(** [(alloc overhead %, with dlmalloc MU), (with jemalloc MU)] on an
+    allocation-heavy workload. *)
+
+val gate_cost_sweep : wrpkru_costs:int list -> (int * float) list
+(** [(wrpkru cycles, mpk overhead %)] on a binding-bound workload. *)
+
+val profile_coverage :
+  fractions:float list -> seed:int -> (float * bool) list
+(** [(fraction kept, survived)] — whether the enforcement build completed
+    the workload without an MPK crash. *)
+
+val single_step_vs_switch : unit -> int * int
+(** Profile sizes from the paper's single-step design vs the rejected
+    switch-compartments-on-fault alternative (§4.3.2): the alternative
+    misses every subsequent access in the same FFI span, so it records
+    fewer sites on a workload that touches several shared objects. *)

@@ -1,0 +1,16 @@
+(** Benchmark and suite descriptions shared by the four suites. *)
+
+type bench = {
+  name : string;
+  page : string;        (** HTML loaded before the script runs *)
+  script : string;      (** the timed workload *)
+  engine_seed : int;    (** Math.random seed, fixed for determinism *)
+}
+
+type suite = {
+  suite_name : string;
+  benches : bench list;
+}
+
+val bench : ?page:string -> ?seed:int -> string -> string -> bench
+(** [bench name script]. *)

@@ -1,0 +1,79 @@
+(* The Dromaeo suite, organised into the paper's Table-2 sub-suites.  The
+   dom and jslib groups are binding-bound (many transitions, little work
+   per transition); v8 / sunspider / dromaeo(core js) are engine-bound. *)
+
+open Bench_def
+
+let dom_page = Dom_scripts.page ~rows:24
+let std_page = Dom_scripts.page ~rows:10
+
+let dom =
+  {
+    suite_name = "dom";
+    benches =
+      [
+        bench ~page:dom_page "dom-attr" (Dom_scripts.dom_attr ~iters:260);
+        bench ~page:dom_page "dom-modify" (Dom_scripts.dom_create ~iters:220);
+        bench ~page:dom_page "dom-query" (Dom_scripts.dom_query ~iters:30);
+        bench ~page:dom_page "dom-html" (Dom_scripts.dom_html ~iters:70);
+        bench ~page:dom_page "dom-traverse" (Dom_scripts.dom_traverse ~iters:60);
+        bench ~page:dom_page "dom-style" (Dom_scripts.dom_style ~iters:30);
+        bench ~page:dom_page "dom-events" (Dom_scripts.dom_events ~iters:120);
+      ];
+  }
+
+let v8 =
+  {
+    suite_name = "v8";
+    benches =
+      [
+        bench ~page:std_page "v8-richards" (Kernels.richards ~iterations:260);
+        bench ~page:std_page "v8-deltablue" (Kernels.deltablue ~chain:24 ~iters:220);
+        bench ~page:std_page "v8-crypto" (Kernels.crypto_aes ~blocks:40 ~rounds:8);
+        bench ~page:std_page "v8-raytrace" (Kernels.raytrace ~w:26 ~h:18);
+        bench ~page:std_page "v8-splay" (Kernels.splay ~nodes:320 ~lookups:420);
+      ];
+  }
+
+let dromaeo_js =
+  {
+    suite_name = "dromaeo";
+    benches =
+      [
+        bench ~page:std_page "dromaeo-array" (Kernels.byte_codec ~name:"array" ~bytes:700 ~rounds:10);
+        bench ~page:std_page "dromaeo-string" (Kernels.string_kernel ~iters:130);
+        bench ~page:std_page "dromaeo-object" (Kernels.earley_boyer ~depth:7 ~iters:14);
+        bench ~page:std_page "dromaeo-regexp" (Kernels.regexp_scan ~copies:46);
+      ];
+  }
+
+let sunspider =
+  {
+    suite_name = "sunspider";
+    benches =
+      [
+        bench ~page:std_page "sunspider-fft" (Kernels.fft ~n:256);
+        bench ~page:std_page "sunspider-bitops" (Kernels.crypto_sha ~iters:2600);
+        bench ~page:std_page "sunspider-3d" (Kernels.float_mix ~n:160 ~iters:40);
+        bench ~page:std_page "sunspider-controlflow" (Kernels.astar ~w:26 ~h:26);
+        bench ~page:std_page "sunspider-string" (Kernels.tokenizer ~copies:30);
+      ];
+  }
+
+let jslib =
+  {
+    suite_name = "jslib";
+    benches =
+      [
+        bench ~page:dom_page "jslib-toggle" (Dom_scripts.jslib_toggle ~iters:300);
+        bench ~page:dom_page "jslib-build" (Dom_scripts.jslib_build ~iters:60);
+        bench ~page:dom_page "jslib-query" (Dom_scripts.dom_query ~iters:24);
+        bench ~page:dom_page "jslib-attr" (Dom_scripts.dom_attr ~iters:230);
+        bench ~page:dom_page "jslib-select" (Dom_scripts.jslib_select ~iters:12);
+      ];
+  }
+
+let sub_suites = [ dom; v8; dromaeo_js; sunspider; jslib ]
+
+let all : suite =
+  { suite_name = "Dromaeo"; benches = List.concat_map (fun s -> s.benches) sub_suites }

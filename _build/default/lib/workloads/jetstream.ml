@@ -1,0 +1,56 @@
+(* The JetStream2 suite (Figure 7 / Table 3).  JetStream2 aggregates tests
+   derived from SunSpider, Octane and Kraken plus web-tooling workloads;
+   we instantiate the same kernels under the JetStream names.  Its overall
+   score is the geometric mean of per-benchmark scores (higher is better),
+   which the runner computes from inverse runtimes.  The paper's WASM
+   group is omitted, as it is in the paper's own runs (their Servo
+   revision could not complete it). *)
+
+open Bench_def
+
+let dom_page = Dom_scripts.page ~rows:16
+let std_page = Dom_scripts.page ~rows:10
+
+let all : suite =
+  {
+    suite_name = "JetStream2";
+    benches =
+      [
+        bench ~page:std_page "3d-cube-SP" (Kernels.float_mix ~n:200 ~iters:30);
+        bench ~page:std_page "3d-raytrace-SP" (Kernels.raytrace ~w:24 ~h:18);
+        bench ~page:std_page "ai-astar" (Kernels.astar ~w:28 ~h:28);
+        bench ~page:std_page "Air" (Kernels.float_mix ~n:150 ~iters:36);
+        bench ~page:std_page "base64-SP" (Kernels.string_kernel ~iters:110);
+        bench ~page:std_page "Basic" (Kernels.byte_codec ~name:"basic" ~bytes:900 ~rounds:9);
+        bench ~page:std_page "Box2D" (Kernels.float_mix ~n:180 ~iters:36);
+        bench ~page:std_page "codeload-wtb" (Kernels.codeload ~funcs:190);
+        bench ~page:std_page "crypto" (Kernels.crypto_aes ~blocks:48 ~rounds:9);
+        bench ~page:std_page "crypto-aes-SP" (Kernels.crypto_aes ~blocks:42 ~rounds:10);
+        bench ~page:std_page "crypto-md5-SP" (Kernels.crypto_pbkdf2 ~iters:2600);
+        bench ~page:std_page "crypto-sha1-SP" (Kernels.crypto_sha ~iters:2600);
+        bench ~page:std_page "delta-blue" (Kernels.deltablue ~chain:26 ~iters:210);
+        bench ~page:std_page "earley-boyer" (Kernels.earley_boyer ~depth:8 ~iters:10);
+        bench ~page:std_page "float-mm.c" (Kernels.float_mix ~n:240 ~iters:30);
+        bench ~page:std_page "gaussian-blur" (Kernels.gaussian_blur ~w:40 ~h:32 ~passes:3);
+        bench ~page:std_page "gbemu" (Kernels.byte_codec ~name:"gbemu" ~bytes:1200 ~rounds:10);
+        bench ~page:std_page "hash-map" (Kernels.splay ~nodes:340 ~lookups:460);
+        bench ~page:std_page "json-parse-inspector" (Kernels.json_parse_kernel ~rows:110);
+        bench ~page:std_page "json-stringify-inspector" (Kernels.json_stringify_kernel ~rows:100);
+        bench ~page:std_page "mandreel" (Kernels.float_mix ~n:230 ~iters:30);
+        bench ~page:std_page "navier-stokes" (Kernels.navier_stokes ~n:24 ~steps:13);
+        bench ~page:std_page "octane-code-load" (Kernels.codeload ~funcs:210);
+        bench ~page:std_page "octane-zlib" (Kernels.byte_codec ~name:"zlib" ~bytes:1900 ~rounds:8);
+        bench ~page:std_page "pdfjs" (Kernels.byte_codec ~name:"pdfjs" ~bytes:1500 ~rounds:8);
+        bench ~page:std_page "regexp" (Kernels.regexp_scan ~copies:50);
+        bench ~page:std_page "richards" (Kernels.richards ~iterations:280);
+        bench ~page:std_page "splay" (Kernels.splay ~nodes:340 ~lookups:480);
+        bench ~page:std_page "stanford-crypto-pbkdf2" (Kernels.crypto_pbkdf2 ~iters:3000);
+        bench ~page:std_page "stanford-crypto-sha256" (Kernels.crypto_sha ~iters:2800);
+        bench ~page:std_page "string-unpack-code-SP" (Kernels.string_kernel ~iters:120);
+        bench ~page:std_page "tagcloud-SP" (Kernels.json_parse_kernel ~rows:90);
+        bench ~page:std_page "typescript" (Kernels.tokenizer ~copies:36);
+        bench ~page:std_page "uglify-js-wtb" (Kernels.tokenizer ~copies:44);
+        bench ~page:dom_page "UniPoker" (Dom_scripts.dom_query ~iters:10);
+        bench ~page:dom_page "WSL" (Dom_scripts.dom_traverse ~iters:16);
+      ];
+  }

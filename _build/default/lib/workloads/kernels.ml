@@ -1,0 +1,579 @@
+(* Script generators.  Sizes are spliced in as decimal literals; the
+   checksum print at the end doubles as a cross-configuration correctness
+   oracle. *)
+
+let d = string_of_int
+
+let fft ~n =
+  {|
+function fft(re, im, n) {
+  var j = 0;
+  for (var i = 0; i < n - 1; i = i + 1) {
+    if (i < j) {
+      var tr = re[i]; re[i] = re[j]; re[j] = tr;
+      var ti = im[i]; im[i] = im[j]; im[j] = ti;
+    }
+    var m = n / 2;
+    while (m >= 1 && j >= m) { j = j - m; m = m / 2; }
+    j = j + m;
+  }
+  var len = 2;
+  while (len <= n) {
+    var ang = -6.283185307179586 / len;
+    for (var s = 0; s < n; s = s + len) {
+      for (var k = 0; k < len / 2; k = k + 1) {
+        var wr = Math.cos(ang * k);
+        var wi = Math.sin(ang * k);
+        var a = s + k;
+        var b = s + k + len / 2;
+        var xr = re[b] * wr - im[b] * wi;
+        var xi = re[b] * wi + im[b] * wr;
+        re[b] = re[a] - xr; im[b] = im[a] - xi;
+        re[a] = re[a] + xr; im[a] = im[a] + xi;
+      }
+    }
+    len = len * 2;
+  }
+}
+var n = |} ^ d n ^ {|;
+var re = new Array(n);
+var im = new Array(n);
+for (var i = 0; i < n; i = i + 1) { re[i] = Math.sin(i * 0.7) + Math.cos(i * 0.3); im[i] = 0; }
+fft(re, im, n);
+var sum = 0;
+for (var i = 0; i < n; i = i + 1) { sum = sum + re[i] * re[i] + im[i] * im[i]; }
+print("fft:" + Math.floor(sum));
+|}
+
+let dft ~n =
+  {|
+var n = |} ^ d n ^ {|;
+var x = new Array(n);
+for (var i = 0; i < n; i = i + 1) { x[i] = Math.sin(i * 0.5); }
+var power = 0;
+for (var k = 0; k < n; k = k + 1) {
+  var re = 0; var im = 0;
+  for (var i = 0; i < n; i = i + 1) {
+    var ang = -6.283185307179586 * k * i / n;
+    re = re + x[i] * Math.cos(ang);
+    im = im + x[i] * Math.sin(ang);
+  }
+  power = power + re * re + im * im;
+}
+print("dft:" + Math.floor(power));
+|}
+
+let oscillator ~n ~steps =
+  {|
+var n = |} ^ d n ^ {|;
+var steps = |} ^ d steps ^ {|;
+var buf = new Array(n);
+for (var i = 0; i < n; i = i + 1) { buf[i] = 0; }
+var phase = 0;
+for (var s = 0; s < steps; s = s + 1) {
+  var freq = 0.01 + 0.001 * s;
+  for (var i = 0; i < n; i = i + 1) {
+    buf[i] = buf[i] * 0.5 + Math.sin(phase + i * freq) * 0.5;
+  }
+  phase = phase + 0.1;
+}
+var sum = 0;
+for (var i = 0; i < n; i = i + 1) { sum = sum + buf[i] * buf[i]; }
+print("oscillator:" + Math.floor(sum * 1000));
+|}
+
+let beat_detection ~n =
+  {|
+var n = |} ^ d n ^ {|;
+var signal = new Array(n);
+for (var i = 0; i < n; i = i + 1) {
+  signal[i] = Math.sin(i * 0.25) + (i % 50 == 0 ? 2 : 0);
+}
+var best = 0;
+var bestLag = 0;
+for (var lag = 20; lag < 80; lag = lag + 1) {
+  var corr = 0;
+  for (var i = 0; i + lag < n; i = i + 1) { corr = corr + signal[i] * signal[i + lag]; }
+  if (corr > best) { best = corr; bestLag = lag; }
+}
+print("beat:" + bestLag + ":" + Math.floor(best));
+|}
+
+let gaussian_blur ~w ~h ~passes =
+  {|
+var w = |} ^ d w ^ {|;
+var h = |} ^ d h ^ {|;
+var passes = |} ^ d passes ^ {|;
+var img = new Array(w * h);
+for (var i = 0; i < w * h; i = i + 1) { img[i] = (i * 7919) % 256; }
+var out = new Array(w * h);
+for (var p = 0; p < passes; p = p + 1) {
+  for (var y = 1; y < h - 1; y = y + 1) {
+    for (var x = 1; x < w - 1; x = x + 1) {
+      var acc =
+        img[(y - 1) * w + x - 1] + 2 * img[(y - 1) * w + x] + img[(y - 1) * w + x + 1] +
+        2 * img[y * w + x - 1] + 4 * img[y * w + x] + 2 * img[y * w + x + 1] +
+        img[(y + 1) * w + x - 1] + 2 * img[(y + 1) * w + x] + img[(y + 1) * w + x + 1];
+      out[y * w + x] = acc / 16;
+    }
+  }
+  var tmp = img; img = out; out = tmp;
+}
+var sum = 0;
+for (var i = 0; i < w * h; i = i + 1) { sum = sum + img[i]; }
+print("blur:" + Math.floor(sum));
+|}
+
+let darkroom ~pixels =
+  {|
+var n = |} ^ d pixels ^ {|;
+var img = new Array(n);
+for (var i = 0; i < n; i = i + 1) { img[i] = (i * 2654435761) & 255; }
+var sum = 0;
+for (var i = 0; i < n; i = i + 1) {
+  var v = img[i] / 255;
+  v = v * 1.2 - 0.1;               // exposure + brightness
+  if (v < 0) { v = 0; }
+  if (v > 1) { v = 1; }
+  v = Math.sqrt(v);                // gamma-ish
+  img[i] = Math.floor(v * 255);
+  sum = sum + img[i];
+}
+print("darkroom:" + sum);
+|}
+
+let desaturate ~pixels =
+  {|
+var n = |} ^ d pixels ^ {|;
+var rgb = new Array(n * 3);
+for (var i = 0; i < n * 3; i = i + 1) { rgb[i] = (i * 31) & 255; }
+var sum = 0;
+for (var i = 0; i < n; i = i + 1) {
+  var gray = 0.299 * rgb[i * 3] + 0.587 * rgb[i * 3 + 1] + 0.114 * rgb[i * 3 + 2];
+  rgb[i * 3] = gray; rgb[i * 3 + 1] = gray; rgb[i * 3 + 2] = gray;
+  sum = sum + gray;
+}
+print("desaturate:" + Math.floor(sum));
+|}
+
+let json_parse_kernel ~rows =
+  {|
+var rows = |} ^ d rows ^ {|;
+var txt = "[";
+for (var i = 0; i < rows; i = i + 1) {
+  txt = txt + '{"id":' + i + ',"price":' + ((i * 37) % 995) + ',"qty":' + (i % 13) + '}';
+  if (i < rows - 1) { txt = txt + ","; }
+}
+txt = txt + "]";
+var data = JSON.parse(txt);
+var total = 0;
+for (var i = 0; i < data.length; i = i + 1) {
+  total = total + data[i].price * data[i].qty;
+}
+print("jsonparse:" + total);
+|}
+
+let json_stringify_kernel ~rows =
+  {|
+var rows = |} ^ d rows ^ {|;
+var recs = [];
+for (var i = 0; i < rows; i = i + 1) {
+  recs.push({ name: "row" + i, flags: [i % 2 == 0, i % 3 == 0], score: i * 1.5 });
+}
+var txt = JSON.stringify(recs);
+var check = 0;
+for (var i = 0; i < txt.length; i = i + 7) { check = (check + txt.charCodeAt(i)) & 65535; }
+print("jsonstringify:" + txt.length + ":" + check);
+|}
+
+(* Substitution-permutation rounds with an S-box, standing in for AES. *)
+let crypto_aes ~blocks ~rounds =
+  {|
+var blocks = |} ^ d blocks ^ {|;
+var rounds = |} ^ d rounds ^ {|;
+var sbox = new Array(256);
+for (var i = 0; i < 256; i = i + 1) { sbox[i] = (i * 167 + 41) & 255; }
+var state = new Array(16);
+var check = 0;
+for (var b = 0; b < blocks; b = b + 1) {
+  for (var i = 0; i < 16; i = i + 1) { state[i] = (b * 16 + i * 7) & 255; }
+  for (var r = 0; r < rounds; r = r + 1) {
+    for (var i = 0; i < 16; i = i + 1) { state[i] = sbox[state[i]] ^ (r + i); }
+    var t = state[0];
+    for (var i = 0; i < 15; i = i + 1) { state[i] = state[i + 1] ^ (state[i] << 1 & 255); }
+    state[15] = t;
+  }
+  for (var i = 0; i < 16; i = i + 1) { check = (check + state[i]) & 65535; }
+}
+print("aes:" + check);
+|}
+
+let crypto_ccm ~blocks =
+  {|
+var blocks = |} ^ d blocks ^ {|;
+var mac = 1;
+var sbox = new Array(256);
+for (var i = 0; i < 256; i = i + 1) { sbox[i] = (i * 131 + 7) & 255; }
+for (var b = 0; b < blocks; b = b + 1) {
+  var block = new Array(16);
+  for (var i = 0; i < 16; i = i + 1) { block[i] = (b + i * 11) & 255; }
+  for (var r = 0; r < 6; r = r + 1) {
+    for (var i = 0; i < 16; i = i + 1) {
+      block[i] = sbox[block[i] ^ (mac & 255)];
+      mac = (mac * 33 + block[i]) & 16777215;
+    }
+  }
+}
+print("ccm:" + mac);
+|}
+
+let crypto_pbkdf2 ~iters =
+  {|
+var iters = |} ^ d iters ^ {|;
+var state = [1732584193, -271733879, -1732584194, 271733878];
+for (var i = 0; i < iters; i = i + 1) {
+  var a = state[0]; var b = state[1]; var c = state[2]; var d = state[3];
+  a = (a + ((b & c) | (~b & d)) + i) | 0;
+  a = ((a << 7) | (a >> 25)) ^ b;
+  d = (d + ((a & b) | (~a & c)) + 1518500249) | 0;
+  d = ((d << 12) | (d >> 20)) ^ a;
+  state[0] = d; state[1] = a; state[2] = b; state[3] = c;
+}
+print("pbkdf2:" + ((state[0] ^ state[1] ^ state[2] ^ state[3]) & 65535));
+|}
+
+let crypto_sha ~iters =
+  {|
+var iters = |} ^ d iters ^ {|;
+var h0 = 1779033703; var h1 = -1150833019; var h2 = 1013904242; var h3 = -1521486534;
+for (var i = 0; i < iters; i = i + 1) {
+  var ch = (h0 & h1) ^ (~h0 & h2);
+  var maj = (h0 & h1) ^ (h0 & h2) ^ (h1 & h2);
+  var s0 = ((h0 >> 2) | (h0 << 30)) ^ ((h0 >> 13) | (h0 << 19));
+  var s1 = ((h1 >> 6) | (h1 << 26)) ^ ((h1 >> 11) | (h1 << 21));
+  var t = (ch + s1 + i) | 0;
+  h3 = h2; h2 = h1; h1 = h0;
+  h0 = (t + maj + s0) | 0;
+}
+print("sha:" + ((h0 ^ h1 ^ h2 ^ h3) & 65535));
+|}
+
+(* Dijkstra-flavoured grid search with obstacle walls. *)
+let astar ~w ~h =
+  {|
+var w = |} ^ d w ^ {|;
+var h = |} ^ d h ^ {|;
+var cost = new Array(w * h);
+var dist = new Array(w * h);
+for (var i = 0; i < w * h; i = i + 1) {
+  cost[i] = 1 + ((i * 2654435761) & 7);
+  dist[i] = 1000000;
+}
+dist[0] = 0;
+var frontier = [0];
+while (frontier.length > 0) {
+  var best = 0;
+  for (var i = 1; i < frontier.length; i = i + 1) {
+    if (dist[frontier[i]] < dist[frontier[best]]) { best = i; }
+  }
+  var cell = frontier[best];
+  frontier[best] = frontier[frontier.length - 1];
+  frontier.pop();
+  var x = cell % w;
+  var y = (cell - x) / w;
+  var neighbors = [];
+  if (x > 0) { neighbors.push(cell - 1); }
+  if (x < w - 1) { neighbors.push(cell + 1); }
+  if (y > 0) { neighbors.push(cell - w); }
+  if (y < h - 1) { neighbors.push(cell + w); }
+  for (var i = 0; i < neighbors.length; i = i + 1) {
+    var nb = neighbors[i];
+    var nd = dist[cell] + cost[nb];
+    if (nd < dist[nb]) {
+      dist[nb] = nd;
+      frontier.push(nb);
+    }
+  }
+}
+print("astar:" + dist[w * h - 1]);
+|}
+
+let richards ~iterations =
+  {|
+var iters = |} ^ d iterations ^ {|;
+var queue = [];
+var head = 0;
+var done_ = 0;
+var checksum = 0;
+function enqueue(kind, work) { queue.push({ kind: kind, work: work }); }
+enqueue(0, 3); enqueue(1, 2); enqueue(2, 5);
+while (done_ < iters) {
+  if (head >= queue.length) {
+    head = 0;
+    queue = [];
+    enqueue(done_ % 3, (done_ % 5) + 1);
+  }
+  var task = queue[head];
+  head = head + 1;
+  task.work = task.work - 1;
+  checksum = (checksum + task.kind * 17 + task.work) & 65535;
+  if (task.work > 0) { queue.push(task); }
+  else {
+    done_ = done_ + 1;
+    if (task.kind == 0) { enqueue(1, 2); }
+    if (task.kind == 1) { enqueue(2, 1); }
+  }
+}
+print("richards:" + checksum);
+|}
+
+(* A chain of one-way constraints repeatedly perturbed and re-satisfied. *)
+let deltablue ~chain ~iters =
+  {|
+var n = |} ^ d chain ^ {|;
+var iters = |} ^ d iters ^ {|;
+var vars = [];
+for (var i = 0; i < n; i = i + 1) { vars.push({ value: 0, stay: i % 4 == 0 }); }
+var check = 0;
+for (var it = 0; it < iters; it = it + 1) {
+  vars[0].value = it;
+  for (var i = 1; i < n; i = i + 1) {
+    if (!vars[i].stay) { vars[i].value = vars[i - 1].value + 1; }
+  }
+  check = (check + vars[n - 1].value) & 65535;
+}
+print("deltablue:" + check);
+|}
+
+let splay ~nodes ~lookups =
+  {|
+var nodes = |} ^ d nodes ^ {|;
+var lookups = |} ^ d lookups ^ {|;
+var root = null;
+var seed = 42;
+function nextKey() { seed = (seed * 1103515245 + 12345) & 1073741823; return seed % 10000; }
+function insert(key) {
+  if (root == null) { root = { key: key, left: null, right: null }; return; }
+  var node = root;
+  while (true) {
+    if (key < node.key) {
+      if (node.left == null) { node.left = { key: key, left: null, right: null }; return; }
+      node = node.left;
+    } else {
+      if (node.right == null) { node.right = { key: key, left: null, right: null }; return; }
+      node = node.right;
+    }
+  }
+}
+function find(key) {
+  var node = root;
+  var depth = 0;
+  while (node != null) {
+    depth = depth + 1;
+    if (node.key == key) { return depth; }
+    if (key < node.key) { node = node.left; } else { node = node.right; }
+  }
+  return -depth;
+}
+for (var i = 0; i < nodes; i = i + 1) { insert(nextKey()); }
+var check = 0;
+for (var i = 0; i < lookups; i = i + 1) { check = (check + find(nextKey())) & 65535; }
+print("splay:" + check);
+|}
+
+let raytrace ~w ~h =
+  {|
+var w = |} ^ d w ^ {|;
+var h = |} ^ d h ^ {|;
+var spheres = [
+  { x: 0, y: 0, z: 5, r: 2, shade: 200 },
+  { x: 2, y: 1, z: 8, r: 1.5, shade: 120 },
+  { x: -2, y: -1, z: 6, r: 1, shade: 80 }
+];
+var img = 0;
+for (var py = 0; py < h; py = py + 1) {
+  for (var px = 0; px < w; px = px + 1) {
+    var dx = (px - w / 2) / w;
+    var dy = (py - h / 2) / h;
+    var dz = 1;
+    var norm = Math.sqrt(dx * dx + dy * dy + dz * dz);
+    dx = dx / norm; dy = dy / norm; dz = dz / norm;
+    var bestT = 1000000;
+    var shade = 10;
+    for (var s = 0; s < spheres.length; s = s + 1) {
+      var sp = spheres[s];
+      var ox = -sp.x; var oy = -sp.y; var oz = -sp.z;
+      var b = ox * dx + oy * dy + oz * dz;
+      var c = ox * ox + oy * oy + oz * oz - sp.r * sp.r;
+      var disc = b * b - c;
+      if (disc > 0) {
+        var t = -b - Math.sqrt(disc);
+        if (t > 0 && t < bestT) { bestT = t; shade = sp.shade / (1 + t * 0.2); }
+      }
+    }
+    img = (img + Math.floor(shade)) & 16777215;
+  }
+}
+print("raytrace:" + img);
+|}
+
+let navier_stokes ~n ~steps =
+  {|
+var n = |} ^ d n ^ {|;
+var steps = |} ^ d steps ^ {|;
+var u = new Array(n * n);
+var v = new Array(n * n);
+for (var i = 0; i < n * n; i = i + 1) { u[i] = Math.sin(i * 0.3); v[i] = 0; }
+for (var s = 0; s < steps; s = s + 1) {
+  for (var y = 1; y < n - 1; y = y + 1) {
+    for (var x = 1; x < n - 1; x = x + 1) {
+      var i = y * n + x;
+      v[i] = (u[i - 1] + u[i + 1] + u[i - n] + u[i + n]) * 0.25;
+    }
+  }
+  var tmp = u; u = v; v = tmp;
+}
+var sum = 0;
+for (var i = 0; i < n * n; i = i + 1) { sum = sum + u[i] * u[i]; }
+print("navier:" + Math.floor(sum * 1000));
+|}
+
+let byte_codec ~name ~bytes ~rounds =
+  {|
+var n = |} ^ d bytes ^ {|;
+var rounds = |} ^ d rounds ^ {|;
+var buf = new Array(n);
+for (var i = 0; i < n; i = i + 1) { buf[i] = (i * 73) & 255; }
+var check = 0;
+for (var r = 0; r < rounds; r = r + 1) {
+  var carry = r;
+  for (var i = 0; i < n; i = i + 1) {
+    var b = buf[i];
+    b = (b + carry) & 255;
+    b = ((b << 3) | (b >> 5)) & 255;
+    b = b ^ ((i * 13) & 255);
+    carry = (carry + b) & 255;
+    buf[i] = b;
+  }
+  check = (check + carry) & 65535;
+}
+print("|} ^ name ^ {|:" + check);
+|}
+
+let codeload ~funcs =
+  let buf = Buffer.create (funcs * 64) in
+  for i = 0 to funcs - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "function cl%d(x) { var t = x + %d; return t * 2 - (t %% 7); }\n" i i)
+  done;
+  Buffer.add_string buf "var total = 0;\n";
+  for i = 0 to funcs - 1 do
+    Buffer.add_string buf (Printf.sprintf "total = (total + cl%d(%d)) & 1048575;\n" i (i * 3))
+  done;
+  Buffer.add_string buf "print(\"codeload:\" + total);\n";
+  Buffer.contents buf
+
+let regexp_scan ~copies =
+  {|
+var copies = |} ^ d copies ^ {|;
+var chunk = "GATTACA-the-quick-brown-fox-TAGGED-jumps-over-TAG-lazy-dog-";
+var text = "";
+for (var i = 0; i < copies; i = i + 1) { text = text + chunk; }
+// count occurrences of "TAG" by direct scanning
+var hits = 0;
+for (var i = 0; i + 3 <= text.length; i = i + 1) {
+  if (text.charCodeAt(i) == 84 && text.charCodeAt(i + 1) == 65 && text.charCodeAt(i + 2) == 71) {
+    hits = hits + 1;
+  }
+}
+print("regexp:" + hits);
+|}
+
+let string_kernel ~iters =
+  {|
+var iters = |} ^ d iters ^ {|;
+var alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+var check = 0;
+for (var i = 0; i < iters; i = i + 1) {
+  var word = "payload" + i;
+  var enc = "";
+  for (var j = 0; j < word.length; j = j + 1) {
+    enc = enc + alphabet.charAt(word.charCodeAt(j) % 64);
+  }
+  var back = enc.toUpperCase().toLowerCase();
+  check = (check + back.charCodeAt(i % back.length)) & 65535;
+}
+print("strings:" + check);
+|}
+
+let float_mix ~n ~iters =
+  {|
+var n = |} ^ d n ^ {|;
+var iters = |} ^ d iters ^ {|;
+var xs = new Array(n);
+var vs = new Array(n);
+for (var i = 0; i < n; i = i + 1) { xs[i] = i * 0.5; vs[i] = Math.cos(i); }
+for (var it = 0; it < iters; it = it + 1) {
+  for (var i = 0; i < n; i = i + 1) {
+    vs[i] = vs[i] * 0.99 + Math.sin(xs[i]) * 0.01;
+    xs[i] = xs[i] + vs[i] * 0.016;
+  }
+}
+var sum = 0;
+for (var i = 0; i < n; i = i + 1) { sum = sum + xs[i]; }
+print("floatmix:" + Math.floor(sum));
+|}
+
+let earley_boyer ~depth ~iters =
+  {|
+var depth = |} ^ d depth ^ {|;
+var iters = |} ^ d iters ^ {|;
+function build(d) {
+  if (d == 0) { return { leaf: true, v: 1 }; }
+  return { leaf: false, l: build(d - 1), r: build(d - 1) };
+}
+function count(t) {
+  if (t.leaf) { return t.v; }
+  return count(t.l) + count(t.r);
+}
+var total = 0;
+for (var i = 0; i < iters; i = i + 1) {
+  total = total + count(build(depth));
+}
+print("boyer:" + total);
+|}
+
+let tokenizer ~copies =
+  {|
+var copies = |} ^ d copies ^ {|;
+var chunk = "function add(a, b) { return a + b; } var x = add(1, 22.5); // end\n";
+var src = "";
+for (var i = 0; i < copies; i = i + 1) { src = src + chunk; }
+var idents = 0;
+var numbers = 0;
+var puncts = 0;
+var i = 0;
+while (i < src.length) {
+  var c = src.charCodeAt(i);
+  if ((c >= 97 && c <= 122) || (c >= 65 && c <= 90)) {
+    idents = idents + 1;
+    while (i < src.length) {
+      var cc = src.charCodeAt(i);
+      if ((cc >= 97 && cc <= 122) || (cc >= 65 && cc <= 90) || (cc >= 48 && cc <= 57)) { i = i + 1; }
+      else { break; }
+    }
+  } else {
+    if (c >= 48 && c <= 57) {
+      numbers = numbers + 1;
+      while (i < src.length) {
+        var cd = src.charCodeAt(i);
+        if ((cd >= 48 && cd <= 57) || cd == 46) { i = i + 1; } else { break; }
+      }
+    } else {
+      if (c > 32) { puncts = puncts + 1; }
+      i = i + 1;
+    }
+  }
+}
+print("tokenizer:" + idents + ":" + numbers + ":" + puncts);
+|}

@@ -1,0 +1,40 @@
+(** MiniJS benchmark kernels.
+
+    Each generator returns a self-contained script, parameterised so the
+    four suites can instantiate it at their own scale.  The kernels are
+    modelled on the corresponding members of SunSpider / Kraken / Octane /
+    JetStream2: FFT and DFT audio processing, image convolution, JSON
+    encode/decode, block-cipher and hash rounds, grid pathfinding, the
+    Richards scheduler, DeltaBlue-style constraint propagation, splay-tree
+    churn, raytracing, Navier-Stokes relaxation, byte-stream codecs,
+    parser-dominated code loading, string scanning and tokenisation.
+
+    Every kernel finishes with [print("<name>:<checksum>")] so the runner
+    can verify that all build configurations compute identical results. *)
+
+val fft : n:int -> string
+val dft : n:int -> string
+val oscillator : n:int -> steps:int -> string
+val beat_detection : n:int -> string
+val gaussian_blur : w:int -> h:int -> passes:int -> string
+val darkroom : pixels:int -> string
+val desaturate : pixels:int -> string
+val json_parse_kernel : rows:int -> string
+val json_stringify_kernel : rows:int -> string
+val crypto_aes : blocks:int -> rounds:int -> string
+val crypto_ccm : blocks:int -> string
+val crypto_pbkdf2 : iters:int -> string
+val crypto_sha : iters:int -> string
+val astar : w:int -> h:int -> string
+val richards : iterations:int -> string
+val deltablue : chain:int -> iters:int -> string
+val splay : nodes:int -> lookups:int -> string
+val raytrace : w:int -> h:int -> string
+val navier_stokes : n:int -> steps:int -> string
+val byte_codec : name:string -> bytes:int -> rounds:int -> string
+val codeload : funcs:int -> string
+val regexp_scan : copies:int -> string
+val string_kernel : iters:int -> string
+val float_mix : n:int -> iters:int -> string
+val earley_boyer : depth:int -> iters:int -> string
+val tokenizer : copies:int -> string

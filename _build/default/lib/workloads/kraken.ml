@@ -1,0 +1,29 @@
+(* The Kraken suite: audio DSP, imaging, JSON and Stanford crypto kernels —
+   engine-bound workloads whose paper overheads are on par with baseline
+   (Figure 5). *)
+
+open Bench_def
+
+let std_page = Dom_scripts.page ~rows:10
+
+let all : suite =
+  {
+    suite_name = "Kraken";
+    benches =
+      [
+        bench ~page:std_page "audio-fft" (Kernels.fft ~n:512);
+        bench ~page:std_page "audio-beat-detection" (Kernels.beat_detection ~n:2200);
+        bench ~page:std_page "audio-dft" (Kernels.dft ~n:110);
+        bench ~page:std_page "audio-oscillator" (Kernels.oscillator ~n:420 ~steps:16);
+        bench ~page:std_page "imaging-gaussian-blur" (Kernels.gaussian_blur ~w:46 ~h:36 ~passes:3);
+        bench ~page:std_page "imaging-darkroom" (Kernels.darkroom ~pixels:5200);
+        bench ~page:std_page "imaging-desaturate" (Kernels.desaturate ~pixels:2400);
+        bench ~page:std_page "json-parse-financial" (Kernels.json_parse_kernel ~rows:130);
+        bench ~page:std_page "json-stringify-tinderbox" (Kernels.json_stringify_kernel ~rows:120);
+        bench ~page:std_page "stanford-crypto-aes" (Kernels.crypto_aes ~blocks:56 ~rounds:10);
+        bench ~page:std_page "stanford-crypto-ccm" (Kernels.crypto_ccm ~blocks:64);
+        bench ~page:std_page "stanford-crypto-pbkdf2" (Kernels.crypto_pbkdf2 ~iters:3400);
+        bench ~page:std_page "stanford-crypto-sha256-iterative" (Kernels.crypto_sha ~iters:3200);
+        bench ~page:std_page "ai-astar" (Kernels.astar ~w:30 ~h:30);
+      ];
+  }

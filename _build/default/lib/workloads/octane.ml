@@ -1,0 +1,31 @@
+(* The Octane suite (Figure 6): mostly engine-bound kernels; overall mpk
+   overhead in the paper is under 4%. *)
+
+open Bench_def
+
+let std_page = Dom_scripts.page ~rows:10
+
+let all : suite =
+  {
+    suite_name = "Octane";
+    benches =
+      [
+        bench ~page:std_page "Richards" (Kernels.richards ~iterations:300);
+        bench ~page:std_page "DeltaBlue" (Kernels.deltablue ~chain:30 ~iters:240);
+        bench ~page:std_page "Crypto" (Kernels.crypto_aes ~blocks:60 ~rounds:9);
+        bench ~page:std_page "RayTrace" (Kernels.raytrace ~w:30 ~h:22);
+        bench ~page:std_page "EarleyBoyer" (Kernels.earley_boyer ~depth:8 ~iters:12);
+        bench ~page:std_page "RegExp" (Kernels.regexp_scan ~copies:56);
+        bench ~page:std_page "Splay" (Kernels.splay ~nodes:380 ~lookups:520);
+        bench ~page:std_page "SplayLatency" (Kernels.splay ~nodes:180 ~lookups:900);
+        bench ~page:std_page "NavierStokes" (Kernels.navier_stokes ~n:26 ~steps:14);
+        bench ~page:std_page "PdfJS" (Kernels.byte_codec ~name:"pdfjs" ~bytes:1700 ~rounds:8);
+        bench ~page:std_page "Mandreel" (Kernels.float_mix ~n:260 ~iters:34);
+        bench ~page:std_page "MandreelLatency" (Kernels.float_mix ~n:110 ~iters:26);
+        bench ~page:std_page "Gameboy" (Kernels.byte_codec ~name:"gameboy" ~bytes:1300 ~rounds:11);
+        bench ~page:std_page "CodeLoad" (Kernels.codeload ~funcs:230);
+        bench ~page:std_page "Box2D" (Kernels.float_mix ~n:190 ~iters:40);
+        bench ~page:std_page "zlib" (Kernels.byte_codec ~name:"zlib" ~bytes:2100 ~rounds:9);
+        bench ~page:std_page "Typescript" (Kernels.tokenizer ~copies:40);
+      ];
+  }

@@ -1,0 +1,115 @@
+type measurement = {
+  cycles : int;
+  transitions : int;
+  pct_mu : float;
+  mt_bytes : int;
+  mu_bytes : int;
+  output : string list;
+}
+
+type bench_result = {
+  bench : string;
+  base : measurement;
+  alloc : measurement;
+  mpk : measurement;
+  alloc_overhead_pct : float;
+  mpk_overhead_pct : float;
+  outputs_agree : bool;
+}
+
+type suite_result = {
+  suite : string;
+  bench_results : bench_result list;
+  mean_alloc_pct : float;
+  mean_mpk_pct : float;
+  total_transitions : int;
+  mean_pct_mu : float;
+}
+
+let fail_on_error = function
+  | Ok v -> v
+  | Error msg -> failwith ("Workloads.Runner: " ^ msg)
+
+let profile_bench (bench : Bench_def.bench) =
+  let env =
+    fail_on_error (Pkru_safe.Env.create (Pkru_safe.Config.make Pkru_safe.Config.Profiling))
+  in
+  let browser = Browser.create ~engine_seed:bench.Bench_def.engine_seed env in
+  Browser.load_page browser bench.Bench_def.page;
+  ignore (Browser.exec_script browser bench.Bench_def.script);
+  Pkru_safe.Env.recorded_profile env
+
+let profile_suite (suite : Bench_def.suite) =
+  List.fold_left
+    (fun acc bench -> Runtime.Profile.merge acc (profile_bench bench))
+    (Runtime.Profile.create ()) suite.Bench_def.benches
+
+let run_config ~mode ~profile (bench : Bench_def.bench) =
+  let env = fail_on_error (Pkru_safe.Env.create ~profile (Pkru_safe.Config.make mode)) in
+  let browser = Browser.create ~engine_seed:bench.Bench_def.engine_seed env in
+  Browser.load_page browser bench.Bench_def.page;
+  (* Page construction is setup; the script run is what the suites time. *)
+  Pkru_safe.Env.reset_counters env;
+  ignore (Browser.exec_script browser bench.Bench_def.script);
+  let mt_bytes, mu_bytes = Pkru_safe.Env.t_heap_bytes env in
+  {
+    cycles = Pkru_safe.Env.cycles env;
+    transitions = Pkru_safe.Env.transitions env;
+    pct_mu = Pkru_safe.Env.percent_untrusted_bytes env;
+    mt_bytes;
+    mu_bytes;
+    output = Browser.console browser;
+  }
+
+let overhead ~base ~measured =
+  Util.Stats.percent_overhead ~baseline:(float_of_int base.cycles)
+    ~measured:(float_of_int measured.cycles)
+
+let run_bench ~profile (bench : Bench_def.bench) =
+  let base = run_config ~mode:Pkru_safe.Config.Base ~profile bench in
+  let alloc = run_config ~mode:Pkru_safe.Config.Alloc ~profile bench in
+  let mpk = run_config ~mode:Pkru_safe.Config.Mpk ~profile bench in
+  {
+    bench = bench.Bench_def.name;
+    base;
+    alloc;
+    mpk;
+    alloc_overhead_pct = overhead ~base ~measured:alloc;
+    mpk_overhead_pct = overhead ~base ~measured:mpk;
+    outputs_agree = base.output = alloc.output && base.output = mpk.output;
+  }
+
+let run_suite ?(progress = fun _ -> ()) (suite : Bench_def.suite) =
+  let profile = profile_suite suite in
+  let bench_results =
+    List.map
+      (fun bench ->
+        progress bench.Bench_def.name;
+        run_bench ~profile bench)
+      suite.Bench_def.benches
+  in
+  let mean f = Util.Stats.mean (List.map f bench_results) in
+  (* Suite-level %MU is aggregated over bytes (as the paper's per-suite
+     statistic is), not a mean of per-benchmark ratios. *)
+  let mt = List.fold_left (fun acc r -> acc + r.mpk.mt_bytes) 0 bench_results in
+  let mu = List.fold_left (fun acc r -> acc + r.mpk.mu_bytes) 0 bench_results in
+  {
+    suite = suite.Bench_def.suite_name;
+    bench_results;
+    mean_alloc_pct = mean (fun r -> r.alloc_overhead_pct);
+    mean_mpk_pct = mean (fun r -> r.mpk_overhead_pct);
+    total_transitions = List.fold_left (fun acc r -> acc + r.mpk.transitions) 0 bench_results;
+    mean_pct_mu =
+      (if mt + mu = 0 then 0.0 else 100.0 *. float_of_int mu /. float_of_int (mt + mu));
+  }
+
+let score m = 1e9 /. float_of_int (max m.cycles 1)
+
+let geomean_score result mode =
+  let pick (r : bench_result) =
+    match mode with
+    | Pkru_safe.Config.Base -> r.base
+    | Pkru_safe.Config.Alloc -> r.alloc
+    | Pkru_safe.Config.Mpk | Pkru_safe.Config.Profiling -> r.mpk
+  in
+  Util.Stats.geomean (List.map (fun r -> score (pick r)) result.bench_results)

@@ -1,0 +1,57 @@
+(** The benchmark runner: executes a workload under the paper's three
+    configurations and reports cycles, transitions and %MU.
+
+    For each benchmark the runner first replays the paper's methodology:
+    profile the workload on an instrumented build, then build base / alloc
+    / mpk images.  The profile for a whole suite is the merge of its
+    benchmarks' profiling runs (the "profiling corpus").  Checksum output
+    is compared across configurations, so a mis-partitioned heap cannot
+    silently corrupt a result. *)
+
+type measurement = {
+  cycles : int;
+  transitions : int;
+  pct_mu : float;
+  mt_bytes : int;  (** trusted-allocator bytes kept in MT *)
+  mu_bytes : int;  (** trusted-allocator bytes moved to MU *)
+  output : string list;
+}
+
+type bench_result = {
+  bench : string;
+  base : measurement;
+  alloc : measurement;
+  mpk : measurement;
+  alloc_overhead_pct : float;
+  mpk_overhead_pct : float;
+  outputs_agree : bool;
+}
+
+type suite_result = {
+  suite : string;
+  bench_results : bench_result list;
+  mean_alloc_pct : float;   (** mean of per-benchmark alloc overheads *)
+  mean_mpk_pct : float;
+  total_transitions : int;  (** summed over the suite's mpk runs *)
+  mean_pct_mu : float;      (** byte-weighted %MU across the suite *)
+}
+
+val profile_suite : Bench_def.suite -> Runtime.Profile.t
+(** Runs every benchmark once on a profiling build and merges the results. *)
+
+val run_config :
+  mode:Pkru_safe.Config.mode -> profile:Runtime.Profile.t -> Bench_def.bench -> measurement
+(** One benchmark under one configuration (fresh machine; counters are
+    reset after page load so the script execution is what is timed). *)
+
+val run_bench : profile:Runtime.Profile.t -> Bench_def.bench -> bench_result
+
+val run_suite : ?progress:(string -> unit) -> Bench_def.suite -> suite_result
+(** Full methodology for one suite; [progress] is called per benchmark. *)
+
+val score : measurement -> float
+(** JetStream-style score: inversely proportional to runtime (higher is
+    better). *)
+
+val geomean_score : suite_result -> (Pkru_safe.Config.mode -> float)
+(** Geometric-mean score per configuration (Table 3). *)

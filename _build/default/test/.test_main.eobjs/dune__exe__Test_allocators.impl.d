@@ -1,0 +1,1 @@
+test/test_allocators.ml: Alcotest Allocators Array Dlmalloc_model Gen Hashtbl Jemalloc_model List Mpk Option Pkalloc Pool Printf QCheck QCheck_alcotest Sim Size_class Util Vmm

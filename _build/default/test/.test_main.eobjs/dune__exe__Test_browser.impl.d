@@ -1,0 +1,1 @@
+test/test_browser.ml: Alcotest Allocators Browser List Option Pkru_safe Printf Runtime Vmm

@@ -1,0 +1,1 @@
+test/test_bytecode.ml: Alcotest Array Browser Engine Gen List Pkru_safe Printf QCheck QCheck_alcotest Runtime String Util Vmm Workloads

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Allocators Pkru_safe Printf Runtime Sim Vmm

@@ -1,0 +1,1 @@
+test/test_corpus.ml: Alcotest Array Browser Filename Fun List Pkru_safe Runtime Sys Util

@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Allocators Browser Builder Engine Instr Ir List Module_ir Mpk Option Pkru_safe Runtime Sim String Toolchain Util Vmm

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Browser Engine Float List Pkru_safe Printf Vmm

@@ -1,0 +1,1 @@
+test/test_fuzz_substrates.ml: Alcotest Array Browser Bytes Char Engine Gen Int64 List Mpk Pkru_safe Printf QCheck QCheck_alcotest Runtime Sim String Util Vmm

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Builder Format Func Instr Ir List Module_ir Option Passes Printf Runtime String Verifier

@@ -1,0 +1,1 @@
+test/test_ir_text.ml: Alcotest Func Instr Ir Ir_text List Module_ir Passes Pkru_safe Str_split Toolchain Verifier

@@ -1,0 +1,1 @@
+test/test_layout.ml: Alcotest Browser List Option Pkru_safe Runtime String Vmm

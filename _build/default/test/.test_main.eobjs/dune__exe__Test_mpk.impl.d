@@ -1,0 +1,1 @@
+test/test_mpk.ml: Alcotest Fun List Mpk Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_pipeline_fuzz.ml: Alcotest Array Builder Gen Instr Ir List Module_ir Option Passes Pkru_safe QCheck QCheck_alcotest Runtime Static_taint Toolchain Util

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Allocators Filename Fun Gen Hashtbl List Mpk Option QCheck QCheck_alcotest Runtime Sim Sys Util Vmm

@@ -1,0 +1,1 @@
+test/test_selector.ml: Alcotest Browser List Option Pkru_safe

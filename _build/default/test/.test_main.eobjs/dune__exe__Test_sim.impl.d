@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Bytes Float Int64 List Mpk QCheck QCheck_alcotest Sim Vmm

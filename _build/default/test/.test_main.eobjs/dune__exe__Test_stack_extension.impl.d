@@ -1,0 +1,1 @@
+test/test_stack_extension.ml: Alcotest Allocators Builder Instr Ir Ir_text Module_ir Option Passes Pkru_safe Printf Runtime Static_taint Toolchain Vmm

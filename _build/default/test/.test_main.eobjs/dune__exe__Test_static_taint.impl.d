@@ -1,0 +1,1 @@
+test/test_static_taint.ml: Alcotest Builder Instr Ir List Module_ir Option Passes Pkru_safe Printf Runtime Static_taint Toolchain

@@ -1,0 +1,1 @@
+test/test_threads.ml: Alcotest Browser Mpk Pkru_safe Runtime Sim Vmm

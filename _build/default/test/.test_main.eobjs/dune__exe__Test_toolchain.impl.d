@@ -1,0 +1,1 @@
+test/test_toolchain.ml: Alcotest Builder Instr Ir Module_ir Option Passes Pkru_safe Printf Runtime Toolchain Vmm

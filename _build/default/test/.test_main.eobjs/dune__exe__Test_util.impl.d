@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Hashtbl List QCheck QCheck_alcotest String Util

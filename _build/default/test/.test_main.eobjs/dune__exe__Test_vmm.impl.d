@@ -1,0 +1,1 @@
+test/test_vmm.ml: Alcotest Allocators Gen Mpk QCheck QCheck_alcotest Sim String Vmm

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Browser Float List Pkru_safe Printf Runtime String Vmm Workloads

@@ -1,0 +1,219 @@
+(* Oracle-based fuzzing of the substrates:
+   - random arithmetic expressions evaluated by the MiniJS engine must
+     match OCaml's IEEE double semantics;
+   - random HTML trees must round-trip through the parser;
+   - random machine write/read sequences must match a byte-array shadow
+     model (covering widths and page-straddling);
+   - random well-nested gate sequences must restore PKRU exactly. *)
+
+let ok = function
+  | Ok v -> v
+  | Error msg -> Alcotest.fail msg
+
+(* --- MiniJS arithmetic vs the OCaml oracle --- *)
+
+type arith =
+  | Lit of float
+  | Neg of arith
+  | Bin of char * arith * arith
+
+let rec gen_arith rng depth =
+  if depth = 0 || Util.Rng.int rng 4 = 0 then
+    Lit (float_of_int (Util.Rng.int rng 200 - 100) /. 4.0)
+  else
+    match Util.Rng.int rng 5 with
+    | 0 -> Neg (gen_arith rng (depth - 1))
+    | 1 -> Bin ('+', gen_arith rng (depth - 1), gen_arith rng (depth - 1))
+    | 2 -> Bin ('-', gen_arith rng (depth - 1), gen_arith rng (depth - 1))
+    | 3 -> Bin ('*', gen_arith rng (depth - 1), gen_arith rng (depth - 1))
+    | _ -> Bin ('/', gen_arith rng (depth - 1), Lit (1.0 +. float_of_int (Util.Rng.int rng 9)))
+
+let rec arith_to_js = function
+  | Lit f -> if f < 0.0 then Printf.sprintf "(0 - %g)" (-.f) else Printf.sprintf "%g" f
+  | Neg e -> Printf.sprintf "(-(%s))" (arith_to_js e)
+  | Bin (op, a, b) -> Printf.sprintf "(%s %c %s)" (arith_to_js a) op (arith_to_js b)
+
+let rec arith_eval = function
+  | Lit f -> f
+  | Neg e -> -.arith_eval e
+  | Bin ('+', a, b) -> arith_eval a +. arith_eval b
+  | Bin ('-', a, b) -> arith_eval a -. arith_eval b
+  | Bin ('*', a, b) -> arith_eval a *. arith_eval b
+  | Bin ('/', a, b) -> arith_eval a /. arith_eval b
+  | Bin _ -> assert false
+
+let prop_engine_arithmetic_matches_ocaml =
+  QCheck.Test.make ~count:200 ~name:"engine arithmetic = IEEE double oracle"
+    QCheck.(make Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let rng = Util.Rng.create seed in
+      let expr = gen_arith rng 5 in
+      let env = ok (Pkru_safe.Env.create (Pkru_safe.Config.make Pkru_safe.Config.Base)) in
+      let engine = Engine.create env in
+      match Engine.eval_string engine (arith_to_js expr ^ ";") with
+      | Engine.Value.Num got ->
+        let want = arith_eval expr in
+        Int64.bits_of_float got = Int64.bits_of_float want
+      | _ -> false)
+
+(* --- HTML round-trip --- *)
+
+let tags = [| "div"; "span"; "p"; "ul"; "li"; "section" |]
+let words = [| "alpha"; "beta"; "gamma delta"; "x1"; "text & more" |]
+
+let rec gen_tree rng depth : Browser.Html.tree =
+  if depth = 0 || Util.Rng.int rng 3 = 0 then
+    Browser.Html.Text (Util.Rng.pick rng words)
+  else begin
+    let nattrs = Util.Rng.int rng 3 in
+    let attrs = List.init nattrs (fun i -> (Printf.sprintf "a%d" i, Util.Rng.pick rng words)) in
+    let nkids = Util.Rng.int rng 3 in
+    (* Avoid adjacent text nodes (the parser cannot distinguish them from
+       one merged node): alternate element/text deterministically. *)
+    let kids =
+      List.init nkids (fun i ->
+          if i mod 2 = 0 then gen_tree rng (depth - 1)
+          else
+            Browser.Html.Element (Util.Rng.pick rng tags, [], [ gen_tree rng (depth - 1) ]))
+    in
+    let kids =
+      (* Drop accidental adjacent texts. *)
+      List.fold_left
+        (fun acc node ->
+          match (acc, node) with
+          | Browser.Html.Text _ :: _, Browser.Html.Text _ -> acc
+          | _ -> node :: acc)
+        [] kids
+      |> List.rev
+    in
+    Browser.Html.Element (Util.Rng.pick rng tags, attrs, kids)
+  end
+
+let prop_html_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"html print/parse round-trip"
+    QCheck.(make Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let rng = Util.Rng.create seed in
+      let tree =
+        match gen_tree rng 3 with
+        | Browser.Html.Text _ as t -> Browser.Html.Element ("div", [], [ t ])
+        | t -> t
+      in
+      let text = Browser.Html.to_string [ tree ] in
+      Browser.Html.to_string (Browser.Html.parse text) = text)
+
+(* --- Machine memory vs a shadow byte array --- *)
+
+let prop_machine_memory_matches_shadow =
+  QCheck.Test.make ~count:60 ~name:"machine memory = shadow model (widths + straddling)"
+    QCheck.(make Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let rng = Util.Rng.create seed in
+      let m = Sim.Machine.create () in
+      let pages = 4 in
+      let base = 0x40_0000 in
+      let size = pages * Vmm.Layout.page_size in
+      (match
+         Vmm.Page_table.reserve m.Sim.Machine.page_table ~base ~size ~prot:Vmm.Prot.read_write
+           ~pkey:Mpk.Pkey.default
+       with
+      | Ok () -> ()
+      | Error e -> failwith e);
+      let shadow = Bytes.make size '\000' in
+      let widths = [| 1; 2; 4; 8 |] in
+      let result = ref true in
+      for _ = 1 to 400 do
+        let width = widths.(Util.Rng.int rng 4) in
+        let offset = Util.Rng.int rng (size - width) in
+        if Util.Rng.bool rng then begin
+          (* Write both to the machine and to the shadow. *)
+          let v = Int64.to_int (Int64.shift_right_logical (Util.Rng.next rng) 8) in
+          let v = v land ((1 lsl (8 * width)) - 1) in
+          (match width with
+          | 1 -> Sim.Machine.write_u8 m (base + offset) v
+          | 2 -> Sim.Machine.write_u16 m (base + offset) v
+          | 4 -> Sim.Machine.write_u32 m (base + offset) v
+          | _ -> Sim.Machine.write_u64 m (base + offset) v);
+          for i = 0 to width - 1 do
+            Bytes.set shadow (offset + i) (Char.chr ((v lsr (8 * i)) land 0xFF))
+          done
+        end
+        else begin
+          let got =
+            match width with
+            | 1 -> Sim.Machine.read_u8 m (base + offset)
+            | 2 -> Sim.Machine.read_u16 m (base + offset)
+            | 4 -> Sim.Machine.read_u32 m (base + offset)
+            | _ -> Sim.Machine.read_u64 m (base + offset)
+          in
+          let want = ref 0 in
+          for i = width - 1 downto 0 do
+            want := (!want lsl 8) lor Char.code (Bytes.get shadow (offset + i))
+          done;
+          if got <> !want then result := false
+        end
+      done;
+      !result)
+
+(* --- Random well-nested gate sequences --- *)
+
+let prop_gate_nesting_restores_pkru =
+  QCheck.Test.make ~count:100 ~name:"random gate nesting restores PKRU"
+    QCheck.(make Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let rng = Util.Rng.create seed in
+      let m = Sim.Machine.create () in
+      let gate = Runtime.Gate.create m in
+      let initial = m.Sim.Machine.cpu.Sim.Cpu.pkru in
+      let rec nest depth =
+        if depth > 0 && Util.Rng.int rng 3 > 0 then begin
+          if Util.Rng.bool rng then
+            Runtime.Gate.call_untrusted gate (fun () -> nest (depth - 1))
+          else Runtime.Gate.callback_trusted gate (fun () -> nest (depth - 1));
+          if Util.Rng.bool rng then nest (depth - 1)
+        end
+      in
+      nest 6;
+      Mpk.Pkru.equal m.Sim.Machine.cpu.Sim.Cpu.pkru initial
+      && Runtime.Comp_stack.depth (Runtime.Gate.stack gate) = 0)
+
+(* --- Random JSON values survive the engine's JSON round-trip --- *)
+
+let prop_engine_json_roundtrip =
+  QCheck.Test.make ~count:100 ~name:"engine JSON.parse . JSON.stringify = id (canonical)"
+    QCheck.(make Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let rng = Util.Rng.create seed in
+      (* Generate a JSON-ish MiniJS literal with integers, strings, bools,
+         arrays (objects excluded: property order is unspecified). *)
+      let rec gen depth =
+        if depth = 0 || Util.Rng.int rng 3 = 0 then
+          match Util.Rng.int rng 3 with
+          | 0 -> string_of_int (Util.Rng.int rng 1000 - 500)
+          | 1 -> Printf.sprintf "\"s%d\"" (Util.Rng.int rng 100)
+          | _ -> if Util.Rng.bool rng then "true" else "false"
+        else begin
+          let n = Util.Rng.int rng 4 in
+          "[" ^ String.concat "," (List.init n (fun _ -> gen (depth - 1))) ^ "]"
+        end
+      in
+      let literal = "[" ^ gen 3 ^ "]" in
+      let env = ok (Pkru_safe.Env.create (Pkru_safe.Config.make Pkru_safe.Config.Base)) in
+      let engine = Engine.create env in
+      let script =
+        Printf.sprintf
+          "var v = %s; var a = JSON.stringify(v); var b = JSON.stringify(JSON.parse(a)); a == b;"
+          literal
+      in
+      match Engine.eval_string engine script with
+      | Engine.Value.Bool b -> b
+      | _ -> false)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_engine_arithmetic_matches_ocaml;
+    QCheck_alcotest.to_alcotest prop_html_roundtrip;
+    QCheck_alcotest.to_alcotest prop_machine_memory_matches_shadow;
+    QCheck_alcotest.to_alcotest prop_gate_nesting_restores_pkru;
+    QCheck_alcotest.to_alcotest prop_engine_json_roundtrip;
+  ]

@@ -1,0 +1,158 @@
+(* Tests for the textual IR format: hand-written program parsing, error
+   reporting, and print/parse round-trips (including fuzzed modules). *)
+
+open Ir
+
+let ok = function
+  | Ok v -> v
+  | Error msg -> Alcotest.fail msg
+
+let sample_text =
+  {|crate app
+crate clib [untrusted]
+func @u_read(%r0) ; crate=clib
+^0:
+  %r1 = load.8 [%r0]
+  ret %r1
+func @main() ; crate=app
+^0:
+  %r0 = __rust_alloc(64) ; alloc<-2:-2:-2>
+  store.8 123 -> [%r0]
+  %r1 = call @u_read(%r0)
+  %r2 = add %r1, 1
+  %r3 = eq %r2, 124
+  cond_br %r3, ^1, ^2
+^1:
+  ret %r2
+^2:
+  ret 0
+|}
+
+let test_parse_and_run () =
+  let m = Ir_text.of_string sample_text in
+  ok (Verifier.verify m);
+  Alcotest.(check bool) "clib untrusted" true
+    (Module_ir.is_untrusted_fn m (Module_ir.func m "u_read"));
+  let build = ok (Toolchain.Pipeline.build ~mode:Pkru_safe.Config.Base m) in
+  Alcotest.(check int) "program runs" 124
+    (Toolchain.Interp.run build.Toolchain.Pipeline.interp "main" [])
+
+let test_roundtrip_stability () =
+  let m = Ir_text.of_string sample_text in
+  let once = Ir_text.to_string m in
+  let twice = Ir_text.to_string (Ir_text.of_string once) in
+  Alcotest.(check string) "print . parse . print is stable" once twice
+
+let test_all_instruction_forms_roundtrip () =
+  let text =
+    {|crate app
+crate clib [untrusted]
+func @callee(%r0, %r1) ; crate=app exported
+^0:
+  ret %r0
+func @gatey() ; crate=__pkru_gates wrapper
+^0:
+  gate.enter_untrusted
+  gate.exit_untrusted
+  gate.enter_trusted
+  gate.exit_trusted
+  ret
+func @kitchen_sink(%r0) ; crate=app
+^0:
+  %r1 = const -7
+  %r2 = sub %r1, %r0
+  %r3 = mul %r2, 3
+  %r4 = div %r3, 2
+  %r5 = rem %r4, 5
+  %r6 = and %r5, 12
+  %r7 = or %r6, 1
+  %r8 = xor %r7, 9
+  %r9 = shl %r8, 2
+  %r10 = shr %r9, 1
+  %r11 = lt %r10, 100
+  %r12 = le %r10, 100
+  %r13 = gt %r10, 100
+  %r14 = ge %r10, 100
+  %r15 = ne %r13, %r14
+  %r16 = __rust_alloc(32) ; alloc<-2:-2:-2>
+  %r17 = __rust_untrusted_alloc(64) ; alloc<-2:-2:-2> [instrumented]
+  store.4 %r15 -> [%r16]
+  %r18 = load.4 [%r16]
+  %r19 = __rust_realloc(%r16, 128)
+  __rust_dealloc(%r19)
+  %r20 = call @callee(%r18, 1)
+  call @callee(%r20, 2)
+  %r21 = func_addr @callee
+  %r22 = call_indirect %r21(%r20, 3)
+  call_indirect %r21(%r22, 4)
+  %r23 = call_host @hostfn(%r22)
+  call_host @hostfn(%r23)
+  br ^1
+^1:
+  cond_br %r23, ^2, ^3
+^2:
+  ret %r23
+^3:
+  ret
+|}
+  in
+  let m = Ir_text.of_string text in
+  ok (Verifier.verify ~hosts:(fun h -> h = "hostfn") m);
+  let once = Ir_text.to_string m in
+  Alcotest.(check string) "stable" once (Ir_text.to_string (Ir_text.of_string once));
+  (* Flags survive. *)
+  let m2 = Ir_text.of_string once in
+  Alcotest.(check bool) "exported" true (Module_ir.func m2 "callee").Func.exported;
+  Alcotest.(check bool) "wrapper" true (Module_ir.func m2 "gatey").Func.is_wrapper;
+  (* Instrumented alloc flag survives. *)
+  let found = ref false in
+  Func.iter_instrs (Module_ir.func m2 "kitchen_sink") (fun _ i ->
+      match i with
+      | Instr.Alloc a when a.pool = Instr.Untrusted_pool ->
+        found := a.instrumented
+      | _ -> ());
+  Alcotest.(check bool) "instrumented flag" true !found
+
+let test_syntax_errors () =
+  List.iter
+    (fun (what, text) ->
+      Alcotest.(check bool) what true
+        (match Ir_text.of_string text with
+        | exception Ir_text.Syntax_error _ -> true
+        | _ -> false))
+    [
+      ("instruction outside function", "  %r0 = const 1\n");
+      ("bad register", "func @f() ; crate=a\n^0:\n  %x = const 1\n  ret\n");
+      ("missing crate comment", "func @f()\n^0:\n  ret\n");
+      ("unterminated block", "func @f() ; crate=a\n^0:\n  %r0 = const 1\n");
+      ("alloc without site", "func @f() ; crate=a\n^0:\n  %r0 = __rust_alloc(8)\n  ret\n");
+      ("unknown gate", "func @f() ; crate=a wrapper\n^0:\n  gate.sideways\n  ret\n");
+      ("garbage line", "func @f() ; crate=a\n^0:\n  fnord 1, 2\n  ret\n");
+    ]
+
+let test_compiled_module_roundtrips () =
+  (* A module that went through the full pass pipeline (gates, ids,
+     instrumentation) still prints and re-parses stably. *)
+  let m = Ir_text.of_string sample_text in
+  let compiled, _ =
+    ok (Passes.compile ~gates:true ~instrument:true ~hosts:(fun _ -> false) m)
+  in
+  let once = Ir_text.to_string compiled in
+  Alcotest.(check string) "compiled module round-trips" once
+    (Ir_text.to_string (Ir_text.of_string once))
+
+let test_split_on_substring () =
+  Alcotest.(check (list string)) "middle" [ "a"; "b" ] (Str_split.split_on_substring ~sub:" -> " "a -> b");
+  Alcotest.(check (list string)) "none" [ "abc" ] (Str_split.split_on_substring ~sub:"xy" "abc");
+  Alcotest.(check (list string)) "ends" [ ""; "a"; "" ] (Str_split.split_on_substring ~sub:"--" "--a--");
+  Alcotest.(check (list string)) "repeat" [ "1"; "2"; "3" ] (Str_split.split_on_substring ~sub:", " "1, 2, 3")
+
+let suite =
+  [
+    Alcotest.test_case "parse and run" `Quick test_parse_and_run;
+    Alcotest.test_case "round-trip stability" `Quick test_roundtrip_stability;
+    Alcotest.test_case "all instruction forms" `Quick test_all_instruction_forms_roundtrip;
+    Alcotest.test_case "syntax errors" `Quick test_syntax_errors;
+    Alcotest.test_case "compiled module round-trips" `Quick test_compiled_module_roundtrips;
+    Alcotest.test_case "split_on_substring" `Quick test_split_on_substring;
+  ]

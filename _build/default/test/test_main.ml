@@ -1,0 +1,28 @@
+let () =
+  Alcotest.run "pkru-safe-repro"
+    [
+      ("util", Test_util.suite);
+      ("mpk", Test_mpk.suite);
+      ("vmm", Test_vmm.suite);
+      ("sim", Test_sim.suite);
+      ("allocators", Test_allocators.suite);
+      ("runtime", Test_runtime.suite);
+      ("corpus", Test_corpus.suite);
+      ("core", Test_core.suite);
+      ("threads", Test_threads.suite);
+      ("ir", Test_ir.suite);
+      ("ir-text", Test_ir_text.suite);
+      ("toolchain", Test_toolchain.suite);
+      ("static-taint", Test_static_taint.suite);
+      ("pipeline-fuzz", Test_pipeline_fuzz.suite);
+      ("stack-extension", Test_stack_extension.suite);
+      ("engine", Test_engine.suite);
+      ("bytecode", Test_bytecode.suite);
+      ("browser", Test_browser.suite);
+      ("layout", Test_layout.suite);
+      ("selector", Test_selector.suite);
+      ("exploit", Test_exploit.suite);
+      ("workloads", Test_workloads.suite);
+      ("fuzz-substrates", Test_fuzz_substrates.suite);
+      ("edge-cases", Test_edge_cases.suite);
+    ]

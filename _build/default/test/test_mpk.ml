@@ -1,0 +1,93 @@
+(* Tests for the MPK model: pkey validation and PKRU bit semantics. *)
+
+let key = Mpk.Pkey.of_int
+
+let test_pkey_bounds () =
+  Alcotest.(check int) "round-trip" 5 (Mpk.Pkey.to_int (key 5));
+  Alcotest.check_raises "negative" (Invalid_argument "Pkey.of_int: -1") (fun () ->
+      ignore (key (-1)));
+  Alcotest.check_raises "too large" (Invalid_argument "Pkey.of_int: 16") (fun () ->
+      ignore (key 16))
+
+let test_pkru_all_enabled () =
+  for k = 0 to Mpk.Pkey.count - 1 do
+    Alcotest.(check bool) "read" true (Mpk.Pkru.can_read Mpk.Pkru.all_enabled (key k));
+    Alcotest.(check bool) "write" true (Mpk.Pkru.can_write Mpk.Pkru.all_enabled (key k))
+  done
+
+let test_pkru_disable_access () =
+  let pkru = Mpk.Pkru.set_rights Mpk.Pkru.all_enabled (key 3) Mpk.Pkru.Disable_access in
+  Alcotest.(check bool) "no read" false (Mpk.Pkru.can_read pkru (key 3));
+  Alcotest.(check bool) "no write" false (Mpk.Pkru.can_write pkru (key 3));
+  Alcotest.(check bool) "other keys unaffected" true (Mpk.Pkru.can_write pkru (key 2))
+
+let test_pkru_disable_write () =
+  let pkru = Mpk.Pkru.set_rights Mpk.Pkru.all_enabled (key 1) Mpk.Pkru.Disable_write in
+  Alcotest.(check bool) "read ok" true (Mpk.Pkru.can_read pkru (key 1));
+  Alcotest.(check bool) "write denied" false (Mpk.Pkru.can_write pkru (key 1))
+
+let test_pkru_all_disabled_except () =
+  let pkru = Mpk.Pkru.all_disabled_except [ key 2 ] in
+  Alcotest.(check bool) "key0 stays enabled" true (Mpk.Pkru.can_write pkru (key 0));
+  Alcotest.(check bool) "key2 enabled" true (Mpk.Pkru.can_write pkru (key 2));
+  for k = 1 to Mpk.Pkey.count - 1 do
+    if k <> 2 then
+      Alcotest.(check bool)
+        (Printf.sprintf "key%d disabled" k)
+        false
+        (Mpk.Pkru.can_read pkru (key k))
+  done
+
+let test_pkru_raw_roundtrip () =
+  let pkru = Mpk.Pkru.all_disabled_except [ key 4 ] in
+  let raw = Mpk.Pkru.to_int pkru in
+  Alcotest.(check bool) "of_int . to_int = id" true
+    (Mpk.Pkru.equal pkru (Mpk.Pkru.of_int raw));
+  Alcotest.check_raises "out of range" (Invalid_argument "Pkru.of_int: -1") (fun () ->
+      ignore (Mpk.Pkru.of_int (-1)))
+
+(* Property: set_rights then rights decodes the same value, and leaves all
+   other keys untouched. *)
+let prop_set_rights_roundtrip =
+  let gen =
+    QCheck.Gen.(
+      triple (int_range 0 15) (int_range 0 2)
+        (map (fun v -> v land 0xFFFFFFFF) (int_bound max_int)))
+  in
+  QCheck.Test.make ~count:500 ~name:"pkru set_rights/rights round-trip" (QCheck.make gen)
+    (fun (k, r, raw) ->
+      let rights =
+        match r with
+        | 0 -> Mpk.Pkru.Enable
+        | 1 -> Mpk.Pkru.Disable_write
+        | _ -> Mpk.Pkru.Disable_access
+      in
+      let pkru = Mpk.Pkru.of_int raw in
+      let pkru' = Mpk.Pkru.set_rights pkru (key k) rights in
+      let same_decoded = Mpk.Pkru.rights pkru' (key k) = rights in
+      let others_untouched =
+        List.for_all
+          (fun j -> j = k || Mpk.Pkru.rights pkru' (key j) = Mpk.Pkru.rights pkru (key j))
+          (List.init 16 Fun.id)
+      in
+      same_decoded && others_untouched)
+
+let prop_can_write_implies_can_read =
+  QCheck.Test.make ~count:500 ~name:"can_write implies can_read"
+    (QCheck.make
+       QCheck.Gen.(pair (int_range 0 15) (map (fun v -> v land 0xFFFFFFFF) (int_bound max_int))))
+    (fun (k, raw) ->
+      let pkru = Mpk.Pkru.of_int raw in
+      (not (Mpk.Pkru.can_write pkru (key k))) || Mpk.Pkru.can_read pkru (key k))
+
+let suite =
+  [
+    Alcotest.test_case "pkey bounds" `Quick test_pkey_bounds;
+    Alcotest.test_case "pkru all enabled" `Quick test_pkru_all_enabled;
+    Alcotest.test_case "pkru disable access" `Quick test_pkru_disable_access;
+    Alcotest.test_case "pkru disable write" `Quick test_pkru_disable_write;
+    Alcotest.test_case "pkru all_disabled_except" `Quick test_pkru_all_disabled_except;
+    Alcotest.test_case "pkru raw round-trip" `Quick test_pkru_raw_roundtrip;
+    QCheck_alcotest.to_alcotest prop_set_rights_roundtrip;
+    QCheck_alcotest.to_alcotest prop_can_write_implies_can_read;
+  ]

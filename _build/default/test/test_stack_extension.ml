@@ -1,0 +1,167 @@
+(* Tests for the §6 stack-protection extension: T's stack is part of MT,
+   stack slots are provenance-tracked like heap objects, and profiled
+   cross-compartment stack flows are demoted to frame-lifetime MU heap
+   allocations — "no methodology change over our approach with heap
+   data". *)
+
+open Ir
+
+let ok = function
+  | Ok v -> v
+  | Error msg -> Alcotest.fail msg
+
+(* main puts a value in a stack slot and shares it with U; a second stack
+   slot stays private. *)
+let stack_share_module () =
+  let m = Module_ir.create () in
+  let u = Builder.create ~name:"u_read" ~crate:"clib" ~nparams:1 () in
+  let v = Builder.load u (Instr.Reg 0) in
+  Builder.ret u (Some (Instr.Reg v));
+  Module_ir.add_func m (Builder.finish u);
+  Module_ir.mark_untrusted m "clib";
+  let f = Builder.create ~name:"main" ~crate:"app" ~nparams:0 () in
+  let shared = Builder.alloca f (Instr.Imm 16) in
+  let private_ = Builder.alloca f (Instr.Imm 16) in
+  Builder.store f ~src:(Instr.Imm 500) ~addr:(Instr.Reg shared) ();
+  Builder.store f ~src:(Instr.Imm 42) ~addr:(Instr.Reg private_) ();
+  let r = Builder.call f ~ret:true "u_read" [ Instr.Reg shared ] in
+  let w = Builder.load f (Instr.Reg private_) in
+  let sum = Builder.binop f Instr.Add (Instr.Reg (Option.get r)) (Instr.Reg w) in
+  Builder.ret f (Some (Instr.Reg sum));
+  Module_ir.add_func m (Builder.finish f);
+  m
+
+let test_stack_slots_work_in_base () =
+  let b = ok (Toolchain.Pipeline.build ~mode:Pkru_safe.Config.Base (stack_share_module ())) in
+  Alcotest.(check int) "500 + 42" 542 (Toolchain.Interp.run b.Toolchain.Pipeline.interp "main" [])
+
+let test_stack_frames_unwind () =
+  (* Two sequential calls must reuse the same stack addresses: the frame
+     pointer is restored on return. *)
+  let m = Module_ir.create () in
+  let g = Builder.create ~name:"probe" ~crate:"app" ~nparams:0 () in
+  let slot = Builder.alloca g (Instr.Imm 32) in
+  Builder.ret g (Some (Instr.Reg slot));
+  Module_ir.add_func m (Builder.finish g);
+  let f = Builder.create ~name:"main" ~crate:"app" ~nparams:0 () in
+  let a = Builder.call f ~ret:true "probe" [] in
+  let b = Builder.call f ~ret:true "probe" [] in
+  let same = Builder.binop f Instr.Eq (Instr.Reg (Option.get a)) (Instr.Reg (Option.get b)) in
+  Builder.ret f (Some (Instr.Reg same));
+  Module_ir.add_func m (Builder.finish f);
+  let build = ok (Toolchain.Pipeline.build ~mode:Pkru_safe.Config.Base m) in
+  Alcotest.(check int) "same address" 1 (Toolchain.Interp.run build.Toolchain.Pipeline.interp "main" [])
+
+let test_recursion_gets_distinct_frames () =
+  let m = Module_ir.create () in
+  (* rec(n): alloca a slot, store n, recurse, and verify our slot still
+     holds n afterwards (frames must not alias). *)
+  let g = Builder.create ~name:"recurse" ~crate:"app" ~nparams:1 () in
+  let base_b = Builder.new_block g in
+  let rec_b = Builder.new_block g in
+  let slot = Builder.alloca g (Instr.Imm 16) in
+  Builder.store g ~src:(Instr.Reg 0) ~addr:(Instr.Reg slot) ();
+  let cond = Builder.binop g Instr.Le (Instr.Reg 0) (Instr.Imm 0) in
+  Builder.cond_br g (Instr.Reg cond) base_b rec_b;
+  Builder.switch_to g base_b;
+  Builder.ret g (Some (Instr.Imm 0));
+  Builder.switch_to g rec_b;
+  let n1 = Builder.binop g Instr.Sub (Instr.Reg 0) (Instr.Imm 1) in
+  let sub = Builder.call g ~ret:true "recurse" [ Instr.Reg n1 ] in
+  let mine = Builder.load g (Instr.Reg slot) in
+  let okv = Builder.binop g Instr.Eq (Instr.Reg mine) (Instr.Reg 0) in
+  let acc = Builder.binop g Instr.Add (Instr.Reg (Option.get sub)) (Instr.Reg okv) in
+  Builder.ret g (Some (Instr.Reg acc));
+  Module_ir.add_func m (Builder.finish g);
+  let f = Builder.create ~name:"main" ~crate:"app" ~nparams:0 () in
+  let r = Builder.call f ~ret:true "recurse" [ Instr.Imm 10 ] in
+  Builder.ret f (Some (Instr.Reg (Option.get r)));
+  Module_ir.add_func m (Builder.finish f);
+  let build = ok (Toolchain.Pipeline.build ~mode:Pkru_safe.Config.Base m) in
+  (* Every of the 10 recursive frames found its own value intact. *)
+  Alcotest.(check int) "frames disjoint" 10
+    (Toolchain.Interp.run build.Toolchain.Pipeline.interp "main" [])
+
+let test_enforcement_blocks_unprofiled_stack_access () =
+  let b =
+    ok (Toolchain.Pipeline.build ~profile:(Runtime.Profile.create ()) ~mode:Pkru_safe.Config.Mpk
+          (stack_share_module ()))
+  in
+  match Toolchain.Interp.run b.Toolchain.Pipeline.interp "main" [] with
+  | exception Vmm.Fault.Unhandled { Vmm.Fault.kind = Vmm.Fault.Pkey_violation _; _ } -> ()
+  | v -> Alcotest.fail (Printf.sprintf "U read of MT stack slot should crash, got %d" v)
+
+let test_profiling_discovers_and_demotes_stack_slot () =
+  let source = stack_share_module () in
+  let profile =
+    ok (Toolchain.Pipeline.collect_profile source
+          ~inputs:[ (fun i -> ignore (Toolchain.Interp.run i "main" [])) ])
+  in
+  Alcotest.(check int) "exactly the shared slot profiled" 1 (Runtime.Profile.cardinal profile);
+  let b = ok (Toolchain.Pipeline.build ~profile ~mode:Pkru_safe.Config.Mpk source) in
+  Alcotest.(check int) "enforced run works" 542
+    (Toolchain.Interp.run b.Toolchain.Pipeline.interp "main" []);
+  Alcotest.(check int) "one site moved" 1 b.Toolchain.Pipeline.pass_stats.Passes.sites_moved;
+  (* The demoted slot really is heap-allocated in MU and freed on return:
+     running main twice keeps MU live bytes flat. *)
+  let pk = Pkru_safe.Env.pkalloc b.Toolchain.Pipeline.env in
+  let live_before =
+    Allocators.Alloc_stats.live_bytes (Allocators.Pkalloc.untrusted_stats pk)
+  in
+  ignore (Toolchain.Interp.run b.Toolchain.Pipeline.interp "main" []);
+  let live_after =
+    Allocators.Alloc_stats.live_bytes (Allocators.Pkalloc.untrusted_stats pk)
+  in
+  Alcotest.(check int) "frame-lifetime MU allocation freed" live_before live_after
+
+let test_stack_overflow_traps () =
+  let m = Module_ir.create () in
+  let f = Builder.create ~name:"main" ~crate:"app" ~nparams:0 () in
+  let loop = Builder.new_block f in
+  Builder.br f loop;
+  Builder.switch_to f loop;
+  ignore (Builder.alloca f (Instr.Imm 1_000_000));
+  Builder.br f loop;
+  Module_ir.add_func m (Builder.finish f);
+  let b = ok (Toolchain.Pipeline.build ~mode:Pkru_safe.Config.Base m) in
+  Alcotest.(check bool) "overflow trapped" true
+    (match Toolchain.Interp.run b.Toolchain.Pipeline.interp "main" [] with
+    | exception Toolchain.Interp.Trap msg -> msg = "stack overflow"
+    | _ -> false)
+
+let test_static_taint_covers_alloca () =
+  let m = Module_ir.copy (stack_share_module ()) in
+  ignore (Passes.assign_alloc_ids m);
+  let result = Static_taint.analyze m in
+  Alcotest.(check int) "the shared stack slot is flagged" 1
+    (Runtime.Alloc_id.Set.cardinal result.Static_taint.shared)
+
+let test_ir_text_roundtrip_alloca () =
+  let text =
+    {|crate app
+func @main() ; crate=app
+^0:
+  %r0 = alloca(32) ; alloc<-2:-2:-2>
+  %r1 = alloca_shared(16) ; alloc<-2:-2:-2> [instrumented]
+  store.8 7 -> [%r0]
+  %r2 = load.8 [%r0]
+  ret %r2
+|}
+  in
+  let m = Ir_text.of_string text in
+  let once = Ir_text.to_string m in
+  Alcotest.(check string) "stable" once (Ir_text.to_string (Ir_text.of_string once));
+  let b = ok (Toolchain.Pipeline.build ~mode:Pkru_safe.Config.Base m) in
+  Alcotest.(check int) "runs" 7 (Toolchain.Interp.run b.Toolchain.Pipeline.interp "main" [])
+
+let suite =
+  [
+    Alcotest.test_case "stack slots in base" `Quick test_stack_slots_work_in_base;
+    Alcotest.test_case "frames unwind" `Quick test_stack_frames_unwind;
+    Alcotest.test_case "recursion frames disjoint" `Quick test_recursion_gets_distinct_frames;
+    Alcotest.test_case "enforcement blocks stack access" `Quick test_enforcement_blocks_unprofiled_stack_access;
+    Alcotest.test_case "profile + demote stack slot" `Quick test_profiling_discovers_and_demotes_stack_slot;
+    Alcotest.test_case "stack overflow traps" `Quick test_stack_overflow_traps;
+    Alcotest.test_case "static taint covers alloca" `Quick test_static_taint_covers_alloca;
+    Alcotest.test_case "ir-text round-trip" `Quick test_ir_text_roundtrip_alloca;
+  ]
