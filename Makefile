@@ -1,6 +1,6 @@
 # Convenience targets for the PKRU-Safe reproduction.
 
-.PHONY: all build test bench examples clean
+.PHONY: all build test check bench examples clean
 
 all: build
 
@@ -8,6 +8,11 @@ build:
 	dune build @all
 
 test:
+	dune runtest --force
+
+# Everything CI runs: full build (all targets) + the complete test suite.
+check:
+	dune build @all
 	dune runtest --force
 
 bench:

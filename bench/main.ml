@@ -437,11 +437,15 @@ let run_bechamel () =
    bench-results/*.json folders). *)
 let measurement_json (m : Workloads.Runner.measurement) =
   Util.Json.Obj
-    [
-      ("cycles", Util.Json.Int m.Workloads.Runner.cycles);
-      ("transitions", Util.Json.Int m.Workloads.Runner.transitions);
-      ("pct_mu", Util.Json.Float m.Workloads.Runner.pct_mu);
-    ]
+    ([
+       ("cycles", Util.Json.Int m.Workloads.Runner.cycles);
+       ("transitions", Util.Json.Int m.Workloads.Runner.transitions);
+       ("pct_mu", Util.Json.Float m.Workloads.Runner.pct_mu);
+     ]
+    @
+    match m.Workloads.Runner.trace with
+    | Some sink -> [ ("telemetry", Telemetry.Export.summary_json sink) ]
+    | None -> [])
 
 let suite_json (result : Workloads.Runner.suite_result) =
   Util.Json.Obj
@@ -520,6 +524,31 @@ let write_json_results dir =
       [ Pkru_safe.Config.Base; Pkru_safe.Config.Mpk ]
   in
   write "security.json" (Util.Json.List security);
+  (* One telemetry-instrumented run per substrate family: histogram
+     summaries (gate round-trip, allocation sizes, fault service) ride
+     along with the artifact's result folders.  The traced runs are
+     separate from the timing runs above, so telemetry cannot perturb the
+     reported numbers even in principle. *)
+  let traced_bench name bench =
+    let suite = { Workloads.Bench_def.suite_name = name; benches = [ bench ] } in
+    let profile = Workloads.Runner.profile_suite suite in
+    let m =
+      Workloads.Runner.run_config ~telemetry:true ~mode:Pkru_safe.Config.Mpk ~profile bench
+    in
+    ( name,
+      match m.Workloads.Runner.trace with
+      | Some sink -> Telemetry.Export.summary_json sink
+      | None -> Util.Json.Null )
+  in
+  write "telemetry.json"
+    (Util.Json.Obj
+       [
+         traced_bench "dom-attr"
+           (Workloads.Bench_def.bench ~page:(Workloads.Dom_scripts.page ~rows:12) "dom-attr"
+              (Workloads.Dom_scripts.dom_attr ~iters:60));
+         traced_bench "richards"
+           (Workloads.Bench_def.bench "richards" (Workloads.Kernels.richards ~iterations:40));
+       ]);
   Printf.printf "JSON results written to %s/
 " dir
 

@@ -5,7 +5,8 @@
      browse    — E2: run a page + script through a chosen configuration
      exploit   — E3: the CVE-style attack on base and mpk builds
      micro     — the §5.2 micro-benchmarks and the Figure-3 sweep
-     suite     — run one benchmark suite and print its table *)
+     suite     — run one benchmark suite and print its table
+     trace     — run one benchmark with telemetry and export the trace *)
 
 open Cmdliner
 
@@ -142,6 +143,14 @@ let run_micro () =
 
 (* --- suite --- *)
 
+let all_suites =
+  [
+    Workloads.Dromaeo.all;
+    Workloads.Kraken.all;
+    Workloads.Octane.all;
+    Workloads.Jetstream.all;
+  ]
+
 let suite_of_name = function
   | "dromaeo" -> Ok Workloads.Dromaeo.all
   | "dom" -> Ok Workloads.Dromaeo.dom
@@ -153,7 +162,46 @@ let suite_of_name = function
   | "jetstream2" -> Ok Workloads.Jetstream.all
   | s -> Error (Printf.sprintf "unknown suite %S" s)
 
-let run_suite name =
+(* Per-bench telemetry digest for `suite --telemetry`: counts from each
+   mpk run's trace, then exact gate round-trip percentiles pooled across
+   the suite. *)
+let print_suite_telemetry (result : Workloads.Runner.suite_result) =
+  let traced =
+    List.filter_map
+      (fun (r : Workloads.Runner.bench_result) ->
+        Option.map
+          (fun sink -> (r.Workloads.Runner.bench, sink))
+          r.Workloads.Runner.mpk.Workloads.Runner.trace)
+      result.Workloads.Runner.bench_results
+  in
+  if traced <> [] then begin
+    print_endline "\nTelemetry (mpk configuration, per benchmark):";
+    Util.Table.print
+      ~header:[ "benchmark"; "events"; "gate"; "wrpkru"; "alloc"; "free"; "faults" ]
+      (List.map
+         (fun (name, sink) ->
+           [
+             name;
+             string_of_int (Telemetry.Sink.events_total sink);
+             string_of_int (Telemetry.Sink.gate_transitions sink);
+             string_of_int (Telemetry.Sink.count sink "wrpkru");
+             string_of_int (Telemetry.Sink.count sink "alloc");
+             string_of_int (Telemetry.Sink.count sink "free");
+             string_of_int
+               (Telemetry.Sink.count sink "mpk_fault" + Telemetry.Sink.count sink "page_fault");
+           ])
+         traced);
+    match List.concat_map (fun (_, sink) -> Telemetry.Export.gate_latencies sink) traced with
+    | [] -> ()
+    | latencies ->
+      Printf.printf "gate round-trip (%d pairs): p50 %.0f  p90 %.0f  p99 %.0f cycles\n"
+        (List.length latencies)
+        (Util.Stats.percentile 50.0 latencies)
+        (Util.Stats.percentile 90.0 latencies)
+        (Util.Stats.percentile 99.0 latencies)
+  end
+
+let run_suite name telemetry =
   match suite_of_name name with
   | Error msg -> `Error (false, msg)
   | Ok suite ->
@@ -161,7 +209,7 @@ let run_suite name =
     let result =
       Workloads.Runner.run_suite
         ~progress:(fun bench -> if tty then Printf.printf "  %-36s\r%!" bench)
-        suite
+        ~telemetry suite
     in
     if tty then Printf.printf "%-48s\r%!" "";
     Util.Table.print
@@ -179,11 +227,81 @@ let run_suite name =
     Printf.printf "\nmean: alloc %+.2f%%  mpk %+.2f%%  transitions %d  %%MU %.2f\n"
       result.Workloads.Runner.mean_alloc_pct result.Workloads.Runner.mean_mpk_pct
       result.Workloads.Runner.total_transitions result.Workloads.Runner.mean_pct_mu;
+    if telemetry then print_suite_telemetry result;
     `Ok ()
+
+(* --- trace: one benchmark under telemetry, exported as a trace file --- *)
+
+let bench_of_name name =
+  let benches = List.concat_map (fun s -> s.Workloads.Bench_def.benches) all_suites in
+  match
+    List.find_opt (fun (b : Workloads.Bench_def.bench) -> b.Workloads.Bench_def.name = name) benches
+  with
+  | Some bench -> Ok bench
+  | None ->
+    Error
+      (Printf.sprintf "unknown benchmark %S; known: %s" name
+         (String.concat ", "
+            (List.map (fun (b : Workloads.Bench_def.bench) -> b.Workloads.Bench_def.name) benches)))
+
+let trace_format_conv =
+  let parse = function
+    | "chrome" -> Ok `Chrome
+    | "json" -> Ok `Json
+    | "summary" -> Ok `Summary
+    | s -> Error (`Msg (Printf.sprintf "unknown format %S (chrome|json|summary)" s))
+  in
+  Arg.conv
+    ( parse,
+      fun fmt f ->
+        Format.pp_print_string fmt
+          (match f with `Chrome -> "chrome" | `Json -> "json" | `Summary -> "summary") )
+
+let run_trace bench_name mode format output =
+  match bench_of_name bench_name with
+  | Error msg -> `Error (false, msg)
+  | Ok bench ->
+    let profile =
+      match mode with
+      | Pkru_safe.Config.Alloc | Pkru_safe.Config.Mpk ->
+        let suite = { Workloads.Bench_def.suite_name = bench_name; benches = [ bench ] } in
+        Workloads.Runner.profile_suite suite
+      | Pkru_safe.Config.Base | Pkru_safe.Config.Profiling -> Runtime.Profile.create ()
+    in
+    let m = Workloads.Runner.run_config ~telemetry:true ~mode ~profile bench in
+    let sink =
+      match m.Workloads.Runner.trace with
+      | Some sink -> sink
+      | None -> assert false
+    in
+    let rendered =
+      match format with
+      | `Chrome -> Util.Json.to_string_pretty (Telemetry.Export.chrome_trace sink) ^ "\n"
+      | `Json -> Util.Json.to_string_pretty (Telemetry.Export.to_json sink) ^ "\n"
+      | `Summary -> Telemetry.Export.summary sink
+    in
+    (match output with
+    | Some path -> (
+      match Out_channel.with_open_text path (fun oc -> output_string oc rendered) with
+      | () -> `Ok (Printf.printf "trace written to %s\n" path)
+      | exception Sys_error msg -> `Error (false, "cannot write trace: " ^ msg))
+    | None -> `Ok (print_string rendered))
+    |> function
+    | `Error _ as e -> e
+    | `Ok () ->
+      Printf.printf
+        "[%s] %s: cycles=%d events=%d (%d dropped from trace)  gate events=%d  transitions=%d\n"
+        (Pkru_safe.Config.mode_to_string mode)
+        bench_name m.Workloads.Runner.cycles
+        (Telemetry.Sink.events_total sink)
+        (Telemetry.Sink.dropped sink)
+        (Telemetry.Sink.gate_transitions sink)
+        m.Workloads.Runner.transitions;
+      `Ok ()
 
 (* --- run: execute a textual IR program through the toolchain --- *)
 
-let run_ir_file path mode use_static entry =
+let run_ir_file path mode use_static entry telemetry =
   let text = In_channel.with_open_text path In_channel.input_all in
   match Ir.Ir_text.of_string text with
   | exception Ir.Ir_text.Syntax_error msg -> `Error (false, path ^ ": " ^ msg)
@@ -212,7 +330,15 @@ let run_ir_file path mode use_static entry =
         fail_on_error (Toolchain.Pipeline.build ~profile ~mode source)
       end
     in
-    (match Toolchain.Interp.run build.Toolchain.Pipeline.interp entry [] with
+    let sink = if telemetry then Some (Telemetry.Sink.create ()) else None in
+    let execute () =
+      match sink with
+      | Some s ->
+        Telemetry.Sink.with_sink s (fun () ->
+            Toolchain.Interp.run build.Toolchain.Pipeline.interp entry [])
+      | None -> Toolchain.Interp.run build.Toolchain.Pipeline.interp entry []
+    in
+    (match execute () with
     | result ->
       Printf.printf "%s() = %d\n" entry result;
       Printf.printf "[%s] cycles=%d transitions=%d sites=%d moved=%d wrappers=%d\n"
@@ -224,6 +350,11 @@ let run_ir_file path mode use_static entry =
         build.Toolchain.Pipeline.pass_stats.Ir.Passes.wrappers
     | exception Vmm.Fault.Unhandled fault ->
       Printf.printf "program killed: %s\n" (Vmm.Fault.to_string fault));
+    (match sink with
+    | Some s ->
+      print_newline ();
+      print_string (Telemetry.Export.summary s)
+    | None -> ());
     `Ok ()
 
 (* --- corpus: collect, inspect and persist the profiling corpus --- *)
@@ -311,6 +442,10 @@ let micro_cmd =
   Cmd.v (Cmd.info "micro" ~doc:"Run the call-gate micro-benchmarks")
     Term.(ret (const run_micro $ const ()))
 
+let telemetry_flag =
+  Arg.(value & flag
+       & info [ "telemetry" ] ~doc:"Record telemetry during the run and print a digest")
+
 let suite_cmd =
   let suite_arg =
     Arg.(required & pos 0 (some string) None
@@ -318,7 +453,27 @@ let suite_cmd =
              ~doc:"dromaeo|dom|v8|sunspider|jslib|kraken|octane|jetstream2")
   in
   Cmd.v (Cmd.info "suite" ~doc:"Run one benchmark suite")
-    Term.(ret (const run_suite $ suite_arg))
+    Term.(ret (const run_suite $ suite_arg $ telemetry_flag))
+
+let trace_cmd =
+  let bench_arg =
+    Arg.(required & opt (some string) None
+         & info [ "b"; "bench" ] ~docv:"BENCH" ~doc:"Benchmark name (e.g. richards, dom-attr)")
+  in
+  let mode =
+    Arg.(value & opt mode_conv Pkru_safe.Config.Mpk & info [ "m"; "mode" ] ~doc:"Build mode")
+  in
+  let format =
+    Arg.(value & opt trace_format_conv `Chrome
+         & info [ "f"; "format" ] ~docv:"FORMAT"
+             ~doc:"chrome (trace_event for chrome://tracing / Perfetto), json, or summary")
+  in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file")
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Run one benchmark with telemetry enabled and export the trace")
+    Term.(ret (const run_trace $ bench_arg $ mode $ format $ output))
 
 let compare_cmd =
   let dir n doc = Arg.(required & pos n (some dir) None & info [] ~docv:"DIR" ~doc) in
@@ -345,11 +500,11 @@ let run_cmd =
   in
   let entry = Arg.(value & opt string "main" & info [ "entry" ] ~doc:"Entry function") in
   Cmd.v (Cmd.info "run" ~doc:"Compile and run a .ir program through the pipeline")
-    Term.(ret (const run_ir_file $ path $ mode $ use_static $ entry))
+    Term.(ret (const run_ir_file $ path $ mode $ use_static $ entry $ telemetry_flag))
 
 let default =
   Term.(ret (const (`Help (`Pager, None))))
 
 let () =
   let info = Cmd.info "pkru_safe_cli" ~doc:"PKRU-Safe reproduction driver" in
-  exit (Cmd.eval (Cmd.group ~default info [ pipeline_cmd; browse_cmd; exploit_cmd; micro_cmd; suite_cmd; run_cmd; corpus_cmd; compare_cmd ]))
+  exit (Cmd.eval (Cmd.group ~default info [ pipeline_cmd; browse_cmd; exploit_cmd; micro_cmd; suite_cmd; trace_cmd; run_cmd; corpus_cmd; compare_cmd ]))

@@ -71,8 +71,27 @@ let create ?(mu_backend = Mu_dlmalloc) ?(trusted_pkey = Mpk.Pkey.of_int 1) machi
 let machine t = t.machine
 let trusted_pkey t = t.trusted_pkey
 
-let alloc_trusted t size = t.mt.b_alloc size
-let alloc_untrusted t size = t.mu.b_alloc size
+(* Allocation telemetry: compartment-tagged events (carrying the AllocId
+   the instrumented global-allocator surface passes down) and per-pool
+   size histograms.  Event construction happens only under an installed
+   sink. *)
+let note_alloc t ~compartment ~histogram ~site ~size result =
+  (match (result, !Telemetry.Sink.current) with
+  | Some addr, Some sink ->
+    Telemetry.Sink.observe sink histogram size;
+    Telemetry.Sink.emit sink ~ts:(Sim.Machine.cycles t.machine)
+      ~cpu:t.machine.Sim.Machine.cpu.Sim.Cpu.id
+      (Telemetry.Event.Alloc { compartment; site; addr; size })
+  | _ -> ());
+  result
+
+let alloc_trusted ?site t size =
+  note_alloc t ~compartment:Telemetry.Event.Trusted ~histogram:"alloc_size_mt_bytes" ~site
+    ~size (t.mt.b_alloc size)
+
+let alloc_untrusted ?site t size =
+  note_alloc t ~compartment:Telemetry.Event.Untrusted ~histogram:"alloc_size_mu_bytes" ~site
+    ~size (t.mu.b_alloc size)
 
 let pool_of_addr t addr =
   if Pool.contains t.mt_pool addr then Some `Trusted
@@ -85,7 +104,19 @@ let backend_of_addr t addr =
   | Some `Untrusted -> t.mu
   | None -> invalid_arg (Printf.sprintf "pkalloc: foreign pointer 0x%x" addr)
 
-let dealloc t addr = (backend_of_addr t addr).b_free addr
+let dealloc t addr =
+  (match !Telemetry.Sink.current with
+  | None -> ()
+  | Some sink ->
+    let compartment =
+      match pool_of_addr t addr with
+      | Some `Untrusted -> Telemetry.Event.Untrusted
+      | Some `Trusted | None -> Telemetry.Event.Trusted
+    in
+    Telemetry.Sink.emit sink ~ts:(Sim.Machine.cycles t.machine)
+      ~cpu:t.machine.Sim.Machine.cpu.Sim.Cpu.id
+      (Telemetry.Event.Free { compartment; addr }));
+  (backend_of_addr t addr).b_free addr
 
 let usable_size t addr = (backend_of_addr t addr).b_usable addr
 

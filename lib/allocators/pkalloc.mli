@@ -34,10 +34,11 @@ val create :
 val machine : t -> Sim.Machine.t
 val trusted_pkey : t -> Mpk.Pkey.t
 
-val alloc_trusted : t -> int -> int option
-(** [__rust_alloc]: allocate from MT. *)
+val alloc_trusted : ?site:string -> t -> int -> int option
+(** [__rust_alloc]: allocate from MT.  [site] is the printed AllocId used
+    to tag the telemetry event when a sink is installed. *)
 
-val alloc_untrusted : t -> int -> int option
+val alloc_untrusted : ?site:string -> t -> int -> int option
 (** [__rust_untrusted_alloc]: allocate from MU. *)
 
 val dealloc : t -> int -> unit

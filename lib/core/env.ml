@@ -92,12 +92,18 @@ let note_site t site moved =
     if moved then t.sites_moved <- t.sites_moved + 1
   end
 
+(* The AllocId label is only rendered when a telemetry sink is installed;
+   disabled runs never build the string. *)
+let site_label site =
+  if Telemetry.Sink.active () then Some (Runtime.Alloc_id.to_string site) else None
+
 let alloc t ~site size =
   let moved = Config.split_heap t.config && Runtime.Profile.mem t.input_profile site in
   note_site t site moved;
+  let label = site_label site in
   let result =
-    if moved then Allocators.Pkalloc.alloc_untrusted t.pkalloc size
-    else Allocators.Pkalloc.alloc_trusted t.pkalloc size
+    if moved then Allocators.Pkalloc.alloc_untrusted ?site:label t.pkalloc size
+    else Allocators.Pkalloc.alloc_trusted ?site:label t.pkalloc size
   in
   match result with
   | None -> raise Out_of_memory

@@ -15,7 +15,12 @@ let charge t n = t.cycles <- t.cycles + n
 let wrpkru t v =
   charge t t.cost.Cost.wrpkru;
   t.wrpkru_retired <- t.wrpkru_retired + 1;
-  t.pkru <- v
+  t.pkru <- v;
+  match !Telemetry.Sink.current with
+  | None -> ()
+  | Some sink ->
+    Telemetry.Sink.emit sink ~ts:t.cycles ~cpu:t.id
+      (Telemetry.Event.Wrpkru { value = Mpk.Pkru.to_int v })
 
 let rdpkru t =
   charge t t.cost.Cost.rdpkru;

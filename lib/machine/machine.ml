@@ -21,10 +21,26 @@ let spawn_cpu t =
   t.cpus <- t.cpus @ [ cpu ];
   cpu
 
+(* Telemetry timestamps are whole-machine cycles so that events from
+   different harts order consistently in one trace. *)
+let total_cycles t = List.fold_left (fun acc cpu -> acc + Cpu.cycles cpu) 0 t.cpus
+
+let note_thread_switch t ~from_cpu ~to_cpu =
+  match !Telemetry.Sink.current with
+  | None -> ()
+  | Some sink ->
+    Telemetry.Sink.emit sink ~ts:(total_cycles t) ~cpu:to_cpu
+      (Telemetry.Event.Thread_switch { from_cpu; to_cpu })
+
 let run_on t cpu f =
   let previous = t.cpu in
+  note_thread_switch t ~from_cpu:previous.Cpu.id ~to_cpu:cpu.Cpu.id;
   t.cpu <- cpu;
-  Fun.protect ~finally:(fun () -> t.cpu <- previous) f
+  Fun.protect
+    ~finally:(fun () ->
+      note_thread_switch t ~from_cpu:cpu.Cpu.id ~to_cpu:previous.Cpu.id;
+      t.cpu <- previous)
+    f
 
 let page_size = Vmm.Layout.page_size
 
@@ -51,6 +67,39 @@ let probe t access addr =
   | None -> Some Vmm.Fault.Not_mapped
   | Some page -> check_page t access page
 
+(* Fault-path telemetry: describe the fault, note the SIGSEGV dispatch, and
+   time handler servicing (the cycles charged between dispatch and the
+   handler's return, i.e. signal dispatch plus whatever the handler ran). *)
+let note_fault t (fault : Vmm.Fault.t) =
+  match !Telemetry.Sink.current with
+  | None -> ()
+  | Some sink ->
+    let ts = total_cycles t in
+    let cpu = t.cpu.Cpu.id in
+    (match fault.Vmm.Fault.kind with
+    | Vmm.Fault.Pkey_violation key ->
+      Telemetry.Sink.emit sink ~ts ~cpu
+        (Telemetry.Event.Mpk_fault
+           { addr = fault.Vmm.Fault.addr; pkey = Mpk.Pkey.to_int key })
+    | Vmm.Fault.Not_mapped ->
+      Telemetry.Sink.emit sink ~ts ~cpu
+        (Telemetry.Event.Page_fault
+           { addr = fault.Vmm.Fault.addr; kind = Telemetry.Event.Not_mapped })
+    | Vmm.Fault.Prot_violation ->
+      Telemetry.Sink.emit sink ~ts ~cpu
+        (Telemetry.Event.Page_fault
+           { addr = fault.Vmm.Fault.addr; kind = Telemetry.Event.Prot_violation }));
+    Telemetry.Sink.emit sink ~ts ~cpu
+      (Telemetry.Event.Signal_dispatch { signal = Telemetry.Event.Segv })
+
+let deliver_fault t fault =
+  note_fault t fault;
+  let before = total_cycles t in
+  Signals.deliver_segv t.signals fault;
+  match !Telemetry.Sink.current with
+  | None -> ()
+  | Some sink -> Telemetry.Sink.observe sink "fault_service_cycles" (total_cycles t - before)
+
 (* Resolve one in-page access, delivering faults until it succeeds.  The
    retry bound breaks the livelock a buggy handler would otherwise cause
    (return-from-handler normally re-executes the faulting instruction). *)
@@ -62,16 +111,22 @@ let resolve t access addr =
     match Vmm.Page_table.lookup t.page_table addr with
     | None ->
       Cpu.charge t.cpu t.cpu.Cpu.cost.Cost.signal_dispatch;
-      Signals.deliver_segv t.signals { Vmm.Fault.addr; access; kind = Vmm.Fault.Not_mapped };
+      deliver_fault t { Vmm.Fault.addr; access; kind = Vmm.Fault.Not_mapped };
       attempt (retries - 1)
     | Some page ->
-      if Vmm.Page_table.demand_faults t.page_table > faults_before then
+      if Vmm.Page_table.demand_faults t.page_table > faults_before then begin
         Cpu.charge t.cpu t.cpu.Cpu.cost.Cost.soft_page_fault;
+        match !Telemetry.Sink.current with
+        | None -> ()
+        | Some sink ->
+          Telemetry.Sink.emit sink ~ts:(total_cycles t) ~cpu:t.cpu.Cpu.id
+            (Telemetry.Event.Page_fault { addr; kind = Telemetry.Event.Demand_paged })
+      end;
       (match check_page t access page with
       | None -> page
       | Some kind ->
         Cpu.charge t.cpu t.cpu.Cpu.cost.Cost.signal_dispatch;
-        Signals.deliver_segv t.signals { Vmm.Fault.addr; access; kind };
+        deliver_fault t { Vmm.Fault.addr; access; kind };
         attempt (retries - 1))
   in
   attempt 64
@@ -81,6 +136,11 @@ let post_access t =
   if t.cpu.Cpu.trap_flag then begin
     t.cpu.Cpu.trap_flag <- false;
     Cpu.charge t.cpu t.cpu.Cpu.cost.Cost.signal_dispatch;
+    (match !Telemetry.Sink.current with
+    | None -> ()
+    | Some sink ->
+      Telemetry.Sink.emit sink ~ts:(total_cycles t) ~cpu:t.cpu.Cpu.id
+        (Telemetry.Event.Signal_dispatch { signal = Telemetry.Event.Trap }));
     Signals.deliver_trap t.signals
   end
 
@@ -237,4 +297,4 @@ let priv_read_string t addr len = Bytes.to_string (priv_read_bytes t addr len)
 
 let charge t n = Cpu.charge t.cpu n
 
-let cycles t = List.fold_left (fun acc cpu -> acc + Cpu.cycles cpu) 0 t.cpus
+let cycles = total_cycles

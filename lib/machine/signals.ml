@@ -21,18 +21,29 @@ let register_trap t handler = t.trap <- Some handler
 
 let segv_handler_count t = List.length t.segv_chain
 
+let note delivery =
+  match !Telemetry.Sink.current with
+  | None -> ()
+  | Some sink -> Telemetry.Sink.incr sink delivery
+
 let deliver_segv t fault =
+  note "signals.segv_delivered";
   let rec walk = function
-    | [] -> raise (Vmm.Fault.Unhandled fault)
+    | [] ->
+      note "signals.unhandled";
+      raise (Vmm.Fault.Unhandled fault)
     | handler :: rest ->
       (match handler fault with
       | Retry -> ()
       | Pass -> walk rest
-      | Kill msg -> raise (Process_killed msg))
+      | Kill msg ->
+        note "signals.killed";
+        raise (Process_killed msg))
   in
   walk t.segv_chain
 
 let deliver_trap t =
+  note "signals.trap_delivered";
   match t.trap with
   | Some handler -> handler ()
   | None -> raise (Process_killed "SIGTRAP with no handler installed")

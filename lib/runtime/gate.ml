@@ -23,43 +23,66 @@ let cpu t = t.machine.Sim.Machine.cpu
 
 let current t = Compartment.of_pkru ~trusted_pkey:t.trusted_pkey (cpu t).Sim.Cpu.pkru
 
+(* Preallocated events: one per gate side, so the enabled path allocates
+   nothing per transition and the disabled path is a load and a branch. *)
+let ev_enter_untrusted = Telemetry.Event.Gate_enter { target = Telemetry.Event.Untrusted }
+let ev_exit_untrusted = Telemetry.Event.Gate_exit { target = Telemetry.Event.Untrusted }
+let ev_enter_trusted = Telemetry.Event.Gate_enter { target = Telemetry.Event.Trusted }
+let ev_exit_trusted = Telemetry.Event.Gate_exit { target = Telemetry.Event.Trusted }
+
 (* One gate side: bookkeeping + WRPKRU + the verifying RDPKRU.  A mismatch
    after the write means PKRU-modifying code was reused out of context, so
    the gate kills the process rather than continue with broken rights. *)
-let switch_to t target =
+let switch_to t event target =
   let cpu = cpu t in
   Sim.Cpu.charge cpu cpu.Sim.Cpu.cost.Sim.Cost.gate_bookkeeping;
   Sim.Cpu.wrpkru cpu target;
   let now = Sim.Cpu.rdpkru cpu in
   if not (Mpk.Pkru.equal now target) then
     raise (Sim.Signals.Process_killed "call gate: PKRU value mismatch");
-  t.transitions <- t.transitions + 1
+  t.transitions <- t.transitions + 1;
+  match !Telemetry.Sink.current with
+  | None -> ()
+  | Some sink ->
+    Telemetry.Sink.emit sink ~ts:(Sim.Machine.cycles t.machine) ~cpu:cpu.Sim.Cpu.id event
 
 let enter_untrusted t =
   Comp_stack.push t.stack (cpu t).Sim.Cpu.pkru;
-  switch_to t t.untrusted_view
+  switch_to t ev_enter_untrusted t.untrusted_view
 
 let exit_untrusted t =
   let saved = Comp_stack.pop t.stack in
-  switch_to t saved
+  switch_to t ev_exit_untrusted saved
 
 (* The reverse gate restores T's full view for the duration of a callback;
    it does not assume where it was called from. *)
 let enter_trusted t =
   Comp_stack.push t.stack (cpu t).Sim.Cpu.pkru;
-  switch_to t Compartment.trusted_view
+  switch_to t ev_enter_trusted Compartment.trusted_view
 
 let exit_trusted t =
   let saved = Comp_stack.pop t.stack in
-  switch_to t saved
+  switch_to t ev_exit_trusted saved
+
+let bracketed t ~enter ~exit ~latency f =
+  match !Telemetry.Sink.current with
+  | None ->
+    enter t;
+    Fun.protect ~finally:(fun () -> exit t) f
+  | Some sink ->
+    let entered = Sim.Machine.cycles t.machine in
+    enter t;
+    Fun.protect
+      ~finally:(fun () ->
+        exit t;
+        Telemetry.Sink.observe sink latency (Sim.Machine.cycles t.machine - entered))
+      f
 
 let call_untrusted t f =
-  enter_untrusted t;
-  Fun.protect ~finally:(fun () -> exit_untrusted t) f
+  bracketed t ~enter:enter_untrusted ~exit:exit_untrusted ~latency:"gate_roundtrip_cycles" f
 
 let callback_trusted t f =
-  enter_trusted t;
-  Fun.protect ~finally:(fun () -> exit_trusted t) f
+  bracketed t ~enter:enter_trusted ~exit:exit_trusted ~latency:"callback_roundtrip_cycles" f
 
 let transitions t = t.transitions
 let reset_transitions t = t.transitions <- 0

@@ -4,6 +4,7 @@ type t = {
   metadata : Metadata.t;
   profile : Profile.t;
   saved_pkru : (int, Mpk.Pkru.t) Hashtbl.t; (* per-hart single-step state *)
+  step_started : (int, int) Hashtbl.t; (* per-hart cycles at fault entry *)
   mutable faults_serviced : int;
   mutable untracked_faults : int;
 }
@@ -15,6 +16,7 @@ let create ?(trusted_pkey = Mpk.Pkey.of_int 1) machine =
     metadata = Metadata.create ();
     profile = Profile.create ();
     saved_pkru = Hashtbl.create 4;
+    step_started = Hashtbl.create 4;
     faults_serviced = 0;
     untracked_faults = 0;
   }
@@ -27,10 +29,16 @@ let on_segv t (fault : Vmm.Fault.t) =
        permissive PKRU. *)
     (match Metadata.lookup t.metadata fault.Vmm.Fault.addr with
     | Some record -> Profile.record t.profile record.Metadata.alloc_id
-    | None -> t.untracked_faults <- t.untracked_faults + 1);
+    | None ->
+      t.untracked_faults <- t.untracked_faults + 1;
+      (match !Telemetry.Sink.current with
+      | None -> ()
+      | Some sink -> Telemetry.Sink.incr sink "profiler.untracked_faults"));
     t.faults_serviced <- t.faults_serviced + 1;
     let cpu = t.machine.Sim.Machine.cpu in
     Hashtbl.replace t.saved_pkru cpu.Sim.Cpu.id cpu.Sim.Cpu.pkru;
+    if !Telemetry.Sink.current <> None then
+      Hashtbl.replace t.step_started cpu.Sim.Cpu.id (Sim.Machine.cycles t.machine);
     cpu.Sim.Cpu.pkru <- Mpk.Pkru.all_enabled;
     cpu.Sim.Cpu.trap_flag <- true;
     Sim.Signals.Retry
@@ -44,7 +52,14 @@ let on_trap t () =
   match Hashtbl.find_opt t.saved_pkru cpu.Sim.Cpu.id with
   | Some pkru ->
     cpu.Sim.Cpu.pkru <- pkru;
-    Hashtbl.remove t.saved_pkru cpu.Sim.Cpu.id
+    Hashtbl.remove t.saved_pkru cpu.Sim.Cpu.id;
+    (* Fault-to-trap round trip: the full single-step servicing of one
+       recorded access (dispatch, permissive re-execution, #DB restore). *)
+    (match (!Telemetry.Sink.current, Hashtbl.find_opt t.step_started cpu.Sim.Cpu.id) with
+    | Some sink, Some started ->
+      Hashtbl.remove t.step_started cpu.Sim.Cpu.id;
+      Telemetry.Sink.observe sink "single_step_cycles" (Sim.Machine.cycles t.machine - started)
+    | _ -> Hashtbl.remove t.step_started cpu.Sim.Cpu.id)
   | None -> ()
 
 let install t =

@@ -1,0 +1,85 @@
+type compartment =
+  | Trusted
+  | Untrusted
+
+let compartment_to_string = function
+  | Trusted -> "trusted"
+  | Untrusted -> "untrusted"
+
+type signal =
+  | Segv
+  | Trap
+
+let signal_to_string = function
+  | Segv -> "segv"
+  | Trap -> "trap"
+
+type page_fault_kind =
+  | Not_mapped
+  | Prot_violation
+  | Demand_paged
+
+let page_fault_kind_to_string = function
+  | Not_mapped -> "not_mapped"
+  | Prot_violation -> "prot_violation"
+  | Demand_paged -> "demand_paged"
+
+type t =
+  | Gate_enter of { target : compartment }
+  | Gate_exit of { target : compartment }
+  | Wrpkru of { value : int }
+  | Mpk_fault of { addr : int; pkey : int }
+  | Signal_dispatch of { signal : signal }
+  | Alloc of { compartment : compartment; site : string option; addr : int; size : int }
+  | Free of { compartment : compartment; addr : int }
+  | Page_fault of { addr : int; kind : page_fault_kind }
+  | Thread_switch of { from_cpu : int; to_cpu : int }
+
+type record = {
+  ts : int;  (* Machine.cycles at emission *)
+  cpu : int;
+  event : t;
+}
+
+let kind = function
+  | Gate_enter _ -> "gate_enter"
+  | Gate_exit _ -> "gate_exit"
+  | Wrpkru _ -> "wrpkru"
+  | Mpk_fault _ -> "mpk_fault"
+  | Signal_dispatch _ -> "signal_dispatch"
+  | Alloc _ -> "alloc"
+  | Free _ -> "free"
+  | Page_fault _ -> "page_fault"
+  | Thread_switch _ -> "thread_switch"
+
+let is_gate_transition = function
+  | Gate_enter _ | Gate_exit _ -> true
+  | _ -> false
+
+(* The event payload as JSON fields, shared by the compact-JSON and
+   Chrome-trace exporters (the latter nests them under "args"). *)
+let args_json event =
+  let open Util.Json in
+  match event with
+  | Gate_enter { target } | Gate_exit { target } ->
+    [ ("target", String (compartment_to_string target)) ]
+  | Wrpkru { value } -> [ ("value", Int value) ]
+  | Mpk_fault { addr; pkey } -> [ ("addr", Int addr); ("pkey", Int pkey) ]
+  | Signal_dispatch { signal } -> [ ("signal", String (signal_to_string signal)) ]
+  | Alloc { compartment; site; addr; size } ->
+    [
+      ("compartment", String (compartment_to_string compartment));
+      ("site", (match site with Some s -> String s | None -> Null));
+      ("addr", Int addr);
+      ("size", Int size);
+    ]
+  | Free { compartment; addr } ->
+    [ ("compartment", String (compartment_to_string compartment)); ("addr", Int addr) ]
+  | Page_fault { addr; kind } ->
+    [ ("addr", Int addr); ("kind", String (page_fault_kind_to_string kind)) ]
+  | Thread_switch { from_cpu; to_cpu } ->
+    [ ("from_cpu", Int from_cpu); ("to_cpu", Int to_cpu) ]
+
+let record_to_json { ts; cpu; event } =
+  let open Util.Json in
+  Obj ([ ("ts", Int ts); ("cpu", Int cpu); ("kind", String (kind event)) ] @ args_json event)

@@ -1,0 +1,166 @@
+(* Exporters over a sink snapshot: compact JSON, Chrome trace_event JSON
+   (chrome://tracing / Perfetto), and an ASCII summary table. *)
+
+let counters_json sink =
+  Util.Json.Obj (List.map (fun (name, n) -> (name, Util.Json.Int n)) (Sink.counters sink))
+
+let histograms_json sink =
+  Util.Json.Obj (List.map (fun (name, h) -> (name, Histogram.to_json h)) (Sink.histograms sink))
+
+let to_json sink =
+  let open Util.Json in
+  Obj
+    [
+      ("events_total", Int (Sink.events_total sink));
+      ("events_dropped", Int (Sink.dropped sink));
+      ("gate_transitions", Int (Sink.gate_transitions sink));
+      ("counters", counters_json sink);
+      ("histograms", histograms_json sink);
+      ("events", List (List.map Event.record_to_json (Sink.events sink)));
+    ]
+
+(* Chrome trace_event format: gates become nested duration slices (ph B/E —
+   gate sides nest by construction of the compartment stack), everything
+   else an instant event.  "ts" is in simulated cycles; the unit only
+   matters for the viewer's axis labels. *)
+let chrome_record (r : Event.record) =
+  let open Util.Json in
+  let common name cat ph extra =
+    Obj
+      ([
+         ("name", String name);
+         ("cat", String cat);
+         ("ph", String ph);
+         ("ts", Int r.Event.ts);
+         ("pid", Int 0);
+         ("tid", Int r.Event.cpu);
+       ]
+      @ extra)
+  in
+  let args = [ ("args", Obj (Event.args_json r.Event.event)) ] in
+  match r.Event.event with
+  | Event.Gate_enter { target } ->
+    common ("gate:" ^ Event.compartment_to_string target) "gate" "B" args
+  | Event.Gate_exit _ -> common "gate" "gate" "E" []
+  | event ->
+    common (Event.kind event) (Event.kind event) "i" ([ ("s", String "t") ] @ args)
+
+let chrome_trace sink =
+  let open Util.Json in
+  Obj
+    [
+      ("traceEvents", List (List.map chrome_record (Sink.events sink)));
+      ("displayTimeUnit", String "ns");
+      ( "otherData",
+        Obj
+          [
+            ("gate_transitions", Int (Sink.gate_transitions sink));
+            ("events_total", Int (Sink.events_total sink));
+            ("events_dropped", Int (Sink.dropped sink));
+          ] );
+    ]
+
+(* Gate round-trip latencies recovered from the trace: per-hart stacks of
+   Gate_enter timestamps, popped by the matching Gate_exit.  These are the
+   exact samples (within ring capacity), so the summary reports true
+   percentiles via Util.Stats.percentile rather than the histogram's
+   bucket-resolution approximation. *)
+let gate_latencies sink =
+  let stacks : (int, int list ref) Hashtbl.t = Hashtbl.create 4 in
+  let stack cpu =
+    match Hashtbl.find_opt stacks cpu with
+    | Some s -> s
+    | None ->
+      let s = ref [] in
+      Hashtbl.add stacks cpu s;
+      s
+  in
+  let out = ref [] in
+  List.iter
+    (fun (r : Event.record) ->
+      match r.Event.event with
+      | Event.Gate_enter _ ->
+        let s = stack r.Event.cpu in
+        s := r.Event.ts :: !s
+      | Event.Gate_exit _ ->
+        let s = stack r.Event.cpu in
+        (match !s with
+        | entered :: rest ->
+          s := rest;
+          out := float_of_int (r.Event.ts - entered) :: !out
+        | [] -> () (* the matching enter was dropped by the ring *))
+      | _ -> ())
+    (Sink.events sink);
+  List.rev !out
+
+(* Everything except the raw trace: what a results directory wants to keep
+   per run without storing millions of event records. *)
+let summary_json sink =
+  let open Util.Json in
+  let gate_percentiles =
+    match gate_latencies sink with
+    | [] -> Null
+    | latencies ->
+      Obj
+        [
+          ("pairs", Int (List.length latencies));
+          ("p50", Float (Util.Stats.percentile 50.0 latencies));
+          ("p90", Float (Util.Stats.percentile 90.0 latencies));
+          ("p99", Float (Util.Stats.percentile 99.0 latencies));
+        ]
+  in
+  Obj
+    [
+      ("events_total", Int (Sink.events_total sink));
+      ("events_dropped", Int (Sink.dropped sink));
+      ("gate_transitions", Int (Sink.gate_transitions sink));
+      ("gate_roundtrip_cycles_exact", gate_percentiles);
+      ("counters", counters_json sink);
+      ("histograms", histograms_json sink);
+    ]
+
+let summary sink =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "events: %d total, %d in trace, %d dropped; gate transitions: %d\n\n"
+       (Sink.events_total sink)
+       (List.length (Sink.events sink))
+       (Sink.dropped sink) (Sink.gate_transitions sink));
+  let counters = Sink.counters sink in
+  if counters <> [] then begin
+    Buffer.add_string buf
+      (Util.Table.render ~header:[ "counter"; "count" ]
+         (List.map (fun (name, n) -> [ name; string_of_int n ]) counters));
+    Buffer.add_char buf '\n'
+  end;
+  let histograms = Sink.histograms sink in
+  if histograms <> [] then begin
+    Buffer.add_string buf
+      (Util.Table.render
+         ~header:[ "histogram"; "count"; "min"; "mean"; "p50"; "p90"; "p99"; "max" ]
+         (List.map
+            (fun (name, h) ->
+              [
+                name;
+                string_of_int (Histogram.count h);
+                string_of_int (Histogram.min_value h);
+                Printf.sprintf "%.1f" (Histogram.mean h);
+                Printf.sprintf "%.0f" (Histogram.percentile h 50.0);
+                Printf.sprintf "%.0f" (Histogram.percentile h 90.0);
+                Printf.sprintf "%.0f" (Histogram.percentile h 99.0);
+                string_of_int (Histogram.max_value h);
+              ])
+            histograms));
+    Buffer.add_char buf '\n'
+  end;
+  (match gate_latencies sink with
+  | [] -> ()
+  | latencies ->
+    Buffer.add_string buf
+      (Printf.sprintf
+         "gate round-trip from trace (%d pairs): p50 %.0f  p90 %.0f  p99 %.0f cycles\n"
+         (List.length latencies)
+         (Util.Stats.percentile 50.0 latencies)
+         (Util.Stats.percentile 90.0 latencies)
+         (Util.Stats.percentile 99.0 latencies)));
+  Buffer.contents buf

@@ -1,0 +1,23 @@
+(** Sink exporters: compact JSON, Chrome [trace_event] JSON, ASCII summary. *)
+
+val to_json : Sink.t -> Util.Json.t
+(** Full snapshot: counters, histogram summaries, and the trace. *)
+
+val chrome_trace : Sink.t -> Util.Json.t
+(** Chrome trace_event format, loadable in [chrome://tracing] or Perfetto
+    ([ui.perfetto.dev]).  Gate enters/exits become nested duration slices
+    (one [ph:"B"] or [ph:"E"] record per transition, so the slice-record
+    count equals {!Sink.gate_transitions}); every other event is an
+    instant. *)
+
+val gate_latencies : Sink.t -> float list
+(** Gate round-trip times (cycles) recovered by pairing enter/exit records
+    in the trace, per hart, in completion order. *)
+
+val summary_json : Sink.t -> Util.Json.t
+(** Counters, histogram summaries and exact gate round-trip percentiles —
+    everything except the raw event trace. *)
+
+val summary : Sink.t -> string
+(** Human-readable overview: event totals, counter table, histogram
+    percentile table, and exact gate round-trip percentiles. *)

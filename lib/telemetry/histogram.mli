@@ -1,0 +1,31 @@
+(** Streaming log₂-bucketed histograms.
+
+    Fixed memory (63 buckets spanning every non-negative int), O(1)
+    observation — suitable for per-event hot-path recording of gate
+    round-trip latencies, allocation sizes and fault-service times. *)
+
+type t
+
+val create : unit -> t
+
+val observe : t -> int -> unit
+(** Records one sample; negative values clamp to 0. *)
+
+val count : t -> int
+val sum : t -> int
+val min_value : t -> int
+val max_value : t -> int
+val mean : t -> float
+
+val percentile : t -> float -> float
+(** Bucket-resolution approximation (reports the covering bucket's upper
+    bound, clamped to the observed min/max).
+    @raise Invalid_argument when the rank is outside [0, 100]. *)
+
+val bucket_of : int -> int
+(** Index of the bucket holding a value: [0] for 0 and 1, else ⌊log₂ v⌋. *)
+
+val nonempty_buckets : t -> (int * int * int) list
+(** [(lower, upper, count)] for every populated bucket, ascending. *)
+
+val to_json : t -> Util.Json.t

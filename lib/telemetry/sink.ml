@@ -1,0 +1,76 @@
+type t = {
+  ring : Event.record Ring.t;
+  counters : (string, int ref) Hashtbl.t;
+  histograms : (string, Histogram.t) Hashtbl.t;
+  mutable events_total : int;
+}
+
+let default_capacity = 65536
+
+let create ?(capacity = default_capacity) () =
+  {
+    ring = Ring.create ~capacity;
+    counters = Hashtbl.create 32;
+    histograms = Hashtbl.create 16;
+    events_total = 0;
+  }
+
+let incr ?(by = 1) t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r := !r + by
+  | None -> Hashtbl.add t.counters name (ref by)
+
+let emit t ~ts ~cpu event =
+  t.events_total <- t.events_total + 1;
+  incr t (Event.kind event);
+  Ring.push t.ring { Event.ts; cpu; event }
+
+let observe t name value =
+  let h =
+    match Hashtbl.find_opt t.histograms name with
+    | Some h -> h
+    | None ->
+      let h = Histogram.create () in
+      Hashtbl.add t.histograms name h;
+      h
+  in
+  Histogram.observe h value
+
+let count t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> !r
+  | None -> 0
+
+let events_total t = t.events_total
+let events t = Ring.to_list t.ring
+let dropped t = Ring.dropped t.ring
+let histogram t name = Hashtbl.find_opt t.histograms name
+
+let counters t =
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.counters []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let histograms t =
+  Hashtbl.fold (fun name h acc -> (name, h) :: acc) t.histograms []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let gate_transitions t = count t "gate_enter" + count t "gate_exit"
+
+(* The process-wide sink.  Instrumentation sites pattern-match on this ref
+   directly — when it is [None] the entire telemetry layer costs one load
+   and one branch, and no event value is ever constructed. *)
+let current : t option ref = ref None
+
+let enable ?capacity () =
+  let sink = create ?capacity () in
+  current := Some sink;
+  sink
+
+let disable () = current := None
+
+let active () = !current <> None
+
+let with_sink sink f =
+  let previous = !current in
+  current := Some sink;
+  Fun.protect ~finally:(fun () -> current := previous) f

@@ -1,0 +1,65 @@
+(** The telemetry sink: bounded event trace + streaming counters and
+    histograms, behind a process-wide [option] so disabled builds pay one
+    pointer load per instrumentation site.
+
+    Instrumented code follows this pattern — the match is the whole cost
+    when telemetry is off, and the event payload is only constructed in
+    the [Some] arm:
+
+    {[
+      match !Telemetry.Sink.current with
+      | None -> ()
+      | Some sink -> Telemetry.Sink.emit sink ~ts ~cpu (Telemetry.Event.Wrpkru { value })
+    ]} *)
+
+type t
+
+val default_capacity : int
+(** 65536 trace records (counters and histograms are unbounded-precision
+    regardless of ring capacity). *)
+
+val create : ?capacity:int -> unit -> t
+
+(* {2 Recording} *)
+
+val emit : t -> ts:int -> cpu:int -> Event.t -> unit
+(** Appends to the ring (dropping oldest-first at capacity) and bumps the
+    event-kind counter. *)
+
+val observe : t -> string -> int -> unit
+(** Records a sample into the named histogram, creating it on first use. *)
+
+val incr : ?by:int -> t -> string -> unit
+(** Bumps a named counter without producing a trace record. *)
+
+(* {2 Reading} *)
+
+val count : t -> string -> int
+val events_total : t -> int
+(** Every event ever emitted, including those the ring has dropped. *)
+
+val events : t -> Event.record list
+(** Trace contents, oldest first. *)
+
+val dropped : t -> int
+val histogram : t -> string -> Histogram.t option
+val counters : t -> (string * int) list
+val histograms : t -> (string * Histogram.t) list
+
+val gate_transitions : t -> int
+(** [count "gate_enter" + count "gate_exit"] — must equal
+    {!Runtime.Gate.transitions} summed over the traced run's gates. *)
+
+(* {2 The process-wide sink} *)
+
+val current : t option ref
+(** Matched directly by instrumentation sites; [None] compiles the layer
+    down to a load-and-branch. *)
+
+val enable : ?capacity:int -> unit -> t
+val disable : unit -> unit
+val active : unit -> bool
+
+val with_sink : t -> (unit -> 'a) -> 'a
+(** Installs [sink] for the duration of the callback, restoring the
+    previous sink afterwards (exception-safe). *)

@@ -4,7 +4,15 @@ val mean : float list -> float
 (** Arithmetic mean; 0.0 on the empty list. *)
 
 val geomean : float list -> float
-(** Geometric mean; 0.0 on the empty list.  All values must be positive. *)
+(** Geometric mean; 0.0 on the empty list.
+    @raise Invalid_argument on any non-positive value. *)
+
+val percentile : float -> float list -> float
+(** [percentile p xs] is the inclusive linearly-interpolated [p]-th
+    percentile: [percentile 0.0] is the minimum, [percentile 100.0] the
+    maximum, [percentile 50.0] the median.
+    @raise Invalid_argument on an empty sample or a rank outside
+    [\[0, 100\]]. *)
 
 val stddev : float list -> float
 (** Population standard deviation; 0.0 for fewer than two samples. *)

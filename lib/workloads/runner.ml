@@ -5,6 +5,7 @@ type measurement = {
   mt_bytes : int;
   mu_bytes : int;
   output : string list;
+  trace : Telemetry.Sink.t option;
 }
 
 type bench_result = {
@@ -44,13 +45,24 @@ let profile_suite (suite : Bench_def.suite) =
     (fun acc bench -> Runtime.Profile.merge acc (profile_bench bench))
     (Runtime.Profile.create ()) suite.Bench_def.benches
 
-let run_config ~mode ~profile (bench : Bench_def.bench) =
+let run_config ?(telemetry = false) ~mode ~profile (bench : Bench_def.bench) =
   let env = fail_on_error (Pkru_safe.Env.create ~profile (Pkru_safe.Config.make mode)) in
   let browser = Browser.create ~engine_seed:bench.Bench_def.engine_seed env in
   Browser.load_page browser bench.Bench_def.page;
   (* Page construction is setup; the script run is what the suites time. *)
   Pkru_safe.Env.reset_counters env;
-  ignore (Browser.exec_script browser bench.Bench_def.script);
+  let exec () = ignore (Browser.exec_script browser bench.Bench_def.script) in
+  let trace =
+    if telemetry then begin
+      let sink = Telemetry.Sink.create () in
+      Telemetry.Sink.with_sink sink exec;
+      Some sink
+    end
+    else begin
+      exec ();
+      None
+    end
+  in
   let mt_bytes, mu_bytes = Pkru_safe.Env.t_heap_bytes env in
   {
     cycles = Pkru_safe.Env.cycles env;
@@ -59,16 +71,17 @@ let run_config ~mode ~profile (bench : Bench_def.bench) =
     mt_bytes;
     mu_bytes;
     output = Browser.console browser;
+    trace;
   }
 
 let overhead ~base ~measured =
   Util.Stats.percent_overhead ~baseline:(float_of_int base.cycles)
     ~measured:(float_of_int measured.cycles)
 
-let run_bench ~profile (bench : Bench_def.bench) =
-  let base = run_config ~mode:Pkru_safe.Config.Base ~profile bench in
-  let alloc = run_config ~mode:Pkru_safe.Config.Alloc ~profile bench in
-  let mpk = run_config ~mode:Pkru_safe.Config.Mpk ~profile bench in
+let run_bench ?(telemetry = false) ~profile (bench : Bench_def.bench) =
+  let base = run_config ~telemetry ~mode:Pkru_safe.Config.Base ~profile bench in
+  let alloc = run_config ~telemetry ~mode:Pkru_safe.Config.Alloc ~profile bench in
+  let mpk = run_config ~telemetry ~mode:Pkru_safe.Config.Mpk ~profile bench in
   {
     bench = bench.Bench_def.name;
     base;
@@ -79,13 +92,13 @@ let run_bench ~profile (bench : Bench_def.bench) =
     outputs_agree = base.output = alloc.output && base.output = mpk.output;
   }
 
-let run_suite ?(progress = fun _ -> ()) (suite : Bench_def.suite) =
+let run_suite ?(progress = fun _ -> ()) ?(telemetry = false) (suite : Bench_def.suite) =
   let profile = profile_suite suite in
   let bench_results =
     List.map
       (fun bench ->
         progress bench.Bench_def.name;
-        run_bench ~profile bench)
+        run_bench ~telemetry ~profile bench)
       suite.Bench_def.benches
   in
   let mean f = Util.Stats.mean (List.map f bench_results) in

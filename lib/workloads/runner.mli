@@ -15,6 +15,9 @@ type measurement = {
   mt_bytes : int;  (** trusted-allocator bytes kept in MT *)
   mu_bytes : int;  (** trusted-allocator bytes moved to MU *)
   output : string list;
+  trace : Telemetry.Sink.t option;
+      (** telemetry captured during the timed script run, when the run was
+          made with [~telemetry:true] *)
 }
 
 type bench_result = {
@@ -40,13 +43,23 @@ val profile_suite : Bench_def.suite -> Runtime.Profile.t
 (** Runs every benchmark once on a profiling build and merges the results. *)
 
 val run_config :
-  mode:Pkru_safe.Config.mode -> profile:Runtime.Profile.t -> Bench_def.bench -> measurement
+  ?telemetry:bool ->
+  mode:Pkru_safe.Config.mode ->
+  profile:Runtime.Profile.t ->
+  Bench_def.bench ->
+  measurement
 (** One benchmark under one configuration (fresh machine; counters are
-    reset after page load so the script execution is what is timed). *)
+    reset after page load so the script execution is what is timed).
+    With [~telemetry:true] a fresh sink is installed for the duration of
+    the timed script and returned in the measurement's [trace] field —
+    telemetry never charges simulated cycles, so traced and untraced runs
+    report identical [cycles]. *)
 
-val run_bench : profile:Runtime.Profile.t -> Bench_def.bench -> bench_result
+val run_bench :
+  ?telemetry:bool -> profile:Runtime.Profile.t -> Bench_def.bench -> bench_result
 
-val run_suite : ?progress:(string -> unit) -> Bench_def.suite -> suite_result
+val run_suite :
+  ?progress:(string -> unit) -> ?telemetry:bool -> Bench_def.suite -> suite_result
 (** Full methodology for one suite; [progress] is called per benchmark. *)
 
 val score : measurement -> float

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "pkru-safe-repro"
     [
       ("util", Test_util.suite);
+      ("telemetry", Test_telemetry.suite);
       ("mpk", Test_mpk.suite);
       ("vmm", Test_vmm.suite);
       ("sim", Test_sim.suite);

@@ -1,0 +1,170 @@
+(* Tests for the telemetry subsystem: event counts against the gate's own
+   transition counter, ring-buffer eviction order, non-perturbation of
+   measurements, and Chrome-trace round-tripping. *)
+
+let ok = function
+  | Ok v -> v
+  | Error msg -> Alcotest.fail msg
+
+let small_bench =
+  Workloads.Bench_def.bench ~page:(Workloads.Dom_scripts.page ~rows:4) "telemetry-bench"
+    (Workloads.Dom_scripts.dom_attr ~iters:8)
+
+let bench_profile () =
+  Workloads.Runner.profile_suite
+    { Workloads.Bench_def.suite_name = "telemetry"; benches = [ small_bench ] }
+
+(* (1) Every gate side emits exactly one event, so the sink's gate-event
+   count must equal the environment's transition counter — the invariant
+   the Chrome exporter's slice count rests on. *)
+let test_gate_events_match_transitions () =
+  let env = ok (Pkru_safe.Env.create (Pkru_safe.Config.make Pkru_safe.Config.Mpk)) in
+  let sink = Telemetry.Sink.create () in
+  Telemetry.Sink.with_sink sink (fun () ->
+      for _ = 1 to 17 do
+        Pkru_safe.Env.ffi_call env (fun () ->
+            ignore (Pkru_safe.Env.callback env (fun () -> ())))
+      done);
+  Alcotest.(check int) "transitions" (17 * 4) (Pkru_safe.Env.transitions env);
+  Alcotest.(check int) "gate events = transitions" (Pkru_safe.Env.transitions env)
+    (Telemetry.Sink.gate_transitions sink);
+  Alcotest.(check int) "enter = exit" (Telemetry.Sink.count sink "gate_enter")
+    (Telemetry.Sink.count sink "gate_exit");
+  (* Each gate side executes one WRPKRU. *)
+  Alcotest.(check int) "wrpkru events" (Pkru_safe.Env.transitions env)
+    (Telemetry.Sink.count sink "wrpkru")
+
+let test_gate_events_match_on_workload () =
+  let m =
+    Workloads.Runner.run_config ~telemetry:true ~mode:Pkru_safe.Config.Mpk
+      ~profile:(bench_profile ()) small_bench
+  in
+  let sink = Option.get m.Workloads.Runner.trace in
+  Alcotest.(check bool) "workload transitions nonzero" true (m.Workloads.Runner.transitions > 0);
+  Alcotest.(check int) "gate events = measurement transitions" m.Workloads.Runner.transitions
+    (Telemetry.Sink.gate_transitions sink)
+
+(* (2) The ring drops oldest-first at capacity. *)
+let test_ring_drops_oldest_first () =
+  let ring = Telemetry.Ring.create ~capacity:4 in
+  for i = 1 to 10 do
+    Telemetry.Ring.push ring i
+  done;
+  Alcotest.(check (list int)) "keeps newest, oldest first" [ 7; 8; 9; 10 ]
+    (Telemetry.Ring.to_list ring);
+  Alcotest.(check int) "dropped count" 6 (Telemetry.Ring.dropped ring);
+  Alcotest.(check int) "length capped" 4 (Telemetry.Ring.length ring)
+
+let test_ring_partial_fill () =
+  let ring = Telemetry.Ring.create ~capacity:8 in
+  List.iter (Telemetry.Ring.push ring) [ 1; 2; 3 ];
+  Alcotest.(check (list int)) "oldest first before wrap" [ 1; 2; 3 ]
+    (Telemetry.Ring.to_list ring);
+  Alcotest.(check int) "nothing dropped" 0 (Telemetry.Ring.dropped ring)
+
+let test_sink_ring_eviction () =
+  let sink = Telemetry.Sink.create ~capacity:3 () in
+  for i = 1 to 5 do
+    Telemetry.Sink.emit sink ~ts:i ~cpu:0 (Telemetry.Event.Wrpkru { value = i })
+  done;
+  Alcotest.(check int) "events_total counts evicted" 5 (Telemetry.Sink.events_total sink);
+  Alcotest.(check (list int)) "trace keeps newest" [ 3; 4; 5 ]
+    (List.map (fun (r : Telemetry.Event.record) -> r.Telemetry.Event.ts)
+       (Telemetry.Sink.events sink))
+
+(* (3) Telemetry must not perturb measurements: a disabled-sink run equals
+   the seed behaviour, and even an enabled sink charges no simulated
+   cycles.  All measurement fields the paper's tables derive from must be
+   identical across all three runs. *)
+let test_disabled_sink_identical_measurements () =
+  let profile = bench_profile () in
+  let strip (m : Workloads.Runner.measurement) =
+    ( m.Workloads.Runner.cycles,
+      m.Workloads.Runner.transitions,
+      m.Workloads.Runner.pct_mu,
+      m.Workloads.Runner.mt_bytes,
+      m.Workloads.Runner.mu_bytes,
+      m.Workloads.Runner.output )
+  in
+  let run telemetry =
+    strip (Workloads.Runner.run_config ~telemetry ~mode:Pkru_safe.Config.Mpk ~profile small_bench)
+  in
+  let off1 = run false in
+  let off2 = run false in
+  let on = run true in
+  Alcotest.(check bool) "disabled runs identical" true (off1 = off2);
+  Alcotest.(check bool) "enabled run does not perturb" true (off1 = on)
+
+(* (4) The Chrome trace export must be valid JSON that round-trips through
+   our own parser, with one slice record per gate transition. *)
+let test_chrome_trace_roundtrip () =
+  let m =
+    Workloads.Runner.run_config ~telemetry:true ~mode:Pkru_safe.Config.Mpk
+      ~profile:(bench_profile ()) small_bench
+  in
+  let sink = Option.get m.Workloads.Runner.trace in
+  let rendered = Util.Json.to_string_pretty (Telemetry.Export.chrome_trace sink) in
+  let parsed = Util.Json.of_string rendered in
+  let records = Util.Json.to_list (Util.Json.member "traceEvents" parsed) in
+  Alcotest.(check int) "record count" (List.length (Telemetry.Sink.events sink))
+    (List.length records);
+  let gate_records =
+    List.filter
+      (fun r -> Util.Json.to_str (Util.Json.member "cat" r) = "gate")
+      records
+  in
+  Alcotest.(check int) "gate slice records = transitions" m.Workloads.Runner.transitions
+    (List.length gate_records);
+  (* B/E slices must balance for the viewer to nest them. *)
+  let phase ph =
+    List.length
+      (List.filter (fun r -> Util.Json.to_str (Util.Json.member "ph" r) = ph) gate_records)
+  in
+  Alcotest.(check int) "balanced slices" (phase "B") (phase "E")
+
+let test_summary_json_roundtrip () =
+  let m =
+    Workloads.Runner.run_config ~telemetry:true ~mode:Pkru_safe.Config.Mpk
+      ~profile:(bench_profile ()) small_bench
+  in
+  let sink = Option.get m.Workloads.Runner.trace in
+  let parsed = Util.Json.of_string (Util.Json.to_string (Telemetry.Export.summary_json sink)) in
+  Alcotest.(check int) "gate_transitions field" (Telemetry.Sink.gate_transitions sink)
+    (Util.Json.to_int (Util.Json.member "gate_transitions" parsed))
+
+let test_histogram_buckets_and_percentiles () =
+  let h = Telemetry.Histogram.create () in
+  List.iter (Telemetry.Histogram.observe h) [ 0; 1; 2; 3; 4; 8; 100; 1000 ];
+  Alcotest.(check int) "count" 8 (Telemetry.Histogram.count h);
+  Alcotest.(check int) "min" 0 (Telemetry.Histogram.min_value h);
+  Alcotest.(check int) "max" 1000 (Telemetry.Histogram.max_value h);
+  Alcotest.(check int) "bucket of 0" 0 (Telemetry.Histogram.bucket_of 0);
+  Alcotest.(check int) "bucket of 1" 0 (Telemetry.Histogram.bucket_of 1);
+  Alcotest.(check int) "bucket of 2" 1 (Telemetry.Histogram.bucket_of 2);
+  Alcotest.(check int) "bucket of 1000" 9 (Telemetry.Histogram.bucket_of 1000);
+  Alcotest.(check bool) "p50 within range" true
+    (let p = Telemetry.Histogram.percentile h 50.0 in
+     p >= 0.0 && p <= 1000.0);
+  Alcotest.(check (float 1e-9)) "p100 is max" 1000.0 (Telemetry.Histogram.percentile h 100.0)
+
+let test_with_sink_restores () =
+  Alcotest.(check bool) "inactive by default" false (Telemetry.Sink.active ());
+  let sink = Telemetry.Sink.create () in
+  (try Telemetry.Sink.with_sink sink (fun () -> failwith "boom") with Failure _ -> ());
+  Alcotest.(check bool) "restored after raise" false (Telemetry.Sink.active ())
+
+let suite =
+  [
+    Alcotest.test_case "gate events match transitions" `Quick test_gate_events_match_transitions;
+    Alcotest.test_case "gate events match on workload" `Quick test_gate_events_match_on_workload;
+    Alcotest.test_case "ring drops oldest first" `Quick test_ring_drops_oldest_first;
+    Alcotest.test_case "ring partial fill" `Quick test_ring_partial_fill;
+    Alcotest.test_case "sink ring eviction" `Quick test_sink_ring_eviction;
+    Alcotest.test_case "disabled sink identical measurements" `Quick
+      test_disabled_sink_identical_measurements;
+    Alcotest.test_case "chrome trace round-trips" `Quick test_chrome_trace_roundtrip;
+    Alcotest.test_case "summary json round-trips" `Quick test_summary_json_roundtrip;
+    Alcotest.test_case "histogram buckets/percentiles" `Quick
+      test_histogram_buckets_and_percentiles;
+    Alcotest.test_case "with_sink restores on raise" `Quick test_with_sink_restores;
+  ]

@@ -122,6 +122,36 @@ let test_stats_mean_geomean () =
   check_float "overhead" 10.0 (Util.Stats.percent_overhead ~baseline:100.0 ~measured:110.0);
   check_float "normalized" 1.1 (Util.Stats.normalized ~baseline:100.0 ~measured:110.0)
 
+let test_stats_geomean_rejects_nonpositive () =
+  let raises xs =
+    match Util.Stats.geomean xs with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "zero rejected" true (raises [ 1.0; 0.0; 4.0 ]);
+  Alcotest.(check bool) "negative rejected" true (raises [ -2.0 ]);
+  check_float "positive ok" 2.0 (Util.Stats.geomean [ 1.0; 4.0 ])
+
+let test_stats_percentile () =
+  let xs = [ 15.0; 20.0; 35.0; 40.0; 50.0 ] in
+  check_float "p0 = min" 15.0 (Util.Stats.percentile 0.0 xs);
+  check_float "p100 = max" 50.0 (Util.Stats.percentile 100.0 xs);
+  check_float "p50 = median" 35.0 (Util.Stats.percentile 50.0 xs);
+  (* rank = 0.25 * 4 = 1.0, exactly the second sample *)
+  check_float "p25 on a sample" 20.0 (Util.Stats.percentile 25.0 xs);
+  (* rank = 0.40 * 4 = 1.6: interpolate 20 .. 35 *)
+  check_float "p40 interpolates" 29.0 (Util.Stats.percentile 40.0 xs);
+  check_float "median of pair" 15.0 (Util.Stats.percentile 50.0 [ 10.0; 20.0 ]);
+  check_float "singleton" 7.0 (Util.Stats.percentile 99.0 [ 7.0 ]);
+  (* unsorted input must be sorted internally *)
+  check_float "unsorted input" 35.0 (Util.Stats.percentile 50.0 [ 50.0; 15.0; 35.0; 40.0; 20.0 ])
+
+let test_stats_percentile_rejects () =
+  let raises f = match f () with exception Invalid_argument _ -> true | _ -> false in
+  Alcotest.(check bool) "empty sample" true (raises (fun () -> Util.Stats.percentile 50.0 []));
+  Alcotest.(check bool) "p < 0" true (raises (fun () -> Util.Stats.percentile (-1.0) [ 1.0 ]));
+  Alcotest.(check bool) "p > 100" true (raises (fun () -> Util.Stats.percentile 101.0 [ 1.0 ]))
+
 let test_stats_stddev () =
   check_float "stddev" 2.0 (Util.Stats.stddev [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ]);
   check_float "single" 0.0 (Util.Stats.stddev [ 3.0 ])
@@ -156,6 +186,10 @@ let suite =
     QCheck_alcotest.to_alcotest prop_json_roundtrip;
     QCheck_alcotest.to_alcotest prop_json_roundtrip_pretty;
     Alcotest.test_case "stats mean/geomean/overhead" `Quick test_stats_mean_geomean;
+    Alcotest.test_case "stats geomean rejects non-positive" `Quick
+      test_stats_geomean_rejects_nonpositive;
+    Alcotest.test_case "stats percentile" `Quick test_stats_percentile;
+    Alcotest.test_case "stats percentile rejects" `Quick test_stats_percentile_rejects;
     Alcotest.test_case "stats stddev" `Quick test_stats_stddev;
     Alcotest.test_case "table render" `Quick test_table_render;
     Alcotest.test_case "table pads short rows" `Quick test_table_pads_short_rows;
