@@ -442,9 +442,20 @@ let measurement_json (m : Workloads.Runner.measurement) =
        ("transitions", Util.Json.Int m.Workloads.Runner.transitions);
        ("pct_mu", Util.Json.Float m.Workloads.Runner.pct_mu);
      ]
+    @ (match m.Workloads.Runner.trace with
+      | Some sink ->
+        let attribution =
+          Telemetry.Attribution.of_sink ~total_cycles:m.Workloads.Runner.cycles sink
+        in
+        [
+          ("telemetry", Telemetry.Export.summary_json sink);
+          ("site_heat", Telemetry.Attribution.site_heat_json ~limit:10 attribution);
+          ("flow_matrix", Telemetry.Attribution.flow_json attribution);
+        ]
+      | None -> [])
     @
-    match m.Workloads.Runner.trace with
-    | Some sink -> [ ("telemetry", Telemetry.Export.summary_json sink) ]
+    match m.Workloads.Runner.samples with
+    | Some sampler -> [ ("profile", Telemetry.Sampler.to_json sampler) ]
     | None -> [])
 
 let suite_json (result : Workloads.Runner.suite_result) =
@@ -525,19 +536,34 @@ let write_json_results dir =
   in
   write "security.json" (Util.Json.List security);
   (* One telemetry-instrumented run per substrate family: histogram
-     summaries (gate round-trip, allocation sizes, fault service) ride
-     along with the artifact's result folders.  The traced runs are
-     separate from the timing runs above, so telemetry cannot perturb the
-     reported numbers even in principle. *)
+     summaries (gate round-trip, allocation sizes, fault service) plus the
+     attribution digests — site heat, the compartment flow matrix and the
+     cycle-sampled folded stacks — ride along with the artifact's result
+     folders.  The traced runs are separate from the timing runs above, so
+     telemetry cannot perturb the reported numbers even in principle. *)
   let traced_bench name bench =
     let suite = { Workloads.Bench_def.suite_name = name; benches = [ bench ] } in
     let profile = Workloads.Runner.profile_suite suite in
     let m =
-      Workloads.Runner.run_config ~telemetry:true ~mode:Pkru_safe.Config.Mpk ~profile bench
+      Workloads.Runner.run_config ~telemetry:true ~sample_every:64 ~mode:Pkru_safe.Config.Mpk
+        ~profile bench
     in
     ( name,
       match m.Workloads.Runner.trace with
-      | Some sink -> Telemetry.Export.summary_json sink
+      | Some sink ->
+        let attribution =
+          Telemetry.Attribution.of_sink ~total_cycles:m.Workloads.Runner.cycles sink
+        in
+        Util.Json.Obj
+          ([
+             ("summary", Telemetry.Export.summary_json sink);
+             ("site_heat", Telemetry.Attribution.site_heat_json ~limit:10 attribution);
+             ("flow_matrix", Telemetry.Attribution.flow_json attribution);
+           ]
+          @
+          match m.Workloads.Runner.samples with
+          | Some sampler -> [ ("profile", Telemetry.Sampler.to_json sampler) ]
+          | None -> [])
       | None -> Util.Json.Null )
   in
   write "telemetry.json"

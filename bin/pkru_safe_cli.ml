@@ -6,7 +6,9 @@
      exploit   — E3: the CVE-style attack on base and mpk builds
      micro     — the §5.2 micro-benchmarks and the Figure-3 sweep
      suite     — run one benchmark suite and print its table
-     trace     — run one benchmark with telemetry and export the trace *)
+     trace     — run one benchmark with telemetry and export the trace
+     report    — attribution report: site heat, flow matrix, sampled
+                 flamegraph stacks, Prometheus exposition *)
 
 open Cmdliner
 
@@ -143,25 +145,6 @@ let run_micro () =
 
 (* --- suite --- *)
 
-let all_suites =
-  [
-    Workloads.Dromaeo.all;
-    Workloads.Kraken.all;
-    Workloads.Octane.all;
-    Workloads.Jetstream.all;
-  ]
-
-let suite_of_name = function
-  | "dromaeo" -> Ok Workloads.Dromaeo.all
-  | "dom" -> Ok Workloads.Dromaeo.dom
-  | "v8" -> Ok Workloads.Dromaeo.v8
-  | "sunspider" -> Ok Workloads.Dromaeo.sunspider
-  | "jslib" -> Ok Workloads.Dromaeo.jslib
-  | "kraken" -> Ok Workloads.Kraken.all
-  | "octane" -> Ok Workloads.Octane.all
-  | "jetstream2" -> Ok Workloads.Jetstream.all
-  | s -> Error (Printf.sprintf "unknown suite %S" s)
-
 (* Per-bench telemetry digest for `suite --telemetry`: counts from each
    mpk run's trace, then exact gate round-trip percentiles pooled across
    the suite. *)
@@ -202,7 +185,7 @@ let print_suite_telemetry (result : Workloads.Runner.suite_result) =
   end
 
 let run_suite name telemetry =
-  match suite_of_name name with
+  match Workloads.Registry.suite_of_name name with
   | Error msg -> `Error (false, msg)
   | Ok suite ->
     let tty = Unix.isatty Unix.stdout in
@@ -232,18 +215,6 @@ let run_suite name telemetry =
 
 (* --- trace: one benchmark under telemetry, exported as a trace file --- *)
 
-let bench_of_name name =
-  let benches = List.concat_map (fun s -> s.Workloads.Bench_def.benches) all_suites in
-  match
-    List.find_opt (fun (b : Workloads.Bench_def.bench) -> b.Workloads.Bench_def.name = name) benches
-  with
-  | Some bench -> Ok bench
-  | None ->
-    Error
-      (Printf.sprintf "unknown benchmark %S; known: %s" name
-         (String.concat ", "
-            (List.map (fun (b : Workloads.Bench_def.bench) -> b.Workloads.Bench_def.name) benches)))
-
 let trace_format_conv =
   let parse = function
     | "chrome" -> Ok `Chrome
@@ -257,17 +228,22 @@ let trace_format_conv =
         Format.pp_print_string fmt
           (match f with `Chrome -> "chrome" | `Json -> "json" | `Summary -> "summary") )
 
+(* Replays the methodology for a single benchmark: enforcement modes get a
+   profile collected from the same workload first. *)
+let profile_for ~mode (bench : Workloads.Bench_def.bench) =
+  match mode with
+  | Pkru_safe.Config.Alloc | Pkru_safe.Config.Mpk ->
+    let suite =
+      { Workloads.Bench_def.suite_name = bench.Workloads.Bench_def.name; benches = [ bench ] }
+    in
+    Workloads.Runner.profile_suite suite
+  | Pkru_safe.Config.Base | Pkru_safe.Config.Profiling -> Runtime.Profile.create ()
+
 let run_trace bench_name mode format output =
-  match bench_of_name bench_name with
+  match Workloads.Registry.bench_of_name bench_name with
   | Error msg -> `Error (false, msg)
   | Ok bench ->
-    let profile =
-      match mode with
-      | Pkru_safe.Config.Alloc | Pkru_safe.Config.Mpk ->
-        let suite = { Workloads.Bench_def.suite_name = bench_name; benches = [ bench ] } in
-        Workloads.Runner.profile_suite suite
-      | Pkru_safe.Config.Base | Pkru_safe.Config.Profiling -> Runtime.Profile.create ()
-    in
+    let profile = profile_for ~mode bench in
     let m = Workloads.Runner.run_config ~telemetry:true ~mode ~profile bench in
     let sink =
       match m.Workloads.Runner.trace with
@@ -298,6 +274,71 @@ let run_trace bench_name mode format output =
         (Telemetry.Sink.gate_transitions sink)
         m.Workloads.Runner.transitions;
       `Ok ()
+
+(* --- report: attribution + sampled-flamegraph analysis of one benchmark --- *)
+
+let report_format_conv =
+  let parse = function
+    | "table" -> Ok `Table
+    | "json" -> Ok `Json
+    | "prom" -> Ok `Prom
+    | "folded" -> Ok `Folded
+    | s -> Error (`Msg (Printf.sprintf "unknown format %S (table|json|prom|folded)" s))
+  in
+  Arg.conv
+    ( parse,
+      fun fmt f ->
+        Format.pp_print_string fmt
+          (match f with `Table -> "table" | `Json -> "json" | `Prom -> "prom" | `Folded -> "folded")
+    )
+
+let run_report bench_name mode sample_every format output =
+  if sample_every <= 0 then `Error (false, "--sample-every must be positive")
+  else
+    match Workloads.Registry.bench_of_name bench_name with
+    | Error msg -> `Error (false, msg)
+    | Ok bench ->
+      let profile = profile_for ~mode bench in
+      let m = Workloads.Runner.run_config ~telemetry:true ~sample_every ~mode ~profile bench in
+      let sink = Option.get m.Workloads.Runner.trace in
+      let sampler = Option.get m.Workloads.Runner.samples in
+      let attribution =
+        Telemetry.Attribution.of_sink ~total_cycles:m.Workloads.Runner.cycles sink
+      in
+      let rendered =
+        match format with
+        | `Table ->
+          let buf = Buffer.create 4096 in
+          Buffer.add_string buf (Telemetry.Attribution.report attribution);
+          Buffer.add_string buf
+            (Printf.sprintf "\nSampling profile (1 sample / %d cycles, %d samples):\n"
+               (Telemetry.Sampler.every sampler)
+               (Telemetry.Sampler.samples_total sampler));
+          List.iter
+            (fun (leaf, share) ->
+              Buffer.add_string buf (Printf.sprintf "  %-12s %5.1f%%\n" leaf (100.0 *. share)))
+            (Telemetry.Sampler.leaf_shares sampler);
+          Buffer.contents buf
+        | `Json ->
+          Util.Json.to_string_pretty
+            (Util.Json.Obj
+               [
+                 ("bench", Util.Json.String bench_name);
+                 ("mode", Util.Json.String (Pkru_safe.Config.mode_to_string mode));
+                 ("cycles", Util.Json.Int m.Workloads.Runner.cycles);
+                 ("attribution", Telemetry.Attribution.to_json attribution);
+                 ("profile", Telemetry.Sampler.to_json sampler);
+               ])
+          ^ "\n"
+        | `Prom -> Telemetry.Export.prometheus ~attribution ~sampler sink
+        | `Folded -> Telemetry.Sampler.to_folded sampler
+      in
+      (match output with
+      | Some path -> (
+        match Out_channel.with_open_text path (fun oc -> output_string oc rendered) with
+        | () -> `Ok (Printf.printf "report written to %s\n" path)
+        | exception Sys_error msg -> `Error (false, "cannot write report: " ^ msg))
+      | None -> `Ok (print_string rendered))
 
 (* --- run: execute a textual IR program through the toolchain --- *)
 
@@ -475,6 +516,33 @@ let trace_cmd =
     (Cmd.info "trace" ~doc:"Run one benchmark with telemetry enabled and export the trace")
     Term.(ret (const run_trace $ bench_arg $ mode $ format $ output))
 
+let report_cmd =
+  let bench_arg =
+    Arg.(required & opt (some string) None
+         & info [ "b"; "bench" ] ~docv:"BENCH" ~doc:"Benchmark name (e.g. richards, dom-attr)")
+  in
+  let mode =
+    Arg.(value & opt mode_conv Pkru_safe.Config.Mpk & info [ "m"; "mode" ] ~doc:"Build mode")
+  in
+  let sample_every =
+    Arg.(value & opt int 64
+         & info [ "sample-every" ] ~docv:"CYCLES" ~doc:"Cycles between profile samples")
+  in
+  let format =
+    Arg.(value & opt report_format_conv `Table
+         & info [ "f"; "format" ] ~docv:"FORMAT"
+             ~doc:"table (flow matrix + site heat), json, prom (Prometheus text \
+                   exposition), or folded (collapsed stacks for flamegraph.pl / \
+                   speedscope)")
+  in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Run one benchmark with telemetry + cycle sampling and print the attribution report")
+    Term.(ret (const run_report $ bench_arg $ mode $ sample_every $ format $ output))
+
 let compare_cmd =
   let dir n doc = Arg.(required & pos n (some dir) None & info [] ~docv:"DIR" ~doc) in
   Cmd.v (Cmd.info "compare" ~doc:"Compare two bench --json result directories")
@@ -507,4 +575,4 @@ let default =
 
 let () =
   let info = Cmd.info "pkru_safe_cli" ~doc:"PKRU-Safe reproduction driver" in
-  exit (Cmd.eval (Cmd.group ~default info [ pipeline_cmd; browse_cmd; exploit_cmd; micro_cmd; suite_cmd; trace_cmd; run_cmd; corpus_cmd; compare_cmd ]))
+  exit (Cmd.eval (Cmd.group ~default info [ pipeline_cmd; browse_cmd; exploit_cmd; micro_cmd; suite_cmd; trace_cmd; report_cmd; run_cmd; corpus_cmd; compare_cmd ]))

@@ -166,3 +166,7 @@ let t_heap_bytes t = (t.t_heap_bytes_mt, t.t_heap_bytes_mu)
 
 let sites_used t = Hashtbl.length t.sites_seen
 let sites_moved t = t.sites_moved
+
+(* The sampling profiler's snapshot provider: the active thread's gate
+   owns the compartment stack being executed right now. *)
+let stack_frames t = Runtime.Gate.stack_frames t.active.t_gate

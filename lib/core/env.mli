@@ -99,3 +99,8 @@ val sites_used : t -> int
 val sites_moved : t -> int
 (** Of those, sites the build placed in MU (the "274 of 12088" statistic
     of §5.3). *)
+
+val stack_frames : t -> string list
+(** The active thread's compartment nesting, root first — register this
+    as the {!Telemetry.Sampler} provider to attribute cycle samples to
+    compartments.  Pure reads; charges no cycles. *)

@@ -10,7 +10,15 @@ type t = {
 let create ?(cost = Cost.default) ?(id = 0) () =
   { id; cost; pkru = Mpk.Pkru.all_enabled; trap_flag = false; cycles = 0; wrpkru_retired = 0 }
 
-let charge t n = t.cycles <- t.cycles + n
+(* Every retired cycle flows through here, so this is where the sampling
+   profiler ticks.  The tick charges nothing back, so sampled and
+   unsampled runs retire identical cycle counts; disabled, the cost is
+   one load and one branch, same as the sink discipline. *)
+let charge t n =
+  t.cycles <- t.cycles + n;
+  match !Telemetry.Sampler.current with
+  | None -> ()
+  | Some sampler -> Telemetry.Sampler.tick sampler n
 
 let wrpkru t v =
   charge t t.cost.Cost.wrpkru;

@@ -18,7 +18,9 @@ val create : ?cost:Cost.t -> ?id:int -> unit -> t
 (** Fresh CPU with PKRU fully enabled (kernel default for a new thread). *)
 
 val charge : t -> int -> unit
-(** [charge cpu n] retires [n] cycles of straight-line work. *)
+(** [charge cpu n] retires [n] cycles of straight-line work and ticks the
+    installed {!Telemetry.Sampler} (which charges nothing back, keeping
+    sampled and unsampled cycle counts identical). *)
 
 val wrpkru : t -> Mpk.Pkru.t -> unit
 (** Executes WRPKRU: charges its cost and replaces the register. *)

@@ -21,3 +21,5 @@ let pop t =
 
 let depth t = t.depth
 let max_depth t = t.max_depth
+
+let to_list t = t.items

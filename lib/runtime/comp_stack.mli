@@ -20,3 +20,7 @@ val depth : t -> int
 val max_depth : t -> int
 (** Deepest nesting observed, e.g. the "deeply nested stack of compartment
     transitions" seen in the dom benchmarks (§5.3). *)
+
+val to_list : t -> Mpk.Pkru.t list
+(** Saved PKRU values, most recently pushed first — what the sampling
+    profiler snapshots into a folded stack. *)

@@ -86,3 +86,14 @@ let callback_trusted t f =
 
 let transitions t = t.transitions
 let reset_transitions t = t.transitions <- 0
+
+(* The sampling profiler's stack snapshot: saved PKRU values name the
+   compartments entered on the way here (root first), the live PKRU the
+   compartment currently running.  Mid-gate samples (after the stack push,
+   before the WRPKRU retires) repeat the outgoing compartment as the leaf,
+   which is the truthful reading: those cycles retire under the old view. *)
+let stack_frames t =
+  let name pkru =
+    Compartment.to_string (Compartment.of_pkru ~trusted_pkey:t.trusted_pkey pkru)
+  in
+  List.rev_map name (Comp_stack.to_list t.stack) @ [ name (cpu t).Sim.Cpu.pkru ]

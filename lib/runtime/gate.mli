@@ -47,3 +47,9 @@ val transitions : t -> int
     one — the Transitions column of Tables 1 and 2). *)
 
 val reset_transitions : t -> unit
+
+val stack_frames : t -> string list
+(** The current compartment nesting as folded-stack frames, root first
+    (e.g. [["trusted"; "untrusted"]] inside an FFI call) — the snapshot
+    the {!Telemetry.Sampler} provider takes.  Pure reads; charges no
+    cycles. *)

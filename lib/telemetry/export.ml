@@ -1,5 +1,6 @@
 (* Exporters over a sink snapshot: compact JSON, Chrome trace_event JSON
-   (chrome://tracing / Perfetto), and an ASCII summary table. *)
+   (chrome://tracing / Perfetto), an ASCII summary table, and a
+   Prometheus-style exposition built through the metrics registry. *)
 
 let counters_json sink =
   Util.Json.Obj (List.map (fun (name, n) -> (name, Util.Json.Int n)) (Sink.counters sink))
@@ -164,3 +165,107 @@ let summary sink =
          (Util.Stats.percentile 90.0 latencies)
          (Util.Stats.percentile 99.0 latencies)));
   Buffer.contents buf
+
+(* --- Prometheus exposition via the metrics registry --- *)
+
+(* Windowed series from the trace: per-window gate crossings and
+   allocation counts, so a bench run plots as a trajectory.  The window
+   defaults to 1/50th of the covered cycle range (min 1000 cycles). *)
+let default_series_window events =
+  match List.rev events with
+  | [] -> 1000
+  | (last : Event.record) :: _ -> max 1000 (last.Event.ts / 50)
+
+(* Folds a sink snapshot (plus optional attribution and sampler digests)
+   into a metrics registry.  Event-kind counters become
+   pkru_events_<kind>_total, sink histograms are attached under their own
+   names, attribution becomes labelled site/flow gauges, and the sampler
+   becomes per-stack sample counters. *)
+let to_metrics ?attribution ?sampler ?series_window sink =
+  let reg = Metrics.create () in
+  Metrics.incr
+    ~by:(Sink.events_total sink)
+    (Metrics.counter reg ~help:"Telemetry events emitted" "pkru_telemetry_events_total");
+  Metrics.incr
+    ~by:(Sink.dropped sink)
+    (Metrics.counter reg ~help:"Events evicted from the trace ring"
+       "pkru_telemetry_events_dropped_total");
+  List.iter
+    (fun (name, n) ->
+      Metrics.incr ~by:n
+        (Metrics.counter reg ~help:"Events by kind" ~labels:[ ("kind", name) ]
+           "pkru_events_total"))
+    (Sink.counters sink);
+  List.iter
+    (fun (name, h) ->
+      Metrics.attach_histogram reg ~help:"Sink histogram (log2 buckets)" ("pkru_" ^ name) h)
+    (Sink.histograms sink);
+  (* Trajectories: gate crossings and allocations per cycle window. *)
+  let events = Sink.events sink in
+  let window = match series_window with Some w -> w | None -> default_series_window events in
+  let crossings =
+    Metrics.series reg ~help:"Gate crossings per cycle window" ~window
+      "pkru_gate_crossings_per_window"
+  in
+  let allocs =
+    Metrics.series reg ~help:"Allocations per cycle window" ~window "pkru_allocs_per_window"
+  in
+  List.iter
+    (fun (r : Event.record) ->
+      match r.Event.event with
+      | Event.Gate_enter _ | Event.Gate_exit _ ->
+        Metrics.observe_series crossings ~cycle:(max 0 r.Event.ts) 1.0
+      | Event.Alloc _ -> Metrics.observe_series allocs ~cycle:(max 0 r.Event.ts) 1.0
+      | _ -> ())
+    events;
+  (match attribution with
+  | None -> ()
+  | Some attr ->
+    let flow = Attribution.flow attr in
+    let crossing direction n =
+      Metrics.incr ~by:n
+        (Metrics.counter reg ~help:"Gate crossings by direction"
+           ~labels:[ ("direction", direction) ] "pkru_flow_crossings_total")
+    in
+    crossing "t_to_u" flow.Attribution.t_to_u;
+    crossing "u_to_t" flow.Attribution.u_to_t;
+    let comp_cycles name n =
+      Metrics.incr ~by:n
+        (Metrics.counter reg ~help:"Cycles attributed per compartment"
+           ~labels:[ ("compartment", name) ] "pkru_compartment_cycles_total")
+    in
+    comp_cycles "trusted" flow.Attribution.cycles_trusted;
+    comp_cycles "untrusted" flow.Attribution.cycles_untrusted;
+    Metrics.set
+      (Metrics.gauge reg ~help:"Deepest gate nesting in the trace" "pkru_gate_nesting_max")
+      (float_of_int flow.Attribution.max_nesting);
+    List.iter
+      (fun (s : Attribution.site) ->
+        let labels = [ ("site", s.Attribution.site); ("pool", Attribution.pool_of_site s) ] in
+        Metrics.incr ~by:s.Attribution.allocs
+          (Metrics.counter reg ~help:"Allocations per site" ~labels "pkru_site_allocs_total");
+        Metrics.incr ~by:s.Attribution.bytes_allocated
+          (Metrics.counter reg ~help:"Bytes allocated per site" ~labels
+             "pkru_site_bytes_allocated_total");
+        Metrics.set
+          (Metrics.gauge reg ~help:"Live bytes per site at end of trace" ~labels
+             "pkru_site_live_bytes")
+          (float_of_int s.Attribution.live_bytes);
+        if s.Attribution.mpk_faults > 0 then
+          Metrics.incr ~by:s.Attribution.mpk_faults
+            (Metrics.counter reg ~help:"MPK faults landing in the site's allocations" ~labels
+               "pkru_site_mpk_faults_total"))
+      (Attribution.sites attr));
+  (match sampler with
+  | None -> ()
+  | Some s ->
+    List.iter
+      (fun (stack, n) ->
+        Metrics.incr ~by:n
+          (Metrics.counter reg ~help:"Cycle samples per compartment stack"
+             ~labels:[ ("stack", stack) ] "pkru_profile_samples_total"))
+      (Sampler.stacks s));
+  reg
+
+let prometheus ?attribution ?sampler ?series_window sink =
+  Metrics.expose (to_metrics ?attribution ?sampler ?series_window sink)

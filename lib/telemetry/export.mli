@@ -21,3 +21,24 @@ val summary_json : Sink.t -> Util.Json.t
 val summary : Sink.t -> string
 (** Human-readable overview: event totals, counter table, histogram
     percentile table, and exact gate round-trip percentiles. *)
+
+val to_metrics :
+  ?attribution:Attribution.t ->
+  ?sampler:Sampler.t ->
+  ?series_window:int ->
+  Sink.t ->
+  Metrics.t
+(** Folds a sink snapshot into a {!Metrics} registry: event-kind counters
+    ([pkru_events_total{kind=...}]), the sink's histograms, windowed
+    gate-crossing / allocation series ([series_window] cycles per bucket,
+    default 1/50th of the trace span), plus labelled site-heat and
+    flow-matrix metrics when [attribution] is given and per-stack sample
+    counters when [sampler] is. *)
+
+val prometheus :
+  ?attribution:Attribution.t ->
+  ?sampler:Sampler.t ->
+  ?series_window:int ->
+  Sink.t ->
+  string
+(** [Metrics.expose] of {!to_metrics}: the Prometheus text format. *)

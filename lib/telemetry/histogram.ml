@@ -47,7 +47,9 @@ let mean t = if t.count = 0 then 0.0 else float_of_int t.sum /. float_of_int t.c
    precision for O(1) memory. *)
 let percentile t p =
   if p < 0.0 || p > 100.0 then invalid_arg "Histogram.percentile: p outside [0, 100]";
-  if t.count = 0 then 0.0
+  (* Same contract as Util.Stats.percentile: a percentile of nothing is a
+     programming error, not 0. *)
+  if t.count = 0 then invalid_arg "Histogram.percentile: empty histogram"
   else begin
     let rank = p /. 100.0 *. float_of_int t.count in
     let acc = ref 0 in
@@ -73,6 +75,7 @@ let nonempty_buckets t =
 
 let to_json t =
   let open Util.Json in
+  let pct p = if t.count = 0 then Null else Float (percentile t p) in
   Obj
     [
       ("count", Int t.count);
@@ -80,9 +83,9 @@ let to_json t =
       ("min", Int (min_value t));
       ("max", Int t.max);
       ("mean", Float (mean t));
-      ("p50", Float (percentile t 50.0));
-      ("p90", Float (percentile t 90.0));
-      ("p99", Float (percentile t 99.0));
+      ("p50", pct 50.0);
+      ("p90", pct 90.0);
+      ("p99", pct 99.0);
       ( "buckets",
         List
           (List.map

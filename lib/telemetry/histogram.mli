@@ -20,7 +20,9 @@ val mean : t -> float
 val percentile : t -> float -> float
 (** Bucket-resolution approximation (reports the covering bucket's upper
     bound, clamped to the observed min/max).
-    @raise Invalid_argument when the rank is outside [0, 100]. *)
+    @raise Invalid_argument when the rank is outside [0, 100], or when the
+    histogram is empty (same contract as {!Util.Stats.percentile}: a
+    percentile of nothing is a programming error, not 0). *)
 
 val bucket_of : int -> int
 (** Index of the bucket holding a value: [0] for 0 and 1, else ⌊log₂ v⌋. *)

@@ -1,0 +1,36 @@
+(* The name -> workload registry shared by the CLI and the bench harness,
+   so "unknown name" errors can list every valid spelling. *)
+
+let suites =
+  [
+    ("dromaeo", Dromaeo.all);
+    ("dom", Dromaeo.dom);
+    ("v8", Dromaeo.v8);
+    ("sunspider", Dromaeo.sunspider);
+    ("jslib", Dromaeo.jslib);
+    ("kraken", Kraken.all);
+    ("octane", Octane.all);
+    ("jetstream2", Jetstream.all);
+  ]
+
+let suite_names = List.map fst suites
+
+(* The four paper suites; the Dromaeo sub-suites partition [Dromaeo.all],
+   so only the parent is included when enumerating benchmarks. *)
+let top_suites = [ Dromaeo.all; Kraken.all; Octane.all; Jetstream.all ]
+
+let benches = List.concat_map (fun s -> s.Bench_def.benches) top_suites
+let bench_names = List.map (fun (b : Bench_def.bench) -> b.Bench_def.name) benches
+
+let suite_of_name name =
+  match List.assoc_opt name suites with
+  | Some suite -> Ok suite
+  | None ->
+    Error (Printf.sprintf "unknown suite %S; known: %s" name (String.concat ", " suite_names))
+
+let bench_of_name name =
+  match List.find_opt (fun (b : Bench_def.bench) -> b.Bench_def.name = name) benches with
+  | Some bench -> Ok bench
+  | None ->
+    Error
+      (Printf.sprintf "unknown benchmark %S; known: %s" name (String.concat ", " bench_names))

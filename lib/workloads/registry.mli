@@ -1,0 +1,23 @@
+(** Name lookup for suites and benchmarks.
+
+    One registry backs the CLI ([suite], [trace], [report]) and the bench
+    harness, so an unknown name always fails with the same message — one
+    that lists every valid spelling — instead of a bare "unknown". *)
+
+val suites : (string * Bench_def.suite) list
+(** Every addressable suite: the four paper suites plus the Dromaeo
+    sub-suites ([dom], [v8], [sunspider], [jslib]). *)
+
+val suite_names : string list
+
+val benches : Bench_def.bench list
+(** Every benchmark, enumerated from the four top-level suites (the
+    Dromaeo sub-suites partition [dromaeo], so no benchmark repeats). *)
+
+val bench_names : string list
+
+val suite_of_name : string -> (Bench_def.suite, string) result
+(** [Error] carries a message listing all of {!suite_names}. *)
+
+val bench_of_name : string -> (Bench_def.bench, string) result
+(** [Error] carries a message listing all of {!bench_names}. *)

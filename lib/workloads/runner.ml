@@ -6,6 +6,7 @@ type measurement = {
   mu_bytes : int;
   output : string list;
   trace : Telemetry.Sink.t option;
+  samples : Telemetry.Sampler.t option;
 }
 
 type bench_result = {
@@ -45,13 +46,22 @@ let profile_suite (suite : Bench_def.suite) =
     (fun acc bench -> Runtime.Profile.merge acc (profile_bench bench))
     (Runtime.Profile.create ()) suite.Bench_def.benches
 
-let run_config ?(telemetry = false) ~mode ~profile (bench : Bench_def.bench) =
+let run_config ?(telemetry = false) ?sample_every ~mode ~profile (bench : Bench_def.bench) =
   let env = fail_on_error (Pkru_safe.Env.create ~profile (Pkru_safe.Config.make mode)) in
   let browser = Browser.create ~engine_seed:bench.Bench_def.engine_seed env in
   Browser.load_page browser bench.Bench_def.page;
   (* Page construction is setup; the script run is what the suites time. *)
   Pkru_safe.Env.reset_counters env;
   let exec () = ignore (Browser.exec_script browser bench.Bench_def.script) in
+  let sampler = Option.map (fun every -> Telemetry.Sampler.create ~every) sample_every in
+  let exec =
+    match sampler with
+    | None -> exec
+    | Some s ->
+      fun () ->
+        Telemetry.Sampler.with_sampler ~provider:(fun () -> Pkru_safe.Env.stack_frames env) s
+          exec
+  in
   let trace =
     if telemetry then begin
       let sink = Telemetry.Sink.create () in
@@ -72,16 +82,19 @@ let run_config ?(telemetry = false) ~mode ~profile (bench : Bench_def.bench) =
     mu_bytes;
     output = Browser.console browser;
     trace;
+    samples = sampler;
   }
 
 let overhead ~base ~measured =
   Util.Stats.percent_overhead ~baseline:(float_of_int base.cycles)
     ~measured:(float_of_int measured.cycles)
 
-let run_bench ?(telemetry = false) ~profile (bench : Bench_def.bench) =
-  let base = run_config ~telemetry ~mode:Pkru_safe.Config.Base ~profile bench in
-  let alloc = run_config ~telemetry ~mode:Pkru_safe.Config.Alloc ~profile bench in
-  let mpk = run_config ~telemetry ~mode:Pkru_safe.Config.Mpk ~profile bench in
+let run_bench ?(telemetry = false) ?sample_every ~profile (bench : Bench_def.bench) =
+  let base = run_config ~telemetry ?sample_every ~mode:Pkru_safe.Config.Base ~profile bench in
+  let alloc =
+    run_config ~telemetry ?sample_every ~mode:Pkru_safe.Config.Alloc ~profile bench
+  in
+  let mpk = run_config ~telemetry ?sample_every ~mode:Pkru_safe.Config.Mpk ~profile bench in
   {
     bench = bench.Bench_def.name;
     base;
@@ -92,13 +105,14 @@ let run_bench ?(telemetry = false) ~profile (bench : Bench_def.bench) =
     outputs_agree = base.output = alloc.output && base.output = mpk.output;
   }
 
-let run_suite ?(progress = fun _ -> ()) ?(telemetry = false) (suite : Bench_def.suite) =
+let run_suite ?(progress = fun _ -> ()) ?(telemetry = false) ?sample_every
+    (suite : Bench_def.suite) =
   let profile = profile_suite suite in
   let bench_results =
     List.map
       (fun bench ->
         progress bench.Bench_def.name;
-        run_bench ~telemetry ~profile bench)
+        run_bench ~telemetry ?sample_every ~profile bench)
       suite.Bench_def.benches
   in
   let mean f = Util.Stats.mean (List.map f bench_results) in

@@ -18,6 +18,9 @@ type measurement = {
   trace : Telemetry.Sink.t option;
       (** telemetry captured during the timed script run, when the run was
           made with [~telemetry:true] *)
+  samples : Telemetry.Sampler.t option;
+      (** cycle-sampled compartment stacks from the timed script run, when
+          the run was made with [~sample_every] *)
 }
 
 type bench_result = {
@@ -44,6 +47,7 @@ val profile_suite : Bench_def.suite -> Runtime.Profile.t
 
 val run_config :
   ?telemetry:bool ->
+  ?sample_every:int ->
   mode:Pkru_safe.Config.mode ->
   profile:Runtime.Profile.t ->
   Bench_def.bench ->
@@ -51,15 +55,25 @@ val run_config :
 (** One benchmark under one configuration (fresh machine; counters are
     reset after page load so the script execution is what is timed).
     With [~telemetry:true] a fresh sink is installed for the duration of
-    the timed script and returned in the measurement's [trace] field —
-    telemetry never charges simulated cycles, so traced and untraced runs
-    report identical [cycles]. *)
+    the timed script and returned in the measurement's [trace] field.
+    With [~sample_every:n] a {!Telemetry.Sampler} snapshots the thread's
+    compartment stack every [n] simulated cycles and is returned in
+    [samples].  Neither charges simulated cycles, so traced/sampled and
+    plain runs report identical [cycles]. *)
 
 val run_bench :
-  ?telemetry:bool -> profile:Runtime.Profile.t -> Bench_def.bench -> bench_result
+  ?telemetry:bool ->
+  ?sample_every:int ->
+  profile:Runtime.Profile.t ->
+  Bench_def.bench ->
+  bench_result
 
 val run_suite :
-  ?progress:(string -> unit) -> ?telemetry:bool -> Bench_def.suite -> suite_result
+  ?progress:(string -> unit) ->
+  ?telemetry:bool ->
+  ?sample_every:int ->
+  Bench_def.suite ->
+  suite_result
 (** Full methodology for one suite; [progress] is called per benchmark. *)
 
 val score : measurement -> float

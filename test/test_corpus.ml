@@ -56,6 +56,28 @@ let test_sampling () =
   Alcotest.(check int) "none" 0
     (Runtime.Corpus.run_count (Runtime.Corpus.sample c ~fraction:0.0 ~rng))
 
+(* Sampling is a pure function of the Rng state: the same seed must select
+   the same runs (the profile-coverage ablation depends on this to be
+   reproducible), and a different seed is free to differ. *)
+let test_sampling_deterministic_under_seed () =
+  let c = Runtime.Corpus.create () in
+  for i = 1 to 16 do
+    Runtime.Corpus.add_run c ~name:(Printf.sprintf "run%02d" i) (profile_of [ i ])
+  done;
+  let pick seed =
+    let rng = Util.Rng.create seed in
+    List.map fst (Runtime.Corpus.runs (Runtime.Corpus.sample c ~fraction:0.5 ~rng))
+  in
+  let a = pick 42 in
+  let b = pick 42 in
+  Alcotest.(check (list string)) "same seed, same subset" a b;
+  (* The half-fraction subset must be non-trivial for the check to mean
+     anything; with 16 runs the binomial tails are astronomically far. *)
+  Alcotest.(check bool) "subset non-empty" true (a <> []);
+  Alcotest.(check bool) "subset proper" true (List.length a < 16);
+  Alcotest.(check bool) "some seed differs" true
+    (List.exists (fun seed -> pick seed <> a) [ 1; 2; 3; 4; 5 ])
+
 let test_save_load_roundtrip () =
   let c = sample_corpus () in
   let dir = Filename.temp_file "pkru-corpus" "" in
@@ -68,12 +90,26 @@ let test_save_load_roundtrip () =
       end)
     (fun () ->
       Runtime.Corpus.save_dir c dir;
+      (* The on-disk layout is the artifact's: a corpus.json index naming
+         the runs in collection order, one profile file per run. *)
+      let index =
+        Util.Json.of_string
+          (In_channel.with_open_text (Filename.concat dir "corpus.json") In_channel.input_all)
+      in
+      Alcotest.(check (list string)) "index lists runs in order" [ "wpt"; "jquery"; "webidl" ]
+        (List.map Util.Json.to_str (Util.Json.to_list (Util.Json.member "runs" index)));
+      List.iter
+        (fun name ->
+          Alcotest.(check bool) (name ^ " profile file exists") true
+            (Sys.file_exists (Filename.concat dir (name ^ ".profile.json"))))
+        [ "wpt"; "jquery"; "webidl" ];
       let c' = Runtime.Corpus.load_dir dir in
       Alcotest.(check int) "runs survive" 3 (Runtime.Corpus.run_count c');
       Alcotest.(check (list string)) "order preserved" [ "wpt"; "jquery"; "webidl" ]
         (List.map fst (Runtime.Corpus.runs c'));
       Alcotest.(check int) "merged agrees" 3
-        (Runtime.Profile.cardinal (Runtime.Corpus.merged c')))
+        (Runtime.Profile.cardinal (Runtime.Corpus.merged c'));
+      Alcotest.(check int) "site 2 coverage survives" 3 (Runtime.Corpus.coverage c' (site 2)))
 
 (* End-to-end: build the browser's deployment profile from a corpus of
    distinct browsing sessions, as the paper did with WPT + jQuery + WebIDL
@@ -117,6 +153,8 @@ let suite =
     Alcotest.test_case "marginal gains" `Quick test_marginal_gains;
     Alcotest.test_case "duplicate rejected" `Quick test_duplicate_run_rejected;
     Alcotest.test_case "sampling" `Quick test_sampling;
+    Alcotest.test_case "sampling deterministic under seed" `Quick
+      test_sampling_deterministic_under_seed;
     Alcotest.test_case "save/load round-trip" `Quick test_save_load_roundtrip;
     Alcotest.test_case "corpus-driven browser build" `Quick test_corpus_driven_browser_build;
   ]

@@ -3,6 +3,7 @@ let () =
     [
       ("util", Test_util.suite);
       ("telemetry", Test_telemetry.suite);
+      ("attribution", Test_attribution.suite);
       ("mpk", Test_mpk.suite);
       ("vmm", Test_vmm.suite);
       ("sim", Test_sim.suite);

@@ -73,9 +73,9 @@ let test_sink_ring_eviction () =
        (Telemetry.Sink.events sink))
 
 (* (3) Telemetry must not perturb measurements: a disabled-sink run equals
-   the seed behaviour, and even an enabled sink charges no simulated
-   cycles.  All measurement fields the paper's tables derive from must be
-   identical across all three runs. *)
+   the seed behaviour, and an enabled sink — or an enabled cycle sampler —
+   charges no simulated cycles.  All measurement fields the paper's tables
+   derive from must be bit-identical across all four runs. *)
 let test_disabled_sink_identical_measurements () =
   let profile = bench_profile () in
   let strip (m : Workloads.Runner.measurement) =
@@ -86,14 +86,18 @@ let test_disabled_sink_identical_measurements () =
       m.Workloads.Runner.mu_bytes,
       m.Workloads.Runner.output )
   in
-  let run telemetry =
-    strip (Workloads.Runner.run_config ~telemetry ~mode:Pkru_safe.Config.Mpk ~profile small_bench)
+  let run ?sample_every telemetry =
+    strip
+      (Workloads.Runner.run_config ~telemetry ?sample_every ~mode:Pkru_safe.Config.Mpk ~profile
+         small_bench)
   in
   let off1 = run false in
   let off2 = run false in
   let on = run true in
+  let sampled = run ~sample_every:32 true in
   Alcotest.(check bool) "disabled runs identical" true (off1 = off2);
-  Alcotest.(check bool) "enabled run does not perturb" true (off1 = on)
+  Alcotest.(check bool) "enabled run does not perturb" true (off1 = on);
+  Alcotest.(check bool) "sampled run does not perturb" true (off1 = sampled)
 
 (* (4) The Chrome trace export must be valid JSON that round-trips through
    our own parser, with one slice record per gate transition. *)
@@ -147,6 +151,17 @@ let test_histogram_buckets_and_percentiles () =
      p >= 0.0 && p <= 1000.0);
   Alcotest.(check (float 1e-9)) "p100 is max" 1000.0 (Telemetry.Histogram.percentile h 100.0)
 
+(* An empty histogram has no percentiles: like Util.Stats.percentile, the
+   query raises rather than inventing a 0. *)
+let test_empty_histogram_percentile_raises () =
+  let h = Telemetry.Histogram.create () in
+  Alcotest.check_raises "empty percentile"
+    (Invalid_argument "Histogram.percentile: empty histogram") (fun () ->
+      ignore (Telemetry.Histogram.percentile h 50.0));
+  Telemetry.Histogram.observe h 7;
+  Alcotest.(check (float 1e-9)) "defined once non-empty" 7.0
+    (Telemetry.Histogram.percentile h 50.0)
+
 let test_with_sink_restores () =
   Alcotest.(check bool) "inactive by default" false (Telemetry.Sink.active ());
   let sink = Telemetry.Sink.create () in
@@ -166,5 +181,7 @@ let suite =
     Alcotest.test_case "summary json round-trips" `Quick test_summary_json_roundtrip;
     Alcotest.test_case "histogram buckets/percentiles" `Quick
       test_histogram_buckets_and_percentiles;
+    Alcotest.test_case "empty histogram percentile raises" `Quick
+      test_empty_histogram_percentile_raises;
     Alcotest.test_case "with_sink restores on raise" `Quick test_with_sink_restores;
   ]
