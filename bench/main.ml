@@ -3,12 +3,13 @@
    reported numbers, then runs the ablation studies and a bechamel pass
    over scaled-down versions of each experiment.
 
-   Usage: main.exe [--skip-bechamel] [--only SECTION]
+   Usage: main.exe [--skip-bechamel] [--only SECTION]...
+   --only may repeat; with none given, every section runs.
    Sections: micro fig3 table1 table2 fig5 fig6 fig7 security sites
-             ablations bechamel *)
+             ablations tlb bechamel *)
 
 let skip_bechamel = ref false
-let only : string option ref = ref None
+let only : string list ref = ref []
 let json_dir : string option ref = ref None
 
 let () =
@@ -18,7 +19,7 @@ let () =
       skip_bechamel := true;
       parse rest
     | "--only" :: section :: rest ->
-      only := Some section;
+      only := section :: !only;
       parse rest
     | "--json" :: dir :: rest ->
       json_dir := Some dir;
@@ -27,10 +28,16 @@ let () =
   in
   parse (List.tl (Array.to_list Sys.argv))
 
-let section name =
-  match !only with
-  | Some wanted -> wanted = name
-  | None -> true
+let section name = !only = [] || List.mem name !only
+
+(* Per-section host wall-clock, recorded for every section that runs and
+   emitted into host.json alongside the simulated-cycle results. *)
+let section_walls : (string * float) list ref = ref []
+
+let timed name f =
+  let start = Unix.gettimeofday () in
+  f ();
+  section_walls := !section_walls @ [ (name, Unix.gettimeofday () -. start) ]
 
 let header title = Printf.printf "\n=== %s ===\n\n" title
 
@@ -232,6 +239,44 @@ let run_fig7 () =
       [ "overhead"; "-"; pct (overhead alloc); pct (overhead mpk) ];
     ];
   print_endline "\nPaper (Table 3): scores 60.31 / 61.20 / 59.94 -> overhead alloc -1.48%, mpk +0.61%"
+
+(* --- Software-TLB microbench --- *)
+
+(* Kept so host.json can reuse the section's result instead of re-running
+   the workload. *)
+let last_tlb : Workloads.Microbench.tlb_result option ref = ref None
+
+let tlb_result ?pages ?iters () =
+  match !last_tlb with
+  | Some r -> r
+  | None ->
+    let r = Workloads.Microbench.tlb_hot ?pages ?iters () in
+    last_tlb := Some r;
+    r
+
+let run_tlb () =
+  header "Software TLB: page-hot checked-access loop, host wall-clock";
+  let r = tlb_result () in
+  if r.Workloads.Microbench.cycles_on <> r.Workloads.Microbench.cycles_off then
+    failwith
+      (Printf.sprintf "TLB changed simulated cycles: %d (on) vs %d (off)"
+         r.Workloads.Microbench.cycles_on r.Workloads.Microbench.cycles_off);
+  Printf.printf "working set %d pages x %d rounds (read+write u64 per page)\n"
+    r.Workloads.Microbench.pages r.Workloads.Microbench.iters;
+  Util.Table.print
+    ~header:[ "config"; "host wall ms"; "sim cycles" ]
+    [
+      [ "tlb off"; Printf.sprintf "%.1f" (1000.0 *. r.Workloads.Microbench.wall_off_s);
+        string_of_int r.Workloads.Microbench.cycles_off ];
+      [ "tlb on"; Printf.sprintf "%.1f" (1000.0 *. r.Workloads.Microbench.wall_on_s);
+        string_of_int r.Workloads.Microbench.cycles_on ];
+    ];
+  let stats = r.Workloads.Microbench.tlb in
+  Printf.printf "speedup: %.2fx  hit rate: %.2f%% (%d hits, %d misses, %d flush generations)\n"
+    r.Workloads.Microbench.speedup
+    (100.0 *. Sim.Tlb.hit_rate stats)
+    stats.Sim.Tlb.hits stats.Sim.Tlb.misses stats.Sim.Tlb.flushes;
+  print_endline "(simulated cycles are identical by construction: the TLB is architecturally invisible)"
 
 (* --- §5.4 Security --- *)
 
@@ -575,23 +620,53 @@ let write_json_results dir =
          traced_bench "richards"
            (Workloads.Bench_def.bench "richards" (Workloads.Kernels.richards ~iterations:40));
        ]);
+  (* Host-side timing: per-section wall clock for whatever ran this
+     invocation, plus the TLB microbench digest (reusing the tlb
+     section's result, or running a scaled-down one here).  Format is
+     documented in EXPERIMENTS.md. *)
+  let tlb = tlb_result ~pages:8 ~iters:20_000 () in
+  write "host.json"
+    (Util.Json.Obj
+       [
+         ( "section_wall_seconds",
+           Util.Json.Obj
+             (List.map (fun (name, s) -> (name, Util.Json.Float s)) !section_walls) );
+         ( "tlb",
+           Util.Json.Obj
+             [
+               ("pages", Util.Json.Int tlb.Workloads.Microbench.pages);
+               ("iters", Util.Json.Int tlb.Workloads.Microbench.iters);
+               ("wall_on_s", Util.Json.Float tlb.Workloads.Microbench.wall_on_s);
+               ("wall_off_s", Util.Json.Float tlb.Workloads.Microbench.wall_off_s);
+               ("speedup", Util.Json.Float tlb.Workloads.Microbench.speedup);
+               ("cycles_on", Util.Json.Int tlb.Workloads.Microbench.cycles_on);
+               ("cycles_off", Util.Json.Int tlb.Workloads.Microbench.cycles_off);
+               ( "cycles_identical",
+                 Util.Json.Bool
+                   (tlb.Workloads.Microbench.cycles_on = tlb.Workloads.Microbench.cycles_off) );
+               ("hits", Util.Json.Int tlb.Workloads.Microbench.tlb.Sim.Tlb.hits);
+               ("misses", Util.Json.Int tlb.Workloads.Microbench.tlb.Sim.Tlb.misses);
+               ("flushes", Util.Json.Int tlb.Workloads.Microbench.tlb.Sim.Tlb.flushes);
+             ] );
+       ]);
   Printf.printf "JSON results written to %s/
 " dir
 
 let () =
   print_endline "PKRU-Safe reproduction: benchmark harness";
   print_endline "Cycle counts are simulated machine cycles; see DESIGN.md section 5.";
-  if section "micro" then run_micro ();
-  if section "fig3" then run_fig3 ();
-  if section "table1" then run_table1 ();
-  if section "table2" then run_table2 ();
-  if section "fig5" then run_fig5 ();
-  if section "fig6" then run_fig6 ();
-  if section "fig7" then run_fig7 ();
-  if section "security" then run_security ();
-  if section "sites" then run_sites ();
-  if section "ablations" then run_ablations ();
-  if (not !skip_bechamel) && section "bechamel" then run_bechamel ();
+  if section "micro" then timed "micro" run_micro;
+  if section "fig3" then timed "fig3" run_fig3;
+  if section "table1" then timed "table1" run_table1;
+  if section "table2" then timed "table2" run_table2;
+  if section "fig5" then timed "fig5" run_fig5;
+  if section "fig6" then timed "fig6" run_fig6;
+  if section "fig7" then timed "fig7" run_fig7;
+  if section "security" then timed "security" run_security;
+  if section "sites" then timed "sites" run_sites;
+  if section "ablations" then timed "ablations" run_ablations;
+  if section "tlb" then timed "tlb" run_tlb;
+  if (not !skip_bechamel) && section "bechamel" then timed "bechamel" run_bechamel;
   (match !json_dir with
   | Some dir -> write_json_results dir
   | None -> ());

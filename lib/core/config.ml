@@ -9,11 +9,12 @@ type t = {
   mu_backend : Allocators.Pkalloc.mu_backend;
   cost : Sim.Cost.t;
   trusted_pkey : Mpk.Pkey.t;
+  tlb : bool;
 }
 
 let make ?(mu_backend = Allocators.Pkalloc.Mu_dlmalloc) ?(cost = Sim.Cost.default)
-    ?(trusted_pkey = Mpk.Pkey.of_int 1) mode =
-  { mode; mu_backend; cost; trusted_pkey }
+    ?(trusted_pkey = Mpk.Pkey.of_int 1) ?(tlb = true) mode =
+  { mode; mu_backend; cost; trusted_pkey; tlb }
 
 let mode_to_string = function
   | Base -> "base"

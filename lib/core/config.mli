@@ -23,12 +23,16 @@ type t = {
   mu_backend : Allocators.Pkalloc.mu_backend;
   cost : Sim.Cost.t;
   trusted_pkey : Mpk.Pkey.t;
+  tlb : bool;
+      (** enable the machine's software TLB (default).  Architecturally
+          invisible either way — only host wall-clock differs. *)
 }
 
 val make :
   ?mu_backend:Allocators.Pkalloc.mu_backend ->
   ?cost:Sim.Cost.t ->
   ?trusted_pkey:Mpk.Pkey.t ->
+  ?tlb:bool ->
   mode ->
   t
 

@@ -19,7 +19,7 @@ type t = {
 }
 
 let create ?profile config =
-  let machine = Sim.Machine.create ~cost:config.Config.cost () in
+  let machine = Sim.Machine.create ~cost:config.Config.cost ~tlb:config.Config.tlb () in
   match
     Allocators.Pkalloc.create ~mu_backend:config.Config.mu_backend
       ~trusted_pkey:config.Config.trusted_pkey machine
@@ -150,7 +150,7 @@ let transitions t =
   List.fold_left (fun acc thread -> acc + Runtime.Gate.transitions thread.t_gate) 0 t.threads
 
 let reset_counters t =
-  List.iter Sim.Cpu.reset_cycles t.machine.Sim.Machine.cpus;
+  List.iter Sim.Cpu.reset_cycles (Sim.Machine.cpus t.machine);
   List.iter (fun thread -> Runtime.Gate.reset_transitions thread.t_gate) t.threads
 
 let cycles t = Sim.Machine.cycles t.machine

@@ -4,7 +4,12 @@
     so the benchmark harness and the ablation studies share a single source
     of truth.  Defaults are calibrated so that a round-trip call gate costs
     about 80 cycles against a ~10-cycle empty FFI call, reproducing the
-    paper's micro-benchmark ratios (Empty 8.55x); see DESIGN.md §5. *)
+    paper's micro-benchmark ratios (Empty 8.55x); see DESIGN.md §5.
+
+    The software {!Tlb} deliberately has no entry here: it is a host-side
+    optimisation of the simulator itself, architecturally invisible, and
+    charges nothing — simulated cycle counts are identical with it on or
+    off. *)
 
 type t = {
   alu : int;             (** integer add/sub/logic *)

@@ -5,25 +5,50 @@ type t = {
   mutable trap_flag : bool;
   mutable cycles : int;
   mutable wrpkru_retired : int;
+  mutable pkru_epoch : int;
+  retired_acc : int ref;
+  tlb : Tlb.t;
 }
 
-let create ?(cost = Cost.default) ?(id = 0) () =
-  { id; cost; pkru = Mpk.Pkru.all_enabled; trap_flag = false; cycles = 0; wrpkru_retired = 0 }
+let create ?(cost = Cost.default) ?(id = 0) ?retired () =
+  let retired_acc = match retired with Some r -> r | None -> ref 0 in
+  {
+    id;
+    cost;
+    pkru = Mpk.Pkru.all_enabled;
+    trap_flag = false;
+    cycles = 0;
+    wrpkru_retired = 0;
+    pkru_epoch = 0;
+    retired_acc;
+    tlb = Tlb.create ();
+  }
 
 (* Every retired cycle flows through here, so this is where the sampling
-   profiler ticks.  The tick charges nothing back, so sampled and
-   unsampled runs retire identical cycle counts; disabled, the cost is
-   one load and one branch, same as the sink discipline. *)
+   profiler ticks and where the machine-wide retired accumulator grows
+   (keeping [Machine.total_cycles] O(1) instead of a fold over harts).
+   The tick charges nothing back, so sampled and unsampled runs retire
+   identical cycle counts; disabled, the cost is one load and one branch,
+   same as the sink discipline. *)
 let charge t n =
   t.cycles <- t.cycles + n;
+  t.retired_acc := !(t.retired_acc) + n;
   match !Telemetry.Sampler.current with
   | None -> ()
   | Some sampler -> Telemetry.Sampler.tick sampler n
 
+(* All intentional PKRU updates come through here so the epoch advances
+   and cached permission masks in the hart's TLB go stale.  (Direct
+   [t.pkru <- ...] stores are still caught by the TLB's raw-value
+   comparison; the epoch is the documented invalidation protocol.) *)
+let set_pkru t v =
+  t.pkru <- v;
+  t.pkru_epoch <- t.pkru_epoch + 1
+
 let wrpkru t v =
   charge t t.cost.Cost.wrpkru;
   t.wrpkru_retired <- t.wrpkru_retired + 1;
-  t.pkru <- v;
+  set_pkru t v;
   match !Telemetry.Sink.current with
   | None -> ()
   | Some sink ->
@@ -36,4 +61,6 @@ let rdpkru t =
 
 let cycles t = t.cycles
 
-let reset_cycles t = t.cycles <- 0
+let reset_cycles t =
+  t.retired_acc := !(t.retired_acc) - t.cycles;
+  t.cycles <- 0

@@ -12,18 +12,35 @@ type t = {
   mutable trap_flag : bool;
   mutable cycles : int;
   mutable wrpkru_retired : int;
+  mutable pkru_epoch : int;
+      (** bumped by every PKRU write through {!set_pkru} / {!wrpkru};
+          part of the software TLB's invalidation protocol *)
+  retired_acc : int ref;
+      (** machine-wide retired-cycle accumulator shared by all harts of
+          one {!Machine}, kept current by {!charge} / {!reset_cycles} *)
+  tlb : Tlb.t;  (** this hart's software TLB (architecturally invisible) *)
 }
 
-val create : ?cost:Cost.t -> ?id:int -> unit -> t
-(** Fresh CPU with PKRU fully enabled (kernel default for a new thread). *)
+val create : ?cost:Cost.t -> ?id:int -> ?retired:int ref -> unit -> t
+(** Fresh CPU with PKRU fully enabled (kernel default for a new thread).
+    [retired] shares the machine-wide cycle accumulator; a fresh ref is
+    used when absent (standalone CPUs in tests). *)
 
 val charge : t -> int -> unit
-(** [charge cpu n] retires [n] cycles of straight-line work and ticks the
-    installed {!Telemetry.Sampler} (which charges nothing back, keeping
-    sampled and unsampled cycle counts identical). *)
+(** [charge cpu n] retires [n] cycles of straight-line work, grows the
+    shared accumulator and ticks the installed {!Telemetry.Sampler}
+    (which charges nothing back, keeping sampled and unsampled cycle
+    counts identical). *)
+
+val set_pkru : t -> Mpk.Pkru.t -> unit
+(** Replaces the register and bumps {!field-pkru_epoch}, staling every
+    cached permission mask in this hart's TLB.  Charges nothing — use
+    {!wrpkru} to model the instruction.  All intentional PKRU updates
+    (gates, signal-handler swaps) must come through here or {!wrpkru}. *)
 
 val wrpkru : t -> Mpk.Pkru.t -> unit
-(** Executes WRPKRU: charges its cost and replaces the register. *)
+(** Executes WRPKRU: charges its cost and replaces the register (through
+    {!set_pkru}, so the PKRU epoch advances). *)
 
 val rdpkru : t -> Mpk.Pkru.t
 (** Executes RDPKRU: charges its cost and reads the register. *)
@@ -32,4 +49,5 @@ val cycles : t -> int
 (** Total cycles retired so far. *)
 
 val reset_cycles : t -> unit
-(** Zeroes the counter (used between benchmark phases). *)
+(** Zeroes the counter, deducting the same amount from the shared
+    accumulator (used between benchmark phases). *)

@@ -1,29 +1,48 @@
 type t = {
   page_table : Vmm.Page_table.t;
   mutable cpu : Cpu.t;
-  mutable cpus : Cpu.t list;
+  mutable cpus_rev : Cpu.t list;
+  mutable ncpus : int;
   signals : Signals.t;
   pkeys : Vmm.Pkeys.t;
+  retired : int ref;
+  tlb_enabled : bool;
 }
 
-let create ?cost () =
-  let boot = Cpu.create ?cost ~id:0 () in
+let create ?cost ?(tlb = true) () =
+  let retired = ref 0 in
+  let boot = Cpu.create ?cost ~id:0 ~retired () in
   {
     page_table = Vmm.Page_table.create ();
     cpu = boot;
-    cpus = [ boot ];
+    cpus_rev = [ boot ];
+    ncpus = 1;
     signals = Signals.create ();
     pkeys = Vmm.Pkeys.create ();
+    retired;
+    tlb_enabled = tlb;
   }
 
 let spawn_cpu t =
-  let cpu = Cpu.create ~cost:t.cpu.Cpu.cost ~id:(List.length t.cpus) () in
-  t.cpus <- t.cpus @ [ cpu ];
+  let cpu = Cpu.create ~cost:t.cpu.Cpu.cost ~id:t.ncpus ~retired:t.retired () in
+  t.cpus_rev <- cpu :: t.cpus_rev;
+  t.ncpus <- t.ncpus + 1;
   cpu
 
+let cpus t = List.rev t.cpus_rev
+
 (* Telemetry timestamps are whole-machine cycles so that events from
-   different harts order consistently in one trace. *)
-let total_cycles t = List.fold_left (fun acc cpu -> acc + Cpu.cycles cpu) 0 t.cpus
+   different harts order consistently in one trace.  The shared
+   accumulator (grown by [Cpu.charge]) makes this O(1); telemetry emits
+   read it on every event. *)
+let total_cycles t = !(t.retired)
+
+let tlb_enabled t = t.tlb_enabled
+
+let tlb_stats t =
+  List.fold_left
+    (fun acc cpu -> Tlb.add_stats acc (Tlb.stats cpu.Cpu.tlb))
+    Tlb.zero_stats t.cpus_rev
 
 let note_thread_switch t ~from_cpu ~to_cpu =
   match !Telemetry.Sink.current with
@@ -102,17 +121,19 @@ let deliver_fault t fault =
 
 (* Resolve one in-page access, delivering faults until it succeeds.  The
    retry bound breaks the livelock a buggy handler would otherwise cause
-   (return-from-handler normally re-executes the faulting instruction). *)
+   (return-from-handler normally re-executes the faulting instruction);
+   when it trips, the exception carries the kind of the last fault
+   actually delivered, not a made-up one. *)
 let resolve t access addr =
-  let rec attempt retries =
+  let rec attempt retries last_kind =
     if retries = 0 then
-      raise (Vmm.Fault.Unhandled { Vmm.Fault.addr; access; kind = Vmm.Fault.Prot_violation });
+      raise (Vmm.Fault.Unhandled { Vmm.Fault.addr; access; kind = last_kind });
     let faults_before = Vmm.Page_table.demand_faults t.page_table in
     match Vmm.Page_table.lookup t.page_table addr with
     | None ->
       Cpu.charge t.cpu t.cpu.Cpu.cost.Cost.signal_dispatch;
       deliver_fault t { Vmm.Fault.addr; access; kind = Vmm.Fault.Not_mapped };
-      attempt (retries - 1)
+      attempt (retries - 1) Vmm.Fault.Not_mapped
     | Some page ->
       if Vmm.Page_table.demand_faults t.page_table > faults_before then begin
         Cpu.charge t.cpu t.cpu.Cpu.cost.Cost.soft_page_fault;
@@ -127,9 +148,39 @@ let resolve t access addr =
       | Some kind ->
         Cpu.charge t.cpu t.cpu.Cpu.cost.Cost.signal_dispatch;
         deliver_fault t { Vmm.Fault.addr; access; kind };
-        attempt (retries - 1))
+        attempt (retries - 1) kind)
   in
-  attempt 64
+  (* The seed kind is never observed: retries start positive, and every
+     recursive call threads the kind of a delivered fault. *)
+  attempt 64 Vmm.Fault.Prot_violation
+
+(* The checked-access fast path.  A TLB hit proves the slow path would
+   have succeeded without delivering any fault or materialising any page
+   (the entry is current under the mapping epoch, the PKRU epoch and the
+   raw PKRU value), so skipping [resolve] is architecturally invisible:
+   no cycles or events differ.  Misses — including every access that
+   would fault, single-step, or demand-page — fall through to [resolve]
+   and refill with post-handler epochs (the final successful check ran
+   under exactly that state). *)
+let translate t access abit addr =
+  if t.tlb_enabled then begin
+    let page_number = Vmm.Layout.page_of_addr addr in
+    let tlb = t.cpu.Cpu.tlb in
+    if
+      Tlb.lookup tlb
+        ~map_epoch:(Vmm.Page_table.epoch t.page_table)
+        ~pkru_epoch:t.cpu.Cpu.pkru_epoch ~pkru:t.cpu.Cpu.pkru ~access_bit:abit
+        page_number
+    then Tlb.cached_page tlb page_number
+    else begin
+      let page = resolve t access addr in
+      Tlb.fill tlb
+        ~map_epoch:(Vmm.Page_table.epoch t.page_table)
+        ~pkru_epoch:t.cpu.Cpu.pkru_epoch ~pkru:t.cpu.Cpu.pkru page_number page;
+      page
+    end
+  end
+  else resolve t access addr
 
 (* The trap flag fires after the instruction completes (x86 #DB). *)
 let post_access t =
@@ -144,17 +195,31 @@ let post_access t =
     Signals.deliver_trap t.signals
   end
 
+(* The common widths use the runtime's fixed-width accessors instead of a
+   byte loop.  Results are bit-for-bit what the loop produced: values are
+   accumulated modulo 2^63 (OCaml int), so the 8-byte case masks away the
+   64th bit. *)
 let rec read_le t addr len =
   let offset = Vmm.Layout.page_offset addr in
   if offset + len <= page_size then begin
     Cpu.charge t.cpu t.cpu.Cpu.cost.Cost.load;
-    let page = resolve t Vmm.Fault.Read addr in
-    let v = ref 0 in
-    for i = len - 1 downto 0 do
-      v := (!v lsl 8) lor Char.code (Bytes.get page.Vmm.Page.data (offset + i))
-    done;
+    let page = translate t Vmm.Fault.Read Tlb.read_bit addr in
+    let data = page.Vmm.Page.data in
+    let v =
+      match len with
+      | 1 -> Bytes.get_uint8 data offset
+      | 2 -> Bytes.get_uint16_le data offset
+      | 4 -> Int32.to_int (Bytes.get_int32_le data offset) land 0xFFFF_FFFF
+      | 8 -> Int64.to_int (Bytes.get_int64_le data offset)
+      | _ ->
+        let v = ref 0 in
+        for i = len - 1 downto 0 do
+          v := (!v lsl 8) lor Char.code (Bytes.get data (offset + i))
+        done;
+        !v
+    in
     post_access t;
-    !v
+    v
   end
   else begin
     (* Page-straddling access: split at the boundary. *)
@@ -168,10 +233,20 @@ let rec write_le t addr len v =
   let offset = Vmm.Layout.page_offset addr in
   if offset + len <= page_size then begin
     Cpu.charge t.cpu t.cpu.Cpu.cost.Cost.store;
-    let page = resolve t Vmm.Fault.Write addr in
-    for i = 0 to len - 1 do
-      Bytes.set page.Vmm.Page.data (offset + i) (Char.chr ((v lsr (8 * i)) land 0xFF))
-    done;
+    let page = translate t Vmm.Fault.Write Tlb.write_bit addr in
+    let data = page.Vmm.Page.data in
+    (match len with
+    | 1 -> Bytes.set_uint8 data offset (v land 0xFF)
+    | 2 -> Bytes.set_uint16_le data offset (v land 0xFFFF)
+    | 4 -> Bytes.set_int32_le data offset (Int32.of_int v)
+    | 8 ->
+      (* The loop stored (v lsr 56) land 0xFF as the top byte — bits 56-62
+         of a 63-bit int, never a 64th bit — so mask the sign extension. *)
+      Bytes.set_int64_le data offset (Int64.logand (Int64.of_int v) Int64.max_int)
+    | _ ->
+      for i = 0 to len - 1 do
+        Bytes.set data (offset + i) (Char.chr ((v lsr (8 * i)) land 0xFF))
+      done);
     post_access t
   end
   else begin
@@ -209,7 +284,7 @@ let read_bytes t addr len =
     let offset = Vmm.Layout.page_offset a in
     let chunk = min (len - !pos) (page_size - offset) in
     Cpu.charge t.cpu (t.cpu.Cpu.cost.Cost.load * ((chunk + 7) / 8));
-    let page = resolve t Vmm.Fault.Read a in
+    let page = translate t Vmm.Fault.Read Tlb.read_bit a in
     Bytes.blit page.Vmm.Page.data offset out !pos chunk;
     post_access t;
     pos := !pos + chunk
@@ -224,7 +299,7 @@ let write_bytes t addr src =
     let offset = Vmm.Layout.page_offset a in
     let chunk = min (len - !pos) (page_size - offset) in
     Cpu.charge t.cpu (t.cpu.Cpu.cost.Cost.store * ((chunk + 7) / 8));
-    let page = resolve t Vmm.Fault.Write a in
+    let page = translate t Vmm.Fault.Write Tlb.write_bit a in
     Bytes.blit src !pos page.Vmm.Page.data offset chunk;
     post_access t;
     pos := !pos + chunk
@@ -239,7 +314,7 @@ let memset t addr byte len =
     let offset = Vmm.Layout.page_offset a in
     let chunk = min (len - !pos) (page_size - offset) in
     Cpu.charge t.cpu (t.cpu.Cpu.cost.Cost.store * ((chunk + 7) / 8));
-    let page = resolve t Vmm.Fault.Write a in
+    let page = translate t Vmm.Fault.Write Tlb.write_bit a in
     Bytes.fill page.Vmm.Page.data offset chunk byte;
     post_access t;
     pos := !pos + chunk

@@ -8,6 +8,13 @@
     re-executing the access when a handler returns [Retry] and honouring
     the trap flag for single-stepped profiling.
 
+    A per-hart software {!Tlb} caches resolved pages with precomputed
+    permission masks, so page-hot access sequences skip the page-table
+    walk and PKRU decode.  The TLB is architecturally invisible (no
+    cycles, no events — see {!Tlb}); faults, single-stepping and demand
+    paging always take the slow path, so simulated cycle counts and
+    telemetry traces are bit-identical whether it is on or off.
+
     The [priv_*] accessors bypass checks and charging.  They model two
     things that are outside the simulated instruction stream: the kernel /
     fault handler inspecting memory on the process's behalf, and test
@@ -16,12 +23,21 @@
 type t = {
   page_table : Vmm.Page_table.t;
   mutable cpu : Cpu.t; (** the hart currently executing *)
-  mutable cpus : Cpu.t list; (** every hart, boot thread first *)
+  mutable cpus_rev : Cpu.t list;
+      (** every hart, most recently spawned first — use {!cpus} for
+          boot-thread-first order *)
+  mutable ncpus : int;
   signals : Signals.t;
   pkeys : Vmm.Pkeys.t; (** the kernel's pkey_alloc/pkey_free state *)
+  retired : int ref;
+      (** machine-wide retired-cycle accumulator, shared with every hart *)
+  tlb_enabled : bool;
 }
 
-val create : ?cost:Cost.t -> unit -> t
+val create : ?cost:Cost.t -> ?tlb:bool -> unit -> t
+(** [tlb] (default [true]) enables the software TLB on every hart; pass
+    [false] to force every access down the slow resolve path (used by the
+    equivalence test and the TLB microbench baseline). *)
 
 (* {2 Threads}
 
@@ -32,7 +48,10 @@ val create : ?cost:Cost.t -> unit -> t
    flag and cycle counts are per-hart, as on real hardware. *)
 
 val spawn_cpu : t -> Cpu.t
-(** Creates and registers a new hart (does not switch to it). *)
+(** Creates and registers a new hart (does not switch to it).  O(1). *)
+
+val cpus : t -> Cpu.t list
+(** Every hart, boot thread first. *)
 
 val run_on : t -> Cpu.t -> (unit -> 'a) -> 'a
 (** [run_on t cpu f] executes [f] with [cpu] as the current hart, restoring
@@ -80,4 +99,14 @@ val charge : t -> int -> unit
 (** Charges straight-line compute cycles on the current hart. *)
 
 val cycles : t -> int
-(** Total cycles retired across every hart. *)
+(** Total cycles retired across every hart.  O(1): maintained as a
+    running accumulator, not a fold over harts, so per-event telemetry
+    timestamps don't scale with thread count. *)
+
+(* {2 TLB observability} *)
+
+val tlb_enabled : t -> bool
+
+val tlb_stats : t -> Tlb.stats
+(** Aggregate hit/miss/flush counts across every hart's TLB.  All zero
+    when the machine was created with [~tlb:false]. *)

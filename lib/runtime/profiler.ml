@@ -39,7 +39,7 @@ let on_segv t (fault : Vmm.Fault.t) =
     Hashtbl.replace t.saved_pkru cpu.Sim.Cpu.id cpu.Sim.Cpu.pkru;
     if !Telemetry.Sink.current <> None then
       Hashtbl.replace t.step_started cpu.Sim.Cpu.id (Sim.Machine.cycles t.machine);
-    cpu.Sim.Cpu.pkru <- Mpk.Pkru.all_enabled;
+    Sim.Cpu.set_pkru cpu Mpk.Pkru.all_enabled;
     cpu.Sim.Cpu.trap_flag <- true;
     Sim.Signals.Retry
   | Vmm.Fault.Pkey_violation _ | Vmm.Fault.Not_mapped | Vmm.Fault.Prot_violation ->
@@ -51,7 +51,7 @@ let on_trap t () =
   let cpu = t.machine.Sim.Machine.cpu in
   match Hashtbl.find_opt t.saved_pkru cpu.Sim.Cpu.id with
   | Some pkru ->
-    cpu.Sim.Cpu.pkru <- pkru;
+    Sim.Cpu.set_pkru cpu pkru;
     Hashtbl.remove t.saved_pkru cpu.Sim.Cpu.id;
     (* Fault-to-trap round trip: the full single-step servicing of one
        recorded access (dispatch, permissive re-execution, #DB restore). *)

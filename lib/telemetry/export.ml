@@ -181,8 +181,26 @@ let default_series_window events =
    pkru_events_<kind>_total, sink histograms are attached under their own
    names, attribution becomes labelled site/flow gauges, and the sampler
    becomes per-stack sample counters. *)
-let to_metrics ?attribution ?sampler ?series_window sink =
+let to_metrics ?attribution ?sampler ?series_window ?tlb sink =
   let reg = Metrics.create () in
+  (* Software-TLB effectiveness: dedicated families, always exposed (a
+     zero hit count on a TLB-off run is itself the datum).  Values come
+     from [tlb] when the caller holds live machine stats, else from the
+     counters the runner injects into the sink after a timed run. *)
+  let tlb_hits, tlb_misses, tlb_flushes =
+    match tlb with
+    | Some (h, m, f) -> (h, m, f)
+    | None -> (Sink.count sink "tlb_hit", Sink.count sink "tlb_miss", Sink.count sink "tlb_flush")
+  in
+  Metrics.incr ~by:tlb_hits
+    (Metrics.counter reg ~help:"Software-TLB hits on the checked access path"
+       "pkru_tlb_hits_total");
+  Metrics.incr ~by:tlb_misses
+    (Metrics.counter reg ~help:"Software-TLB misses (slow resolve path taken)"
+       "pkru_tlb_misses_total");
+  Metrics.incr ~by:tlb_flushes
+    (Metrics.counter reg ~help:"Software-TLB invalidation generations observed"
+       "pkru_tlb_flushes_total");
   Metrics.incr
     ~by:(Sink.events_total sink)
     (Metrics.counter reg ~help:"Telemetry events emitted" "pkru_telemetry_events_total");
@@ -267,5 +285,5 @@ let to_metrics ?attribution ?sampler ?series_window sink =
       (Sampler.stacks s));
   reg
 
-let prometheus ?attribution ?sampler ?series_window sink =
-  Metrics.expose (to_metrics ?attribution ?sampler ?series_window sink)
+let prometheus ?attribution ?sampler ?series_window ?tlb sink =
+  Metrics.expose (to_metrics ?attribution ?sampler ?series_window ?tlb sink)

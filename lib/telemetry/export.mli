@@ -26,6 +26,7 @@ val to_metrics :
   ?attribution:Attribution.t ->
   ?sampler:Sampler.t ->
   ?series_window:int ->
+  ?tlb:int * int * int ->
   Sink.t ->
   Metrics.t
 (** Folds a sink snapshot into a {!Metrics} registry: event-kind counters
@@ -33,12 +34,20 @@ val to_metrics :
     gate-crossing / allocation series ([series_window] cycles per bucket,
     default 1/50th of the trace span), plus labelled site-heat and
     flow-matrix metrics when [attribution] is given and per-stack sample
-    counters when [sampler] is. *)
+    counters when [sampler] is.
+
+    Software-TLB effectiveness is always exposed as
+    [pkru_tlb_hits_total] / [pkru_tlb_misses_total] /
+    [pkru_tlb_flushes_total] (zeroes included): from [tlb] as
+    [(hits, misses, flushes)] when given, otherwise from the sink
+    counters ["tlb_hit"] / ["tlb_miss"] / ["tlb_flush"] that
+    [Workloads.Runner] injects after a timed run. *)
 
 val prometheus :
   ?attribution:Attribution.t ->
   ?sampler:Sampler.t ->
   ?series_window:int ->
+  ?tlb:int * int * int ->
   Sink.t ->
   string
 (** [Metrics.expose] of {!to_metrics}: the Prometheus text format. *)

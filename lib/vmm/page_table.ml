@@ -7,18 +7,54 @@ type region = {
 
 type t = {
   pages : (int, Page.t) Hashtbl.t; (* page number -> page *)
-  mutable regions : region list;
+  mutable regions : region array; (* disjoint, sorted by base *)
   mutable demand_faults : int;
+  mutable epoch : int;
 }
 
-let create () = { pages = Hashtbl.create 4096; regions = []; demand_faults = 0 }
+let create () =
+  { pages = Hashtbl.create 4096; regions = [||]; demand_faults = 0; epoch = 0 }
 
 let aligned addr = Layout.page_offset addr = 0
 
-let overlaps a b = a.base < b.base + b.size && b.base < a.base + a.size
+(* Any mapping or protection change invalidates cached translations
+   (the simulator's software TLB compares this epoch on every lookup). *)
+let bump_epoch t = t.epoch <- t.epoch + 1
+
+let epoch t = t.epoch
+
+(* Regions are disjoint and sorted by base, so point and range queries
+   binary-search instead of scanning the whole list — demand misses used
+   to pay O(regions) per fault. *)
+
+(* First index whose base is strictly greater than [addr]. *)
+let insertion_point a addr =
+  let lo = ref 0 in
+  let hi = ref (Array.length a) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if a.(mid).base <= addr then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let region_index t addr =
+  let a = t.regions in
+  let p = insertion_point a addr in
+  if p > 0 && addr < a.(p - 1).base + a.(p - 1).size then Some (p - 1) else None
 
 let region_of t addr =
-  List.find_opt (fun r -> addr >= r.base && addr < r.base + r.size) t.regions
+  match region_index t addr with
+  | Some i -> Some t.regions.(i)
+  | None -> None
+
+let insert_region t fresh =
+  let a = t.regions in
+  let p = insertion_point a fresh.base in
+  let n = Array.length a in
+  let grown = Array.make (n + 1) fresh in
+  Array.blit a 0 grown 0 p;
+  Array.blit a p grown (p + 1) (n - p);
+  t.regions <- grown
 
 let reserve t ~base ~size ~prot ~pkey =
   match Prot.validate prot with
@@ -28,11 +64,17 @@ let reserve t ~base ~size ~prot ~pkey =
       Error (Printf.sprintf "reserve: unaligned range 0x%x+0x%x" base size)
     else if size <= 0 then Error "reserve: empty range"
     else
-      let fresh = { base; size; prot; pkey } in
-      if List.exists (overlaps fresh) t.regions then
+      (* Disjoint + sorted: an overlap can only involve the would-be
+         neighbours of the insertion point. *)
+      let a = t.regions in
+      let p = insertion_point a base in
+      let overlaps_pred = p > 0 && a.(p - 1).base + a.(p - 1).size > base in
+      let overlaps_succ = p < Array.length a && a.(p).base < base + size in
+      if overlaps_pred || overlaps_succ then
         Error (Printf.sprintf "reserve: overlap at 0x%x" base)
       else begin
-        t.regions <- fresh :: t.regions;
+        insert_region t { base; size; prot; pkey };
+        bump_epoch t;
         Ok ()
       end
 
@@ -80,7 +122,17 @@ let iter_range_pages t ~base ~size f =
   done
 
 let covering_regions t ~base ~size =
-  List.filter (fun r -> r.base < base + size && base < r.base + r.size) t.regions
+  let a = t.regions in
+  let n = Array.length a in
+  let start =
+    let p = insertion_point a base in
+    if p > 0 && a.(p - 1).base + a.(p - 1).size > base then p - 1 else p
+  in
+  let rec collect i acc =
+    if i >= n || a.(i).base >= base + size then List.rev acc
+    else collect (i + 1) (a.(i) :: acc)
+  in
+  collect start []
 
 let pkey_mprotect t ~base ~size pkey =
   if not (aligned base && aligned size) then
@@ -91,6 +143,7 @@ let pkey_mprotect t ~base ~size pkey =
     | regions ->
       List.iter (fun r -> r.pkey <- pkey) regions;
       iter_range_pages t ~base ~size (fun page -> page.Page.pkey <- pkey);
+      bump_epoch t;
       Ok ()
 
 let mprotect t ~base ~size prot =
@@ -105,6 +158,7 @@ let mprotect t ~base ~size prot =
       | regions ->
         List.iter (fun r -> r.prot <- prot) regions;
         iter_range_pages t ~base ~size (fun page -> page.Page.prot <- prot);
+        bump_epoch t;
         Ok ())
 
 let resident_pages t = Hashtbl.length t.pages

@@ -42,3 +42,10 @@ val resident_pages : t -> int
 
 val demand_faults : t -> int
 (** Number of pages materialised lazily, i.e. soft page faults taken. *)
+
+val epoch : t -> int
+(** The mapping epoch: a generation counter bumped by every successful
+    [reserve], [map_now], [mprotect] and [pkey_mprotect].  Cached
+    translations (the simulator's software TLB) record the epoch at fill
+    time and revalidate against it on every lookup, so mapping or
+    protection changes invalidate them without any eager flush. *)

@@ -85,6 +85,73 @@ let run ?(iterations = 20_000) () =
     run_one ~iterations "Callback" (fun f ~gated -> callback_body f ~gated);
   ]
 
+(* {2 The software-TLB microbench}
+
+   A page-hot loop — the TLB's best case and the checked path's common
+   case — run twice on identical machines, once with the TLB and once
+   forced down the slow resolve path.  Simulated cycles must agree
+   exactly (the TLB is architecturally invisible); only host wall-clock
+   differs, and the ratio is the reported speedup. *)
+
+type tlb_result = {
+  pages : int;
+  iters : int;
+  wall_on_s : float;
+  wall_off_s : float;
+  speedup : float;
+  cycles_on : int;
+  cycles_off : int;
+  tlb : Sim.Tlb.stats;
+}
+
+let tlb_base = 0x4000_0000
+
+let tlb_machine ~tlb ~pages =
+  let machine = Sim.Machine.create ~tlb () in
+  (match
+     Vmm.Page_table.map_now machine.Sim.Machine.page_table ~base:tlb_base
+       ~size:(pages * Vmm.Layout.page_size) ~prot:Vmm.Prot.read_write
+       ~pkey:Mpk.Pkey.default
+   with
+  | Ok () -> ()
+  | Error msg -> failwith ("Workloads.Microbench: " ^ msg));
+  machine
+
+(* Each iteration reads and rewrites one u64 in every page of the working
+   set, so with [pages] <= the TLB size every access after the first
+   round is a hit. *)
+let tlb_workload machine ~pages ~iters =
+  for _ = 1 to iters do
+    for p = 0 to pages - 1 do
+      let addr = tlb_base + (p * Vmm.Layout.page_size) in
+      let v = Sim.Machine.read_u64 machine addr in
+      Sim.Machine.write_u64 machine addr (v + 1)
+    done
+  done
+
+let tlb_run ~tlb ~pages ~iters =
+  let machine = tlb_machine ~tlb ~pages in
+  (* One warm-up round so both variants start page-hot. *)
+  tlb_workload machine ~pages ~iters:1;
+  let start = Unix.gettimeofday () in
+  tlb_workload machine ~pages ~iters;
+  let wall = Unix.gettimeofday () -. start in
+  (wall, Sim.Machine.cycles machine, Sim.Machine.tlb_stats machine)
+
+let tlb_hot ?(pages = 8) ?(iters = 200_000) () =
+  let wall_off_s, cycles_off, _ = tlb_run ~tlb:false ~pages ~iters in
+  let wall_on_s, cycles_on, stats = tlb_run ~tlb:true ~pages ~iters in
+  {
+    pages;
+    iters;
+    wall_on_s;
+    wall_off_s;
+    speedup = (if wall_on_s > 0.0 then wall_off_s /. wall_on_s else 0.0);
+    cycles_on;
+    cycles_off;
+    tlb = stats;
+  }
+
 let sweep ~loop_counts ?(iterations = 5_000) () =
   List.map
     (fun loops ->

@@ -46,8 +46,9 @@ let profile_suite (suite : Bench_def.suite) =
     (fun acc bench -> Runtime.Profile.merge acc (profile_bench bench))
     (Runtime.Profile.create ()) suite.Bench_def.benches
 
-let run_config ?(telemetry = false) ?sample_every ~mode ~profile (bench : Bench_def.bench) =
-  let env = fail_on_error (Pkru_safe.Env.create ~profile (Pkru_safe.Config.make mode)) in
+let run_config ?(telemetry = false) ?sample_every ?tlb ~mode ~profile
+    (bench : Bench_def.bench) =
+  let env = fail_on_error (Pkru_safe.Env.create ~profile (Pkru_safe.Config.make ?tlb mode)) in
   let browser = Browser.create ~engine_seed:bench.Bench_def.engine_seed env in
   Browser.load_page browser bench.Bench_def.page;
   (* Page construction is setup; the script run is what the suites time. *)
@@ -65,7 +66,16 @@ let run_config ?(telemetry = false) ?sample_every ~mode ~profile (bench : Bench_
   let trace =
     if telemetry then begin
       let sink = Telemetry.Sink.create () in
+      let machine = Pkru_safe.Env.machine env in
+      let before = Sim.Machine.tlb_stats machine in
       Telemetry.Sink.with_sink sink exec;
+      (* TLB counters are injected after the timed run, never emitted from
+         the access path, so event traces and timestamps stay bit-identical
+         with the TLB on or off; only these counter values differ. *)
+      let after = Sim.Machine.tlb_stats machine in
+      Telemetry.Sink.incr sink ~by:(after.Sim.Tlb.hits - before.Sim.Tlb.hits) "tlb_hit";
+      Telemetry.Sink.incr sink ~by:(after.Sim.Tlb.misses - before.Sim.Tlb.misses) "tlb_miss";
+      Telemetry.Sink.incr sink ~by:(after.Sim.Tlb.flushes - before.Sim.Tlb.flushes) "tlb_flush";
       Some sink
     end
     else begin

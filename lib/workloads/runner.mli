@@ -48,6 +48,7 @@ val profile_suite : Bench_def.suite -> Runtime.Profile.t
 val run_config :
   ?telemetry:bool ->
   ?sample_every:int ->
+  ?tlb:bool ->
   mode:Pkru_safe.Config.mode ->
   profile:Runtime.Profile.t ->
   Bench_def.bench ->
@@ -55,11 +56,15 @@ val run_config :
 (** One benchmark under one configuration (fresh machine; counters are
     reset after page load so the script execution is what is timed).
     With [~telemetry:true] a fresh sink is installed for the duration of
-    the timed script and returned in the measurement's [trace] field.
-    With [~sample_every:n] a {!Telemetry.Sampler} snapshots the thread's
-    compartment stack every [n] simulated cycles and is returned in
-    [samples].  Neither charges simulated cycles, so traced/sampled and
-    plain runs report identical [cycles]. *)
+    the timed script and returned in the measurement's [trace] field; the
+    machine's TLB hit/miss/flush deltas over the timed run are injected as
+    the sink counters ["tlb_hit"]/["tlb_miss"]/["tlb_flush"] after it
+    finishes (never from the access path, so traces stay bit-identical
+    TLB on or off).  With [~sample_every:n] a {!Telemetry.Sampler}
+    snapshots the thread's compartment stack every [n] simulated cycles
+    and is returned in [samples].  Neither charges simulated cycles, so
+    traced/sampled and plain runs report identical [cycles].  [tlb]
+    forwards to {!Pkru_safe.Config.make} (default on). *)
 
 val run_bench :
   ?telemetry:bool ->

@@ -7,6 +7,7 @@ let () =
       ("mpk", Test_mpk.suite);
       ("vmm", Test_vmm.suite);
       ("sim", Test_sim.suite);
+      ("tlb", Test_tlb.suite);
       ("allocators", Test_allocators.suite);
       ("runtime", Test_runtime.suite);
       ("corpus", Test_corpus.suite);

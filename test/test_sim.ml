@@ -178,6 +178,30 @@ let test_single_step_trap () =
     Alcotest.(check bool) "still restored" true
       (Mpk.Pkru.equal m.Sim.Machine.cpu.Sim.Cpu.pkru restricted)
 
+(* A handler that keeps returning Retry without fixing the cause exhausts
+   the retry bound; the resulting exception must carry the kind of the
+   fault that was actually delivered, not a made-up one. *)
+let test_retry_exhaustion_reports_pkey_kind () =
+  let m = machine_with_region ~base () in
+  Sim.Machine.write_u64 m base 1;
+  m.Sim.Machine.cpu.Sim.Cpu.pkru <- Mpk.Pkru.all_disabled_except [];
+  Sim.Signals.register_segv m.Sim.Machine.signals (fun _ -> Sim.Signals.Retry);
+  match Sim.Machine.read_u64 m base with
+  | exception Vmm.Fault.Unhandled { Vmm.Fault.kind = Vmm.Fault.Pkey_violation k; _ } ->
+    Alcotest.(check int) "actual fault kind survives" 1 (Mpk.Pkey.to_int k)
+  | exception Vmm.Fault.Unhandled f ->
+    Alcotest.failf "wrong kind: %s" (Vmm.Fault.to_string f)
+  | _ -> Alcotest.fail "expected exhaustion"
+
+let test_retry_exhaustion_reports_not_mapped () =
+  let m = Sim.Machine.create () in
+  Sim.Signals.register_segv m.Sim.Machine.signals (fun _ -> Sim.Signals.Retry);
+  match Sim.Machine.read_u8 m 0xbad000 with
+  | exception Vmm.Fault.Unhandled { Vmm.Fault.kind = Vmm.Fault.Not_mapped; _ } -> ()
+  | exception Vmm.Fault.Unhandled f ->
+    Alcotest.failf "wrong kind: %s" (Vmm.Fault.to_string f)
+  | _ -> Alcotest.fail "expected exhaustion"
+
 let test_wrpkru_charges_and_counts () =
   let m = Sim.Machine.create () in
   let c0 = Sim.Machine.cycles m in
@@ -221,6 +245,8 @@ let suite =
     Alcotest.test_case "handler chain pass" `Quick test_handler_chain_pass;
     Alcotest.test_case "handler kill" `Quick test_handler_kill;
     Alcotest.test_case "single-step trap" `Quick test_single_step_trap;
+    Alcotest.test_case "retry exhaustion: pkey kind" `Quick test_retry_exhaustion_reports_pkey_kind;
+    Alcotest.test_case "retry exhaustion: not mapped" `Quick test_retry_exhaustion_reports_not_mapped;
     Alcotest.test_case "wrpkru cost" `Quick test_wrpkru_charges_and_counts;
     Alcotest.test_case "privileged access" `Quick test_priv_access_bypasses_pkru;
     Alcotest.test_case "demand page cost" `Quick test_demand_page_charges;

@@ -83,6 +83,45 @@ let test_mprotect () =
     (Vmm.Page_table.mprotect pt ~base:0 ~size:page
        { Vmm.Prot.read = true; write = true; execute = true })
 
+(* Regions are held sorted and binary-searched: reserve many regions out
+   of order and check point lookups, overlap rejection at both neighbours,
+   range updates and the mapping epoch. *)
+let test_many_regions_sorted_lookup () =
+  let pt = fresh () in
+  let bases = [ 90; 10; 50; 30; 70; 20; 60; 0; 40; 80 ] in
+  List.iter
+    (fun b ->
+      ok
+        (Vmm.Page_table.reserve pt ~base:(b * page) ~size:page ~prot:Vmm.Prot.read_write
+           ~pkey:(key 0)))
+    bases;
+  let e0 = Vmm.Page_table.epoch pt in
+  (* Every reserved page resolves; the gaps in between do not. *)
+  List.iter
+    (fun b ->
+      Alcotest.(check bool)
+        (Printf.sprintf "base %d mapped" b)
+        true
+        (Vmm.Page_table.lookup pt ((b * page) + 7) <> None);
+      Alcotest.(check bool)
+        (Printf.sprintf "gap after %d unmapped" b)
+        true
+        (Vmm.Page_table.lookup pt ((b + 1) * page) = None))
+    bases;
+  (* Overlap with either neighbour of the insertion point is rejected. *)
+  expect_error
+    (Vmm.Page_table.reserve pt ~base:(50 * page) ~size:page ~prot:Vmm.Prot.read_write
+       ~pkey:(key 0));
+  (* A range update touches exactly the regions it covers. *)
+  ok (Vmm.Page_table.pkey_mprotect pt ~base:(30 * page) ~size:page (key 5));
+  (match Vmm.Page_table.lookup pt (30 * page) with
+  | Some p -> Alcotest.(check int) "retagged" 5 (Mpk.Pkey.to_int p.Vmm.Page.pkey)
+  | None -> Alcotest.fail "lookup");
+  (match Vmm.Page_table.lookup pt (40 * page) with
+  | Some p -> Alcotest.(check int) "neighbour untouched" 0 (Mpk.Pkey.to_int p.Vmm.Page.pkey)
+  | None -> Alcotest.fail "lookup");
+  Alcotest.(check bool) "mapping changes bump the epoch" true (Vmm.Page_table.epoch pt > e0)
+
 let test_prot_wx () =
   expect_error (Vmm.Prot.validate { Vmm.Prot.read = true; write = true; execute = true });
   ignore (ok (Vmm.Prot.validate Vmm.Prot.read_execute))
@@ -161,6 +200,7 @@ let suite =
     Alcotest.test_case "pkey_mprotect" `Quick test_pkey_mprotect;
     Alcotest.test_case "pkey_mprotect future pages" `Quick test_pkey_mprotect_applies_to_future_pages;
     Alcotest.test_case "mprotect" `Quick test_mprotect;
+    Alcotest.test_case "many regions sorted lookup" `Quick test_many_regions_sorted_lookup;
     Alcotest.test_case "W^X rejected" `Quick test_prot_wx;
     Alcotest.test_case "layout helpers" `Quick test_layout_helpers;
     QCheck_alcotest.to_alcotest prop_page_of_addr_consistent;
