@@ -6,7 +6,7 @@
    Usage: main.exe [--skip-bechamel] [--only SECTION]...
    --only may repeat; with none given, every section runs.
    Sections: micro fig3 table1 table2 fig5 fig6 fig7 security sites
-             ablations tlb bechamel *)
+             ablations tlb mitigation bechamel *)
 
 let skip_bechamel = ref false
 let only : string list ref = ref []
@@ -413,6 +413,85 @@ let run_ablations () =
   Printf.printf "sites recorded with single-stepping:       %d\n" stepped;
   Printf.printf "sites recorded with compartment-switching: %d (misses later flows)\n" switched
 
+(* --- Mitigation: enforcement-mode fault-recovery policies --- *)
+
+let mitigation_seed = 1337
+
+(* Shared between the printed section and mitigation.json so the chaos
+   runs happen at most once per invocation. *)
+let mitigation_reports =
+  lazy
+    (List.map
+       (fun policy ->
+         (policy, Chaos.run ~scenario:Chaos.Coverage_gap ~policy ~seed:mitigation_seed ()))
+       Runtime.Mitigator.all_policies)
+
+let mitigation_bench =
+  Workloads.Bench_def.bench
+    ~page:(Workloads.Dom_scripts.page ~rows:8)
+    "mitigation" (Workloads.Dom_scripts.dom_attr ~iters:60)
+
+let mitigation_cycles =
+  lazy
+    (let suite =
+       { Workloads.Bench_def.suite_name = "mitigation"; benches = [ mitigation_bench ] }
+     in
+     let profile = Workloads.Runner.profile_suite suite in
+     let cycles m = m.Workloads.Runner.cycles in
+     let baseline =
+       cycles (Workloads.Runner.run_config ~mode:Pkru_safe.Config.Mpk ~profile mitigation_bench)
+     in
+     let per_policy =
+       List.map
+         (fun policy ->
+           ( policy,
+             cycles
+               (Workloads.Runner.run_config ~mitigation:policy ~mode:Pkru_safe.Config.Mpk
+                  ~profile mitigation_bench) ))
+         Runtime.Mitigator.all_policies
+     in
+     (baseline, per_policy))
+
+let run_mitigation () =
+  header "Mitigation: fault-recovery policy overhead (full profile, no faults)";
+  let baseline, per_policy = Lazy.force mitigation_cycles in
+  Util.Table.print
+    ~header:[ "policy"; "cycles"; "vs no mitigator" ]
+    ([ "(none)"; string_of_int baseline; "-" ]
+    :: List.map
+         (fun (policy, c) ->
+           [
+             Runtime.Mitigator.policy_to_string policy;
+             string_of_int c;
+             (if c = baseline then "identical"
+              else
+                pct
+                  (Util.Stats.percent_overhead ~baseline:(float_of_int baseline)
+                     ~measured:(float_of_int c)));
+           ])
+         per_policy);
+  print_endline
+    "(an installed mitigator costs nothing until an unprofiled site faults; Abort is\n\
+    \ bit-identical to no mitigator by construction)";
+  header "Mitigation: coverage-gap chaos run per policy (10% of profile dropped)";
+  Util.Table.print
+    ~header:[ "policy"; "outcome"; "incidents"; "rerun"; "promoted sites"; "invariants" ]
+    (List.map
+       (fun (policy, (r : Chaos.report)) ->
+         [
+           Runtime.Mitigator.policy_to_string policy;
+           r.Chaos.outcome;
+           string_of_int r.Chaos.incidents;
+           (match r.Chaos.rerun_incidents with Some n -> string_of_int n | None -> "-");
+           string_of_int (List.length r.Chaos.promoted_sites);
+           (if r.Chaos.invariant_failures = [] then "ok"
+            else String.concat "; " r.Chaos.invariant_failures);
+         ])
+       (Lazy.force mitigation_reports));
+  print_endline
+    "(abort dies exactly like the seed; emulate/promote complete with incidents counted;\n\
+    \ promote's rerun faults strictly less: quarantined sites now allocate in MU)"
+
 (* --- Bechamel --- *)
 
 let run_bechamel () =
@@ -580,6 +659,23 @@ let write_json_results dir =
       [ Pkru_safe.Config.Base; Pkru_safe.Config.Mpk ]
   in
   write "security.json" (Util.Json.List security);
+  (let baseline, per_policy = Lazy.force mitigation_cycles in
+   write "mitigation.json"
+     (Util.Json.Obj
+        [
+          ("seed", Util.Json.Int mitigation_seed);
+          ( "full_profile_cycles",
+            Util.Json.Obj
+              (("none", Util.Json.Int baseline)
+              :: List.map
+                   (fun (policy, c) ->
+                     (Runtime.Mitigator.policy_to_string policy, Util.Json.Int c))
+                   per_policy) );
+          ( "coverage_gap",
+            Util.Json.List
+              (List.map (fun (_, r) -> Chaos.report_to_json r) (Lazy.force mitigation_reports))
+          );
+        ]));
   (* One telemetry-instrumented run per substrate family: histogram
      summaries (gate round-trip, allocation sizes, fault service) plus the
      attribution digests — site heat, the compartment flow matrix and the
@@ -666,6 +762,7 @@ let () =
   if section "sites" then timed "sites" run_sites;
   if section "ablations" then timed "ablations" run_ablations;
   if section "tlb" then timed "tlb" run_tlb;
+  if section "mitigation" then timed "mitigation" run_mitigation;
   if (not !skip_bechamel) && section "bechamel" then timed "bechamel" run_bechamel;
   (match !json_dir with
   | Some dir -> write_json_results dir

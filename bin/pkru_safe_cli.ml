@@ -22,6 +22,21 @@ let mode_conv =
   in
   Arg.conv (parse, fun fmt mode -> Format.pp_print_string fmt (Pkru_safe.Config.mode_to_string mode))
 
+let mitigation_conv =
+  let parse s =
+    match Runtime.Mitigator.policy_of_string s with
+    | Some p -> Ok p
+    | None -> Error (`Msg (Printf.sprintf "unknown policy %S (abort|emulate|promote|degrade)" s))
+  in
+  Arg.conv
+    (parse, fun fmt p -> Format.pp_print_string fmt (Runtime.Mitigator.policy_to_string p))
+
+let mitigation_flag =
+  Arg.(value & opt (some mitigation_conv) None
+       & info [ "mitigation" ] ~docv:"POLICY"
+           ~doc:"Fault-recovery policy for enforcement (mpk) runs: abort (paper default), \
+                 emulate, promote, or degrade")
+
 let fail_on_error = function
   | Ok v -> v
   | Error msg -> failwith msg
@@ -87,7 +102,7 @@ print("data = " + d);
 print("innerHTML = " + domGetInnerHTML(app));
 print("children = " + domChildCount(app));|}
 
-let run_browse mode page script =
+let run_browse mode page script mitigation =
   let profile =
     match mode with
     | Pkru_safe.Config.Alloc | Pkru_safe.Config.Mpk ->
@@ -101,14 +116,32 @@ let run_browse mode page script =
       Pkru_safe.Env.recorded_profile env
     | Pkru_safe.Config.Base | Pkru_safe.Config.Profiling -> Runtime.Profile.create ()
   in
-  let env = fail_on_error (Pkru_safe.Env.create ~profile (Pkru_safe.Config.make mode)) in
+  let env =
+    fail_on_error (Pkru_safe.Env.create ~profile (Pkru_safe.Config.make ?mitigation mode))
+  in
   let browser = Browser.create env in
   Browser.load_page browser page;
   (match Browser.exec_script browser script with
   | _ -> ()
   | exception Vmm.Fault.Unhandled fault ->
-    Printf.printf "script killed: %s\n" (Vmm.Fault.to_string fault));
+    Printf.printf "script killed: %s\n" (Vmm.Fault.to_string fault)
+  | exception Sim.Signals.Process_killed msg -> Printf.printf "process killed: %s\n" msg
+  | exception Runtime.Mitigator.Degraded fault ->
+    Printf.printf "request degraded: %s\n" (Vmm.Fault.to_string fault));
   List.iter print_endline (Browser.console browser);
+  (match Pkru_safe.Env.mitigator env with
+  | Some m when Runtime.Mitigator.incidents m > 0 ->
+    Printf.printf "mitigation[%s]: %d incident(s)%s%s\n"
+      (Runtime.Mitigator.policy_to_string (Runtime.Mitigator.policy m))
+      (Runtime.Mitigator.incidents m)
+      (String.concat ""
+         (List.map
+            (fun (o, n) -> Printf.sprintf " %s=%d" o n)
+            (Runtime.Mitigator.outcome_counts m)))
+      (match Runtime.Mitigator.promoted_sites m with
+      | [] -> ""
+      | sites -> "; promoted: " ^ String.concat ", " sites)
+  | _ -> ());
   Printf.printf "[%s] cycles=%d transitions=%d %%MU=%.2f sites(moved/used)=%d/%d\n"
     (Pkru_safe.Config.mode_to_string mode)
     (Pkru_safe.Env.cycles env) (Pkru_safe.Env.transitions env)
@@ -292,14 +325,17 @@ let report_format_conv =
           (match f with `Table -> "table" | `Json -> "json" | `Prom -> "prom" | `Folded -> "folded")
     )
 
-let run_report bench_name mode sample_every format output =
+let run_report bench_name mode sample_every format output mitigation =
   if sample_every <= 0 then `Error (false, "--sample-every must be positive")
   else
     match Workloads.Registry.bench_of_name bench_name with
     | Error msg -> `Error (false, msg)
     | Ok bench ->
       let profile = profile_for ~mode bench in
-      let m = Workloads.Runner.run_config ~telemetry:true ~sample_every ~mode ~profile bench in
+      let m =
+        Workloads.Runner.run_config ~telemetry:true ~sample_every ?mitigation ~mode ~profile
+          bench
+      in
       let sink = Option.get m.Workloads.Runner.trace in
       let sampler = Option.get m.Workloads.Runner.samples in
       let attribution =
@@ -456,6 +492,103 @@ let run_compare dir_a dir_b =
     `Ok ()
   end
 
+(* --- chaos: deterministic fault injection over the enforcement pipeline --- *)
+
+let scenario_conv =
+  let parse = function
+    | "all" -> Ok None
+    | s -> (
+      match Chaos.scenario_of_string s with
+      | Some sc -> Ok (Some sc)
+      | None ->
+        Error
+          (`Msg
+            (Printf.sprintf
+               "unknown scenario %S (coverage-gap|pkalloc-oom|gate-corruption|handler-tamper|all)"
+               s)))
+  in
+  Arg.conv
+    ( parse,
+      fun fmt -> function
+        | None -> Format.pp_print_string fmt "all"
+        | Some sc -> Format.pp_print_string fmt (Chaos.scenario_to_string sc) )
+
+let chaos_policy_conv =
+  let parse = function
+    | "all" -> Ok None
+    | s -> (
+      match Runtime.Mitigator.policy_of_string s with
+      | Some p -> Ok (Some p)
+      | None ->
+        Error (`Msg (Printf.sprintf "unknown policy %S (abort|emulate|promote|degrade|all)" s)))
+  in
+  Arg.conv
+    ( parse,
+      fun fmt -> function
+        | None -> Format.pp_print_string fmt "all"
+        | Some p -> Format.pp_print_string fmt (Runtime.Mitigator.policy_to_string p) )
+
+let chaos_format_conv =
+  let parse = function
+    | "table" -> Ok `Table
+    | "json" -> Ok `Json
+    | "prom" -> Ok `Prom
+    | s -> Error (`Msg (Printf.sprintf "unknown format %S (table|json|prom)" s))
+  in
+  Arg.conv
+    ( parse,
+      fun fmt f ->
+        Format.pp_print_string fmt
+          (match f with `Table -> "table" | `Json -> "json" | `Prom -> "prom") )
+
+let run_chaos scenario policy seed drop oom_at format output =
+  if drop <= 0.0 || drop >= 1.0 then `Error (false, "--drop must be in (0, 1)")
+  else if oom_at <= 0 then `Error (false, "--oom-at must be positive")
+  else begin
+    let scenarios = match scenario with Some sc -> [ sc ] | None -> Chaos.all_scenarios in
+    let policies =
+      match policy with Some p -> [ p ] | None -> Runtime.Mitigator.all_policies
+    in
+    let reports =
+      List.concat_map
+        (fun sc ->
+          List.map
+            (fun p -> Chaos.run ~drop ~oom_at ~scenario:sc ~policy:p ~seed ())
+            policies)
+        scenarios
+    in
+    let rendered =
+      match format with
+      | `Table ->
+        let buf = Buffer.create 4096 in
+        List.iter
+          (fun r ->
+            Buffer.add_string buf (Format.asprintf "%a@." Chaos.pp_report r);
+            List.iter (fun d -> Buffer.add_string buf ("    " ^ d ^ "\n")) r.Chaos.details)
+          reports;
+        Buffer.contents buf
+      | `Json ->
+        Util.Json.to_string_pretty (Util.Json.List (List.map Chaos.report_to_json reports))
+        ^ "\n"
+      | `Prom -> String.concat "\n" (List.map (fun r -> r.Chaos.prometheus) reports)
+    in
+    (match output with
+    | Some path -> (
+      match Out_channel.with_open_text path (fun oc -> output_string oc rendered) with
+      | () -> Printf.printf "chaos report written to %s\n" path
+      | exception Sys_error msg -> failwith ("cannot write chaos report: " ^ msg))
+    | None -> print_string rendered);
+    let broken =
+      List.filter (fun r -> r.Chaos.invariant_failures <> []) reports
+    in
+    if broken = [] then `Ok ()
+    else
+      `Error
+        ( false,
+          Printf.sprintf "%d of %d chaos run(s) violated invariants" (List.length broken)
+            (List.length reports) )
+  end
+
 (* --- cmdliner wiring --- *)
 
 let pipeline_cmd =
@@ -473,7 +606,7 @@ let browse_cmd =
     Arg.(value & opt string default_script & info [ "s"; "script" ] ~doc:"Script to execute")
   in
   Cmd.v (Cmd.info "browse" ~doc:"Run a page + script under a configuration (E2-style)")
-    Term.(ret (const run_browse $ mode $ page $ script))
+    Term.(ret (const run_browse $ mode $ page $ script $ mitigation_flag))
 
 let exploit_cmd =
   Cmd.v (Cmd.info "exploit" ~doc:"Run the E3 security experiment")
@@ -541,7 +674,7 @@ let report_cmd =
   Cmd.v
     (Cmd.info "report"
        ~doc:"Run one benchmark with telemetry + cycle sampling and print the attribution report")
-    Term.(ret (const run_report $ bench_arg $ mode $ sample_every $ format $ output))
+    Term.(ret (const run_report $ bench_arg $ mode $ sample_every $ format $ output $ mitigation_flag))
 
 let compare_cmd =
   let dir n doc = Arg.(required & pos n (some dir) None & info [] ~docv:"DIR" ~doc) in
@@ -570,9 +703,40 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Compile and run a .ir program through the pipeline")
     Term.(ret (const run_ir_file $ path $ mode $ use_static $ entry $ telemetry_flag))
 
+let chaos_cmd =
+  let scenario =
+    Arg.(value & opt scenario_conv None
+         & info [ "scenario" ] ~docv:"SCENARIO"
+             ~doc:"coverage-gap, pkalloc-oom, gate-corruption, handler-tamper, or all")
+  in
+  let policy =
+    Arg.(value & opt chaos_policy_conv None
+         & info [ "policy" ] ~docv:"POLICY" ~doc:"abort, emulate, promote, degrade, or all")
+  in
+  let seed = Arg.(value & opt int 1337 & info [ "seed" ] ~docv:"SEED" ~doc:"Injection seed") in
+  let drop =
+    Arg.(value & opt float 0.10
+         & info [ "drop" ] ~docv:"FRACTION" ~doc:"Profile fraction dropped (coverage gaps)")
+  in
+  let oom_at =
+    Arg.(value & opt int 40
+         & info [ "oom-at" ] ~docv:"N" ~doc:"Poison the Nth pool allocation (pkalloc-oom)")
+  in
+  let format =
+    Arg.(value & opt chaos_format_conv `Table
+         & info [ "f"; "format" ] ~docv:"FORMAT" ~doc:"table, json, or prom")
+  in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Inject deterministic faults into the enforcement pipeline and check invariants")
+    Term.(ret (const run_chaos $ scenario $ policy $ seed $ drop $ oom_at $ format $ output))
+
 let default =
   Term.(ret (const (`Help (`Pager, None))))
 
 let () =
   let info = Cmd.info "pkru_safe_cli" ~doc:"PKRU-Safe reproduction driver" in
-  exit (Cmd.eval (Cmd.group ~default info [ pipeline_cmd; browse_cmd; exploit_cmd; micro_cmd; suite_cmd; trace_cmd; report_cmd; run_cmd; corpus_cmd; compare_cmd ]))
+  exit (Cmd.eval (Cmd.group ~default info [ pipeline_cmd; browse_cmd; exploit_cmd; micro_cmd; suite_cmd; trace_cmd; report_cmd; run_cmd; corpus_cmd; compare_cmd; chaos_cmd ]))

@@ -37,6 +37,15 @@ type t = {
   mu_pool : Pool.t;
   mt : backend;
   mu : backend;
+  (* Site-override table: allocation sites quarantined by the mitigator's
+     Promote policy.  Keys are printed AllocIds (this library sits below
+     the runtime and cannot name Alloc_id).  The runtime consults it to
+     redirect future MT allocations from these sites to MU. *)
+  quarantined : (string, unit) Hashtbl.t;
+  (* Fail-points (chaos harness): force the nth upcoming allocation on a
+     pool to report exhaustion.  0 = disarmed; 1 = fail the next. *)
+  mutable fail_mt_in : int;
+  mutable fail_mu_in : int;
 }
 
 let ( let* ) r f =
@@ -66,7 +75,18 @@ let create ?(mu_backend = Mu_dlmalloc) ?(trusted_pkey = Mpk.Pkey.of_int 1) machi
     | Mu_dlmalloc -> dlmalloc_backend machine mu_pool
     | Mu_jemalloc -> jemalloc_backend machine mu_pool
   in
-  Ok { machine; trusted_pkey; mt_pool; mu_pool; mt; mu }
+  Ok
+    {
+      machine;
+      trusted_pkey;
+      mt_pool;
+      mu_pool;
+      mt;
+      mu;
+      quarantined = Hashtbl.create 16;
+      fail_mt_in = 0;
+      fail_mu_in = 0;
+    }
 
 let machine t = t.machine
 let trusted_pkey t = t.trusted_pkey
@@ -85,13 +105,59 @@ let note_alloc t ~compartment ~histogram ~site ~size result =
   | _ -> ());
   result
 
+(* Fail-point bookkeeping (chaos harness).  The armed counter ticks down on
+   every allocation attempt against the pool and fires — the attempt
+   reports exhaustion — exactly once, when it reaches 1; afterwards the
+   pool behaves normally again. *)
+let fail_nth_alloc t pool n =
+  if n < 0 then invalid_arg "pkalloc: fail_nth_alloc expects n >= 0";
+  match pool with
+  | `Trusted -> t.fail_mt_in <- n
+  | `Untrusted -> t.fail_mu_in <- n
+
+let mt_failpoint_fires t =
+  match t.fail_mt_in with
+  | 0 -> false
+  | 1 ->
+    t.fail_mt_in <- 0;
+    true
+  | n ->
+    t.fail_mt_in <- n - 1;
+    false
+
+let mu_failpoint_fires t =
+  match t.fail_mu_in with
+  | 0 -> false
+  | 1 ->
+    t.fail_mu_in <- 0;
+    true
+  | n ->
+    t.fail_mu_in <- n - 1;
+    false
+
+let mt_alloc t size = if mt_failpoint_fires t then None else t.mt.b_alloc size
+let mu_alloc t size = if mu_failpoint_fires t then None else t.mu.b_alloc size
+
 let alloc_trusted ?site t size =
   note_alloc t ~compartment:Telemetry.Event.Trusted ~histogram:"alloc_size_mt_bytes" ~site
-    ~size (t.mt.b_alloc size)
+    ~size (mt_alloc t size)
 
 let alloc_untrusted ?site t size =
   note_alloc t ~compartment:Telemetry.Event.Untrusted ~histogram:"alloc_size_mu_bytes" ~site
-    ~size (t.mu.b_alloc size)
+    ~size (mu_alloc t size)
+
+(* Quarantine (mitigator Promote policy): sites recorded here should have
+   their *future* allocations served from MU.  Live objects keep their
+   pool — the provenance invariant (§4.2) is about object identity, and
+   realloc below still never migrates. *)
+let quarantine_site t site =
+  if not (Hashtbl.mem t.quarantined site) then Hashtbl.replace t.quarantined site ()
+
+let site_quarantined t site = Hashtbl.mem t.quarantined site
+let quarantined_count t = Hashtbl.length t.quarantined
+
+let quarantined_sites t =
+  Hashtbl.fold (fun site () acc -> site :: acc) t.quarantined [] |> List.sort compare
 
 let pool_of_addr t addr =
   if Pool.contains t.mt_pool addr then Some `Trusted
@@ -123,7 +189,12 @@ let usable_size t addr = (backend_of_addr t addr).b_usable addr
 (* Reallocation never migrates between pools: "memory is always reallocated
    from the same pool its base pointer originated from" (§4.2). *)
 let realloc t addr new_size =
-  let backend = backend_of_addr t addr in
+  let pool =
+    match pool_of_addr t addr with
+    | Some p -> p
+    | None -> invalid_arg (Printf.sprintf "pkalloc: foreign pointer 0x%x" addr)
+  in
+  let backend = match pool with `Trusted -> t.mt | `Untrusted -> t.mu in
   let old_usable =
     match backend.b_usable addr with
     | Some n -> n
@@ -131,16 +202,32 @@ let realloc t addr new_size =
   in
   if backend.b_try_resize addr new_size then Some addr
   else
-  match backend.b_alloc new_size with
+  let fresh_alloc = match pool with `Trusted -> mt_alloc t | `Untrusted -> mu_alloc t in
+  match fresh_alloc new_size with
   | None -> None
   | Some fresh ->
     let to_copy = min old_usable new_size in
-    if to_copy > 0 then begin
-      let payload = Sim.Machine.read_bytes t.machine addr to_copy in
-      Sim.Machine.write_bytes t.machine fresh payload
-    end;
-    backend.b_free addr;
-    Some fresh
+    let copied =
+      if to_copy = 0 then true
+      else
+        (* The copy goes through checked machine accesses, so a protection
+           or pkey fault mid-copy is possible.  On failure the fresh block
+           must not leak: free it and report failure with the original
+           allocation still intact (realloc(3) contract). *)
+        match
+          let payload = Sim.Machine.read_bytes t.machine addr to_copy in
+          Sim.Machine.write_bytes t.machine fresh payload
+        with
+        | () -> true
+        | exception Vmm.Fault.Unhandled _ ->
+          backend.b_free fresh;
+          false
+    in
+    if not copied then None
+    else begin
+      backend.b_free addr;
+      Some fresh
+    end
 
 let trusted_pool t = t.mt_pool
 let untrusted_pool t = t.mu_pool

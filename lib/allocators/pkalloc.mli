@@ -47,7 +47,28 @@ val dealloc : t -> int -> unit
 
 val realloc : t -> int -> int -> int option
 (** [realloc t addr new_size] grows/shrinks in the {e same} pool, copying
-    the payload through checked machine accesses.  [None] on exhaustion. *)
+    the payload through checked machine accesses.  [None] on exhaustion.
+    If the fresh block is allocated but the payload copy faults, the fresh
+    block is freed before returning [None] — the original allocation stays
+    live and no memory leaks (realloc(3) contract). *)
+
+val quarantine_site : t -> string -> unit
+(** Record an allocation site (printed AllocId) in the site-override
+    table.  The runtime redirects *future* MT allocations from quarantined
+    sites to MU; objects already allocated keep their pool, so the
+    provenance invariant (an object's compartment never changes) holds. *)
+
+val site_quarantined : t -> string -> bool
+val quarantined_count : t -> int
+
+val quarantined_sites : t -> string list
+(** Sorted list of quarantined sites (stable output for reports). *)
+
+val fail_nth_alloc : t -> [ `Trusted | `Untrusted ] -> int -> unit
+(** Fail-point for the chaos harness: arm the pool so its [n]th upcoming
+    allocation attempt ([1] = the next one) reports exhaustion ([None])
+    exactly once, then disarm.  [0] disarms immediately.
+    @raise Invalid_argument on negative [n]. *)
 
 val usable_size : t -> int -> int option
 

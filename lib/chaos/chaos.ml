@@ -1,0 +1,413 @@
+type scenario =
+  | Coverage_gap
+  | Pkalloc_oom
+  | Gate_corruption
+  | Handler_tamper
+
+let all_scenarios = [ Coverage_gap; Pkalloc_oom; Gate_corruption; Handler_tamper ]
+
+let scenario_to_string = function
+  | Coverage_gap -> "coverage-gap"
+  | Pkalloc_oom -> "pkalloc-oom"
+  | Gate_corruption -> "gate-corruption"
+  | Handler_tamper -> "handler-tamper"
+
+let scenario_of_string = function
+  | "coverage-gap" -> Some Coverage_gap
+  | "pkalloc-oom" -> Some Pkalloc_oom
+  | "gate-corruption" -> Some Gate_corruption
+  | "handler-tamper" -> Some Handler_tamper
+  | _ -> None
+
+type report = {
+  scenario : scenario;
+  policy : Runtime.Mitigator.policy;
+  seed : int;
+  completed : bool;
+  outcome : string;
+  incidents : int;
+  incident_outcomes : (string * int) list;
+  rerun_incidents : int option;
+  promoted_sites : string list;
+  secret_intact : bool;
+  gate_balanced : bool;
+  invariant_failures : string list;
+  details : string list;
+  prometheus : string;
+}
+
+let ok_exn = function
+  | Ok v -> v
+  | Error msg -> failwith ("Chaos: " ^ msg)
+
+(* The injected workload: the gate-bound DOM benchmark — its binding calls
+   cross the boundary in a tight loop, so a single dropped profile entry
+   is exercised early and often. *)
+let workload =
+  Workloads.Bench_def.bench
+    ~page:(Workloads.Dom_scripts.page ~rows:8)
+    "gate-bound"
+    (Workloads.Dom_scripts.dom_attr ~iters:120)
+
+let profile_workload () =
+  let env =
+    ok_exn (Pkru_safe.Env.create (Pkru_safe.Config.make Pkru_safe.Config.Profiling))
+  in
+  let browser = Browser.create ~engine_seed:workload.Workloads.Bench_def.engine_seed env in
+  Browser.load_page browser workload.Workloads.Bench_def.page;
+  ignore (Browser.exec_script browser workload.Workloads.Bench_def.script);
+  Pkru_safe.Env.recorded_profile env
+
+let make_env ~profile ~policy =
+  ok_exn
+    (Pkru_safe.Env.create ~profile
+       (Pkru_safe.Config.make ~mitigation:policy Pkru_safe.Config.Mpk))
+
+(* Drives one workload execution and classifies how it ended.  Graceful
+   ends (completion, Degraded, OOM) propagate through the gates'
+   Fun.protect, so the compartment stack must be balanced afterwards;
+   fail-stop ends (unhandled fault, kill) freeze state at the death
+   point by design. *)
+type ending =
+  | Completed
+  | Unhandled_fault of string
+  | Killed of string
+  | Degraded_out of string
+  | Oom
+
+let graceful = function
+  | Completed | Degraded_out _ | Oom -> true
+  | Unhandled_fault _ | Killed _ -> false
+
+let ending_to_string = function
+  | Completed -> "completed"
+  | Unhandled_fault msg -> "unhandled-fault: " ^ msg
+  | Killed msg -> "killed: " ^ msg
+  | Degraded_out msg -> "degraded: " ^ msg
+  | Oom -> "oom"
+
+let drive f =
+  match f () with
+  | _ -> Completed
+  | exception Vmm.Fault.Unhandled fault -> Unhandled_fault (Vmm.Fault.to_string fault)
+  | exception Sim.Signals.Process_killed msg -> Killed msg
+  | exception Runtime.Mitigator.Degraded fault ->
+    Degraded_out (Vmm.Fault.to_string fault)
+  | exception Out_of_memory -> Oom
+
+(* Invariant: the secret page is unreadable from U.  Probed through the
+   real boundary — an FFI call that attempts the read with the untrusted
+   view — and cross-checked with a privileged read of the planted value.
+   Every legal way for the probe to end is a denial: an unhandled fault,
+   a kill, or a Degraded failure; only a normal return means the wall has
+   a hole. *)
+let secret_unreadable_from_u env =
+  let machine = Pkru_safe.Env.machine env in
+  let planted =
+    Sim.Machine.priv_read_u64 machine Vmm.Layout.secret_addr = Browser.secret_value
+  in
+  let denied =
+    match
+      Pkru_safe.Env.ffi_call env (fun () ->
+          Sim.Machine.read_u64 machine Vmm.Layout.secret_addr)
+    with
+    | _ -> false
+    | exception Vmm.Fault.Unhandled _ -> true
+    | exception Sim.Signals.Process_killed _ -> true
+    | exception Runtime.Mitigator.Degraded _ -> true
+  in
+  planted && denied
+
+let gate_depth env = Runtime.Comp_stack.depth (Runtime.Gate.stack (Pkru_safe.Env.gate env))
+
+let mitigator_exn env =
+  match Pkru_safe.Env.mitigator env with
+  | Some m -> m
+  | None -> failwith "Chaos: enforcement env has no mitigator"
+
+(* Common post-mortem: snapshot mitigator accounting (before the secret
+   probe, which itself is adjudicated), then check invariants. *)
+let finish ~scenario ~policy ~seed ~ending ~rerun_incidents ~details ~sink env =
+  let m = mitigator_exn env in
+  let incidents = Runtime.Mitigator.incidents m in
+  let incident_outcomes = Runtime.Mitigator.outcome_counts m in
+  let promoted_sites = Runtime.Mitigator.promoted_sites m in
+  let gate_balanced = gate_depth env = 0 in
+  let secret_intact = secret_unreadable_from_u env in
+  let prometheus = Telemetry.Export.prometheus sink in
+  let telemetry_incidents =
+    List.fold_left
+      (fun acc (name, n) ->
+        if String.length name > 11 && String.sub name 0 11 = "mitigation." then acc + n
+        else acc)
+      0 (Telemetry.Sink.counters sink)
+  in
+  let failures = ref [] in
+  let fail msg = failures := msg :: !failures in
+  if not secret_intact then fail "secret readable from U";
+  if graceful ending && not gate_balanced then
+    fail (Printf.sprintf "gate stack unbalanced (depth %d) after graceful end" (gate_depth env));
+  if telemetry_incidents <> incidents then
+    fail
+      (Printf.sprintf "telemetry mitigation counters (%d) != mitigator incidents (%d)"
+         telemetry_incidents incidents);
+  (match policy with
+  | Runtime.Mitigator.Abort when incidents <> 0 ->
+    fail "Abort policy did accounting (must stay bit-identical to seed)"
+  | _ -> ());
+  {
+    scenario;
+    policy;
+    seed;
+    completed = ending = Completed;
+    outcome = ending_to_string ending;
+    incidents;
+    incident_outcomes;
+    rerun_incidents;
+    promoted_sites;
+    secret_intact;
+    gate_balanced;
+    invariant_failures = List.rev !failures;
+    details;
+    prometheus;
+  }
+
+let run_script browser =
+  drive (fun () -> ignore (Browser.exec_script browser workload.Workloads.Bench_def.script))
+
+(* Remove a guaranteed number of sites: ceil(drop * cardinal), at least
+   one.  Profile.subset's per-site Bernoulli draw can keep everything on
+   small profiles, which would make the scenario a no-op. *)
+let drop_sites full ~drop ~rng =
+  let sites = Array.of_list (Runtime.Profile.sites full) in
+  let n = Array.length sites in
+  let to_drop = min n (max 1 (int_of_float (ceil (drop *. float_of_int n)))) in
+  Util.Rng.shuffle rng sites;
+  let kept = Array.sub sites to_drop (n - to_drop) in
+  let profile = Runtime.Profile.create () in
+  Array.iter (Runtime.Profile.record profile) kept;
+  profile
+
+let coverage_gap ~drop ~policy ~seed =
+  let full = profile_workload () in
+  let rng = Util.Rng.create seed in
+  let profile = drop_sites full ~drop ~rng in
+  let dropped = Runtime.Profile.cardinal full - Runtime.Profile.cardinal profile in
+  let env = make_env ~profile ~policy in
+  let browser = Browser.create ~engine_seed:workload.Workloads.Bench_def.engine_seed env in
+  Browser.load_page browser workload.Workloads.Bench_def.page;
+  let sink = Telemetry.Sink.create () in
+  let ending = Telemetry.Sink.with_sink sink (fun () -> run_script browser) in
+  let m = mitigator_exn env in
+  let first_incidents = Runtime.Mitigator.incidents m in
+  (* Second run of the same workload on the same image: Promote's
+     quarantine must have moved the hot sites to MU, so it faults
+     strictly less.  Only meaningful when the first run survived. *)
+  let rerun_incidents =
+    if ending = Completed then begin
+      let ending2 = Telemetry.Sink.with_sink sink (fun () -> run_script browser) in
+      match ending2 with
+      | Completed -> Some (Runtime.Mitigator.incidents m - first_incidents)
+      | _ -> Some max_int (* a surviving policy must keep surviving *)
+    end
+    else None
+  in
+  let details =
+    [
+      Printf.sprintf "profile entries: %d of %d (dropped %d, fraction %.2f)"
+        (Runtime.Profile.cardinal profile)
+        (Runtime.Profile.cardinal full)
+        dropped drop;
+    ]
+  in
+  finish ~scenario:Coverage_gap ~policy ~seed ~ending ~rerun_incidents ~details ~sink env
+
+let pkalloc_oom ~oom_at ~policy ~seed =
+  let profile = profile_workload () in
+  let env = make_env ~profile ~policy in
+  let browser = Browser.create ~engine_seed:workload.Workloads.Bench_def.engine_seed env in
+  Browser.load_page browser workload.Workloads.Bench_def.page;
+  let rng = Util.Rng.create seed in
+  let pool = if Util.Rng.bool rng then `Trusted else `Untrusted in
+  let pkalloc = Pkru_safe.Env.pkalloc env in
+  Allocators.Pkalloc.fail_nth_alloc pkalloc pool oom_at;
+  let sink = Telemetry.Sink.create () in
+  let ending = Telemetry.Sink.with_sink sink (fun () -> run_script browser) in
+  (* Exhaustion must be a one-shot, leaving consistent books: the
+     failpoint disarms after firing and both pools' counters still
+     balance. *)
+  let stats_consistent (s : Allocators.Alloc_stats.t) =
+    s.Allocators.Alloc_stats.allocs >= s.Allocators.Alloc_stats.frees
+    && s.Allocators.Alloc_stats.bytes_allocated >= s.Allocators.Alloc_stats.bytes_freed
+    && Allocators.Alloc_stats.live_bytes s >= 0
+  in
+  let books_ok =
+    stats_consistent (Allocators.Pkalloc.trusted_stats pkalloc)
+    && stats_consistent (Allocators.Pkalloc.untrusted_stats pkalloc)
+  in
+  let recovered =
+    match Allocators.Pkalloc.alloc_untrusted pkalloc 16 with
+    | Some addr ->
+      Allocators.Pkalloc.dealloc pkalloc addr;
+      true
+    | None -> false
+  in
+  let details =
+    [
+      Printf.sprintf "poisoned pool: %s, allocation #%d"
+        (match pool with `Trusted -> "MT" | `Untrusted -> "MU")
+        oom_at;
+      Printf.sprintf "alloc-stats consistent: %b; allocator recovered: %b" books_ok recovered;
+    ]
+  in
+  let report =
+    finish ~scenario:Pkalloc_oom ~policy ~seed ~ending ~rerun_incidents:None ~details ~sink env
+  in
+  let extra = ref [] in
+  if not books_ok then extra := "alloc stats inconsistent after forced OOM" :: !extra;
+  if not recovered then extra := "allocator did not recover after one-shot OOM" :: !extra;
+  (match ending with
+  | Oom | Completed -> ()
+  | _ -> extra := "forced OOM ended in a fault instead of Out_of_memory" :: !extra);
+  { report with invariant_failures = report.invariant_failures @ List.rev !extra }
+
+let gate_corruption ~policy ~seed =
+  let profile = profile_workload () in
+  let env = make_env ~profile ~policy in
+  let browser = Browser.create ~engine_seed:workload.Workloads.Bench_def.engine_seed env in
+  Browser.load_page browser workload.Workloads.Bench_def.page;
+  let rng = Util.Rng.create seed in
+  let variant, corrupt =
+    if Util.Rng.bool rng then
+      ( "grant-all (PKRU forced permissive)",
+        fun (_ : Mpk.Pkru.t) -> Mpk.Pkru.all_enabled )
+    else begin
+      let bit = Util.Rng.int rng 32 in
+      ( Printf.sprintf "bit-flip (PKRU bit %d)" bit,
+        fun target -> Mpk.Pkru.of_int (Mpk.Pkru.to_int target lxor (1 lsl bit)) )
+    end
+  in
+  let sink = Telemetry.Sink.create () in
+  let ending =
+    Fun.protect
+      ~finally:(fun () -> Runtime.Gate.chaos_pkru_corruptor := None)
+      (fun () ->
+        Runtime.Gate.chaos_pkru_corruptor := Some corrupt;
+        Telemetry.Sink.with_sink sink (fun () -> run_script browser))
+  in
+  let details = [ "corruption: " ^ variant ] in
+  let report =
+    finish ~scenario:Gate_corruption ~policy ~seed ~ending ~rerun_incidents:None ~details ~sink
+      env
+  in
+  (* Any value-changing corruption must be caught by the gate's own
+     verifying RDPKRU — the run may never complete with a corrupted
+     PKRU in force. *)
+  let extra =
+    match ending with
+    | Killed _ -> []
+    | e ->
+      [
+        Printf.sprintf "gate corruption was not caught by the gate verify (ended: %s)"
+          (ending_to_string e);
+      ]
+  in
+  { report with invariant_failures = report.invariant_failures @ extra }
+
+let handler_tamper ~drop ~policy ~seed =
+  let full = profile_workload () in
+  let rng = Util.Rng.create seed in
+  let profile = drop_sites full ~drop ~rng in
+  let env = make_env ~profile ~policy in
+  let browser = Browser.create ~engine_seed:workload.Workloads.Bench_def.engine_seed env in
+  Browser.load_page browser workload.Workloads.Bench_def.page;
+  let signals = (Pkru_safe.Env.machine env).Sim.Machine.signals in
+  let action, expect_fail_closed =
+    match Util.Rng.int rng 3 with
+    | 0 ->
+      (* Drop the mitigator from the chain entirely: the next MPK fault
+         finds no handler — leniency must fail closed, not open. *)
+      ignore (Sim.Signals.unregister_segv signals);
+      ("unregister-mitigator", true)
+    | 1 ->
+      (* Shadow it with a benign handler that passes every fault: the
+         chain must still reach the mitigator in reverse registration
+         order. *)
+      Sim.Signals.register_segv signals (fun _ -> Sim.Signals.Pass);
+      ("shadow-with-pass-handler", false)
+    | _ ->
+      Sim.Signals.register_segv signals (fun _ -> Sim.Signals.Pass);
+      Sim.Signals.reorder_segv signals List.rev;
+      ("reorder-chain (benign handler moved behind mitigator)", false)
+  in
+  let sink = Telemetry.Sink.create () in
+  let ending = Telemetry.Sink.with_sink sink (fun () -> run_script browser) in
+  let details =
+    [
+      "tamper: " ^ action;
+      Printf.sprintf "handler chain depth after tamper: %d"
+        (Sim.Signals.segv_handler_count signals);
+    ]
+  in
+  let report =
+    finish ~scenario:Handler_tamper ~policy ~seed ~ending ~rerun_incidents:None ~details ~sink
+      env
+  in
+  let extra =
+    if expect_fail_closed && report.completed then
+      [ "workload survived with the mitigator unregistered (fail-open)" ]
+    else []
+  in
+  { report with invariant_failures = report.invariant_failures @ extra }
+
+let run ?(drop = 0.10) ?(oom_at = 40) ~scenario ~policy ~seed () =
+  match scenario with
+  | Coverage_gap -> coverage_gap ~drop ~policy ~seed
+  | Pkalloc_oom -> pkalloc_oom ~oom_at ~policy ~seed
+  | Gate_corruption -> gate_corruption ~policy ~seed
+  | Handler_tamper -> handler_tamper ~drop ~policy ~seed
+
+let run_all ?drop ?oom_at ~seed () =
+  List.concat_map
+    (fun scenario ->
+      List.mapi
+        (fun i policy ->
+          let derived = seed + (1000 * i) + (17 * String.length (scenario_to_string scenario)) in
+          run ?drop ?oom_at ~scenario ~policy ~seed:derived ())
+        Runtime.Mitigator.all_policies)
+    all_scenarios
+
+let report_to_json r =
+  let open Util.Json in
+  Obj
+    [
+      ("scenario", String (scenario_to_string r.scenario));
+      ("policy", String (Runtime.Mitigator.policy_to_string r.policy));
+      ("seed", Int r.seed);
+      ("completed", Bool r.completed);
+      ("outcome", String r.outcome);
+      ("incidents", Int r.incidents);
+      ( "incident_outcomes",
+        Obj (List.map (fun (name, n) -> (name, Int n)) r.incident_outcomes) );
+      ( "rerun_incidents",
+        match r.rerun_incidents with Some n -> Int n | None -> Null );
+      ("promoted_sites", List (List.map (fun s -> String s) r.promoted_sites));
+      ("secret_intact", Bool r.secret_intact);
+      ("gate_balanced", Bool r.gate_balanced);
+      ("invariant_failures", List (List.map (fun s -> String s) r.invariant_failures));
+      ("details", List (List.map (fun s -> String s) r.details));
+    ]
+
+let pp_report fmt r =
+  Format.fprintf fmt "%-15s %-8s seed=%-6d %-9s incidents=%-3d %s"
+    (scenario_to_string r.scenario)
+    (Runtime.Mitigator.policy_to_string r.policy)
+    r.seed
+    (if r.completed then "completed" else "died")
+    r.incidents
+    (if r.invariant_failures = [] then "invariants ok"
+     else "INVARIANT FAILURES: " ^ String.concat "; " r.invariant_failures);
+  (match r.rerun_incidents with
+  | Some n -> Format.fprintf fmt " rerun-incidents=%d" n
+  | None -> ());
+  if r.outcome <> "completed" then Format.fprintf fmt "@.    %s" r.outcome

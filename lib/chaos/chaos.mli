@@ -1,0 +1,83 @@
+(** Deterministic fault-injection harness for the enforcement pipeline.
+
+    Every scenario perturbs a full pipeline run (profile → enforcement
+    build → workload) in one specific way, drives it to completion or
+    death, and then checks the invariants that must survive {e any}
+    perturbation:
+
+    {ul
+    {- the secret page is never readable from U — probed through the gate
+       after the run, whatever happened during it;}
+    {- gate balance is restored whenever execution continued or failed
+       gracefully (fail-stop deaths freeze the stack at the kill point by
+       design and are exempt);}
+    {- mitigation incidents are visible in telemetry
+       ([pkru_mitigation_total{policy,outcome}]);}
+    {- [Abort]-policy runs die exactly as the seed does.}}
+
+    All randomness flows from the scenario seed through {!Util.Rng}, so a
+    [(scenario, policy, seed)] triple replays bit-identically. *)
+
+type scenario =
+  | Coverage_gap
+      (** drop a fraction of the input profile's entries, modelling
+          allocation sites never exercised during profiling (§6). *)
+  | Pkalloc_oom
+      (** force pkalloc to report exhaustion on the nth allocation,
+          mid-workload. *)
+  | Gate_corruption
+      (** corrupt the PKRU value written by every gate (Garmr-style gate
+          attack); the gate's own verify must catch it. *)
+  | Handler_tamper
+      (** unregister, shadow or reorder the SIGSEGV handler chain before
+          the workload runs. *)
+
+val all_scenarios : scenario list
+val scenario_to_string : scenario -> string
+val scenario_of_string : string -> scenario option
+
+type report = {
+  scenario : scenario;
+  policy : Runtime.Mitigator.policy;
+  seed : int;
+  completed : bool;  (** the workload script ran to completion *)
+  outcome : string;
+      (** ["completed"], or the class of death / graceful failure
+          (["unhandled-fault: ..."], ["killed: ..."], ["degraded: ..."],
+          ["oom"]). *)
+  incidents : int;  (** mitigator incidents during the (first) run *)
+  incident_outcomes : (string * int) list;
+  rerun_incidents : int option;
+      (** [Coverage_gap] re-runs the workload on the same image; under
+          [Promote] this second count must be strictly below [incidents]
+          (quarantined sites now allocate in MU). *)
+  promoted_sites : string list;
+  secret_intact : bool;
+  gate_balanced : bool;
+  invariant_failures : string list;  (** empty iff every invariant held *)
+  details : string list;  (** what the injector actually did *)
+  prometheus : string;
+      (** the run's telemetry rendered as the Prometheus text exposition —
+          [pkru_mitigation_total{policy,outcome}] carries the incident
+          counts (same pipeline as the CLI's [report prom]). *)
+}
+
+val run :
+  ?drop:float ->
+  ?oom_at:int ->
+  scenario:scenario ->
+  policy:Runtime.Mitigator.policy ->
+  seed:int ->
+  unit ->
+  report
+(** One scenario under one policy.  [drop] (default 0.10) is the profile
+    fraction removed by [Coverage_gap]/[Handler_tamper] — at least one
+    site is always dropped, so the scenario never degenerates into a
+    no-op on small profiles; [oom_at] (default 40) the 1-based
+    allocation index [Pkalloc_oom] poisons. *)
+
+val run_all : ?drop:float -> ?oom_at:int -> seed:int -> unit -> report list
+(** Every scenario under every policy, seeds derived from [seed]. *)
+
+val report_to_json : report -> Util.Json.t
+val pp_report : Format.formatter -> report -> unit

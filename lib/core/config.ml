@@ -10,11 +10,12 @@ type t = {
   cost : Sim.Cost.t;
   trusted_pkey : Mpk.Pkey.t;
   tlb : bool;
+  mitigation : Runtime.Mitigator.policy option;
 }
 
 let make ?(mu_backend = Allocators.Pkalloc.Mu_dlmalloc) ?(cost = Sim.Cost.default)
-    ?(trusted_pkey = Mpk.Pkey.of_int 1) ?(tlb = true) mode =
-  { mode; mu_backend; cost; trusted_pkey; tlb }
+    ?(trusted_pkey = Mpk.Pkey.of_int 1) ?(tlb = true) ?mitigation mode =
+  { mode; mu_backend; cost; trusted_pkey; tlb; mitigation }
 
 let mode_to_string = function
   | Base -> "base"

@@ -26,6 +26,11 @@ type t = {
   tlb : bool;
       (** enable the machine's software TLB (default).  Architecturally
           invisible either way — only host wall-clock differs. *)
+  mitigation : Runtime.Mitigator.policy option;
+      (** fault-recovery policy for the enforcement build; [None] (the
+          default) installs no mitigator.  Only meaningful under [Mpk] —
+          other modes ignore it ([Profiling] already resolves every MPK
+          fault; [Base]/[Alloc] never raise one). *)
 }
 
 val make :
@@ -33,6 +38,7 @@ val make :
   ?cost:Sim.Cost.t ->
   ?trusted_pkey:Mpk.Pkey.t ->
   ?tlb:bool ->
+  ?mitigation:Runtime.Mitigator.policy ->
   mode ->
   t
 

@@ -11,6 +11,7 @@ type t = {
   mutable active : thread;
   mutable threads : thread list;
   profiler : Runtime.Profiler.t option;
+  mitigator : Runtime.Mitigator.t option;
   input_profile : Runtime.Profile.t;
   sites_seen : (Runtime.Alloc_id.t, unit) Hashtbl.t;
   mutable sites_moved : int;
@@ -40,6 +41,17 @@ let create ?profile config =
         Some p
       | Config.Base | Config.Alloc | Config.Mpk -> None
     in
+    let mitigator =
+      match (config.Config.mode, config.Config.mitigation) with
+      | Config.Mpk, Some policy ->
+        let m =
+          Runtime.Mitigator.create ~trusted_pkey:config.Config.trusted_pkey ~policy ~pkalloc
+            machine
+        in
+        Runtime.Mitigator.install m;
+        Some m
+      | _ -> None
+    in
     let input_profile =
       match profile with
       | Some p -> p
@@ -54,6 +66,7 @@ let create ?profile config =
         active = main;
         threads = [ main ];
         profiler;
+        mitigator;
         input_profile;
         sites_seen = Hashtbl.create 256;
         sites_moved = 0;
@@ -66,6 +79,7 @@ let machine t = t.machine
 let pkalloc t = t.pkalloc
 let gate t = t.active.t_gate
 let profiler t = t.profiler
+let mitigator t = t.mitigator
 
 let main_thread t = t.main
 
@@ -97,8 +111,19 @@ let note_site t site moved =
 let site_label site =
   if Telemetry.Sink.active () then Some (Runtime.Alloc_id.to_string site) else None
 
+(* A site draws from MU when the input profile names it — or when the
+   mitigator's Promote policy quarantined it at runtime (the pkalloc
+   site-override table).  The quarantine check is gated on a non-empty
+   table so the common path never builds the printed AllocId. *)
+let site_overridden t site =
+  Allocators.Pkalloc.quarantined_count t.pkalloc > 0
+  && Allocators.Pkalloc.site_quarantined t.pkalloc (Runtime.Alloc_id.to_string site)
+
 let alloc t ~site size =
-  let moved = Config.split_heap t.config && Runtime.Profile.mem t.input_profile site in
+  let moved =
+    Config.split_heap t.config
+    && (Runtime.Profile.mem t.input_profile site || site_overridden t site)
+  in
   note_site t site moved;
   let label = site_label site in
   let result =
@@ -113,11 +138,17 @@ let alloc t ~site size =
     (match t.profiler with
     | Some p -> Runtime.Profiler.log_alloc p ~alloc_id:site ~addr ~size
     | None -> ());
+    (match t.mitigator with
+    | Some m -> Runtime.Mitigator.log_alloc m ~alloc_id:site ~addr ~size
+    | None -> ());
     addr
 
 let dealloc t addr =
   (match t.profiler with
   | Some p -> Runtime.Profiler.log_dealloc p ~addr
+  | None -> ());
+  (match t.mitigator with
+  | Some m -> Runtime.Mitigator.log_dealloc m ~addr
   | None -> ());
   Allocators.Pkalloc.dealloc t.pkalloc addr
 
@@ -127,6 +158,9 @@ let realloc t addr new_size =
   | Some fresh ->
     (match t.profiler with
     | Some p -> Runtime.Profiler.log_realloc p ~old_addr:addr ~new_addr:fresh ~new_size
+    | None -> ());
+    (match t.mitigator with
+    | Some m -> Runtime.Mitigator.log_realloc m ~old_addr:addr ~new_addr:fresh ~new_size
     | None -> ());
     fresh
 

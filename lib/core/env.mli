@@ -28,6 +28,13 @@ val gate : t -> Runtime.Gate.t
 
 val profiler : t -> Runtime.Profiler.t option
 
+val mitigator : t -> Runtime.Mitigator.t option
+(** The fault-recovery interposer, present when the configuration is
+    [Mpk] with [mitigation = Some _].  Its metadata table is fed by
+    {!alloc}/{!realloc}/{!dealloc} like the profiler's, and its Promote
+    policy feeds back into {!alloc}'s placement via pkalloc's
+    site-override table. *)
+
 (* {2 The global-allocator surface used by application code} *)
 
 val alloc : t -> site:Runtime.Alloc_id.t -> int -> int

@@ -11,9 +11,10 @@ exception Process_killed of string
 type t = {
   mutable segv_chain : segv_handler list; (* head = most recently registered *)
   mutable trap : trap_handler option;
+  mutable last_fault : Vmm.Fault.t option; (* most recent SIGSEGV delivered *)
 }
 
-let create () = { segv_chain = []; trap = None }
+let create () = { segv_chain = []; trap = None; last_fault = None }
 
 let register_segv t handler = t.segv_chain <- handler :: t.segv_chain
 
@@ -21,12 +22,24 @@ let register_trap t handler = t.trap <- Some handler
 
 let segv_handler_count t = List.length t.segv_chain
 
+let unregister_segv t =
+  match t.segv_chain with
+  | [] -> false
+  | _ :: rest ->
+    t.segv_chain <- rest;
+    true
+
+let reorder_segv t f = t.segv_chain <- f t.segv_chain
+
+let last_fault t = t.last_fault
+
 let note delivery =
   match !Telemetry.Sink.current with
   | None -> ()
   | Some sink -> Telemetry.Sink.incr sink delivery
 
 let deliver_segv t fault =
+  t.last_fault <- Some fault;
   note "signals.segv_delivered";
   let rec walk = function
     | [] ->
@@ -46,7 +59,21 @@ let deliver_trap t =
   note "signals.trap_delivered";
   match t.trap with
   | Some handler -> handler ()
-  | None -> raise (Process_killed "SIGTRAP with no handler installed")
+  | None ->
+    (* A trap with no handler is fatal; the message carries enough context
+       (how deep the SIGSEGV chain was, and which fault set the trap flag)
+       to diagnose which interposer armed single-stepping and then lost
+       its trap handler. *)
+    let last =
+      match t.last_fault with
+      | Some fault -> Vmm.Fault.to_string fault
+      | None -> "none"
+    in
+    raise
+      (Process_killed
+         (Printf.sprintf
+            "SIGTRAP with no handler installed (segv handler chain depth %d, last fault: %s)"
+            (List.length t.segv_chain) last))
 
 let () =
   Printexc.register_printer (function

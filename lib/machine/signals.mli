@@ -39,6 +39,19 @@ val register_trap : t -> trap_handler -> unit
 
 val segv_handler_count : t -> int
 
+val unregister_segv : t -> bool
+(** Pops the most recently registered SIGSEGV handler (the one that sees
+    faults first).  Returns [false] when the chain is already empty.
+    Models an application (or fault injector) restoring a previous
+    sigaction without keeping the interposer in the chain. *)
+
+val reorder_segv : t -> (segv_handler list -> segv_handler list) -> unit
+(** Rewrites the handler chain (head = first to see faults).  Used by the
+    chaos harness to model handler-registration races. *)
+
+val last_fault : t -> Vmm.Fault.t option
+(** The most recent fault delivered via {!deliver_segv}, if any. *)
+
 val deliver_segv : t -> Vmm.Fault.t -> unit
 (** Walks the handler chain.  Returns normally iff some handler said
     [Retry].

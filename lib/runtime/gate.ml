@@ -30,13 +30,21 @@ let ev_exit_untrusted = Telemetry.Event.Gate_exit { target = Telemetry.Event.Unt
 let ev_enter_trusted = Telemetry.Event.Gate_enter { target = Telemetry.Event.Trusted }
 let ev_exit_trusted = Telemetry.Event.Gate_exit { target = Telemetry.Event.Trusted }
 
+(* Fault-injection hook (chaos harness only): when set, the value actually
+   written by WRPKRU is the corruptor's output, while the gate still
+   verifies against the intended target — modelling a Garmr-style attack
+   where gate instructions are reused with a tampered EAX. *)
+let chaos_pkru_corruptor : (Mpk.Pkru.t -> Mpk.Pkru.t) option ref = ref None
+
 (* One gate side: bookkeeping + WRPKRU + the verifying RDPKRU.  A mismatch
    after the write means PKRU-modifying code was reused out of context, so
    the gate kills the process rather than continue with broken rights. *)
 let switch_to t event target =
   let cpu = cpu t in
   Sim.Cpu.charge cpu cpu.Sim.Cpu.cost.Sim.Cost.gate_bookkeeping;
-  Sim.Cpu.wrpkru cpu target;
+  (match !chaos_pkru_corruptor with
+  | None -> Sim.Cpu.wrpkru cpu target
+  | Some corrupt -> Sim.Cpu.wrpkru cpu (corrupt target));
   let now = Sim.Cpu.rdpkru cpu in
   if not (Mpk.Pkru.equal now target) then
     raise (Sim.Signals.Process_killed "call gate: PKRU value mismatch");

@@ -48,6 +48,14 @@ val transitions : t -> int
 
 val reset_transitions : t -> unit
 
+val chaos_pkru_corruptor : (Mpk.Pkru.t -> Mpk.Pkru.t) option ref
+(** Fault-injection hook for the chaos harness: when [Some f], every gate
+    WRPKRU writes [f target] instead of [target] while still verifying the
+    result against [target] — so any corruption that changes the value is
+    caught by the gate's own check ({!Sim.Signals.Process_killed}).  [None]
+    (the default) is the production path.  Reset it with [:= None] after a
+    scenario; never set outside tests/chaos. *)
+
 val stack_frames : t -> string list
 (** The current compartment nesting as folded-stack frames, root first
     (e.g. [["trusted"; "untrusted"]] inside an FFI call) — the snapshot

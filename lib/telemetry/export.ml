@@ -201,6 +201,29 @@ let to_metrics ?attribution ?sampler ?series_window ?tlb sink =
   Metrics.incr ~by:tlb_flushes
     (Metrics.counter reg ~help:"Software-TLB invalidation generations observed"
        "pkru_tlb_flushes_total");
+  (* Fault-recovery incidents: sink counters named
+     mitigation.<policy>.<outcome> become labelled cells of one family.
+     The unlabelled cell carries the total and is always exposed — a zero
+     on an enforcement run says the mitigator had nothing to do. *)
+  let mitigation_cells =
+    List.filter_map
+      (fun (name, n) ->
+        match String.split_on_char '.' name with
+        | [ "mitigation"; policy; outcome ] -> Some (policy, outcome, n)
+        | _ -> None)
+      (Sink.counters sink)
+  in
+  let mitigation_help = "Enforcement-mode MPK-fault incidents adjudicated by the mitigator" in
+  Metrics.incr
+    ~by:(List.fold_left (fun acc (_, _, n) -> acc + n) 0 mitigation_cells)
+    (Metrics.counter reg ~help:mitigation_help "pkru_mitigation_total");
+  List.iter
+    (fun (policy, outcome, n) ->
+      Metrics.incr ~by:n
+        (Metrics.counter reg ~help:mitigation_help
+           ~labels:[ ("policy", policy); ("outcome", outcome) ]
+           "pkru_mitigation_total"))
+    mitigation_cells;
   Metrics.incr
     ~by:(Sink.events_total sink)
     (Metrics.counter reg ~help:"Telemetry events emitted" "pkru_telemetry_events_total");

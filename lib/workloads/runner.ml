@@ -46,9 +46,11 @@ let profile_suite (suite : Bench_def.suite) =
     (fun acc bench -> Runtime.Profile.merge acc (profile_bench bench))
     (Runtime.Profile.create ()) suite.Bench_def.benches
 
-let run_config ?(telemetry = false) ?sample_every ?tlb ~mode ~profile
+let run_config ?(telemetry = false) ?sample_every ?tlb ?mitigation ~mode ~profile
     (bench : Bench_def.bench) =
-  let env = fail_on_error (Pkru_safe.Env.create ~profile (Pkru_safe.Config.make ?tlb mode)) in
+  let env =
+    fail_on_error (Pkru_safe.Env.create ~profile (Pkru_safe.Config.make ?tlb ?mitigation mode))
+  in
   let browser = Browser.create ~engine_seed:bench.Bench_def.engine_seed env in
   Browser.load_page browser bench.Bench_def.page;
   (* Page construction is setup; the script run is what the suites time. *)

@@ -49,6 +49,7 @@ val run_config :
   ?telemetry:bool ->
   ?sample_every:int ->
   ?tlb:bool ->
+  ?mitigation:Runtime.Mitigator.policy ->
   mode:Pkru_safe.Config.mode ->
   profile:Runtime.Profile.t ->
   Bench_def.bench ->
@@ -64,7 +65,8 @@ val run_config :
     snapshots the thread's compartment stack every [n] simulated cycles
     and is returned in [samples].  Neither charges simulated cycles, so
     traced/sampled and plain runs report identical [cycles].  [tlb]
-    forwards to {!Pkru_safe.Config.make} (default on). *)
+    forwards to {!Pkru_safe.Config.make} (default on), as does
+    [mitigation] (a fault-recovery policy for [Mpk] runs; default none). *)
 
 val run_bench :
   ?telemetry:bool ->

@@ -404,6 +404,96 @@ let test_pk_realloc_in_place_keeps_address () =
   Alcotest.(check (option int)) "in-place realloc" (Some a) (Pkalloc.realloc pk a 110);
   Alcotest.(check int) "data intact" 5 (Sim.Machine.read_u64 m a)
 
+(* --- pkalloc failpoints, quarantine and OOM paths --- *)
+
+let test_pk_failpoint_one_shot () =
+  let _, pk = fresh_pk () in
+  Pkalloc.fail_nth_alloc pk `Trusted 2;
+  Alcotest.(check bool) "first alloc unaffected" true (Pkalloc.alloc_trusted pk 32 <> None);
+  Alcotest.(check bool) "second alloc fails" true (Pkalloc.alloc_trusted pk 32 = None);
+  Alcotest.(check bool) "failpoint disarmed after firing" true
+    (Pkalloc.alloc_trusted pk 32 <> None);
+  (* The pools' failpoints are independent counters. *)
+  Pkalloc.fail_nth_alloc pk `Untrusted 1;
+  Alcotest.(check bool) "MT untouched by the MU failpoint" true
+    (Pkalloc.alloc_trusted pk 32 <> None);
+  Alcotest.(check bool) "MU fails immediately" true (Pkalloc.alloc_untrusted pk 32 = None);
+  Alcotest.(check bool) "negative n rejected" true
+    (match Pkalloc.fail_nth_alloc pk `Trusted (-1) with
+    | exception Invalid_argument _ -> true
+    | () -> false)
+
+let stats_consistent (s : Alloc_stats.t) =
+  s.Alloc_stats.allocs >= s.Alloc_stats.frees
+  && s.Alloc_stats.bytes_allocated >= s.Alloc_stats.bytes_freed
+  && Alloc_stats.live_bytes s >= 0
+
+let test_pk_oom_keeps_stats_consistent () =
+  let _, pk = fresh_pk () in
+  (* Forced exhaustion on each pool in turn: the failed allocation must
+     not be recorded as served, and the books stay balanced. *)
+  let drive pool alloc =
+    let before = (Pkalloc.trusted_stats pk).Alloc_stats.allocs in
+    let before_mu = (Pkalloc.untrusted_stats pk).Alloc_stats.allocs in
+    Pkalloc.fail_nth_alloc pk pool 1;
+    Alcotest.(check bool) "forced OOM" true (alloc pk 64 = None);
+    Alcotest.(check int) "failed MT alloc not counted" before
+      (Pkalloc.trusted_stats pk).Alloc_stats.allocs;
+    Alcotest.(check int) "failed MU alloc not counted" before_mu
+      (Pkalloc.untrusted_stats pk).Alloc_stats.allocs;
+    Alcotest.(check bool) "MT books consistent" true
+      (stats_consistent (Pkalloc.trusted_stats pk));
+    Alcotest.(check bool) "MU books consistent" true
+      (stats_consistent (Pkalloc.untrusted_stats pk))
+  in
+  drive `Trusted Pkalloc.alloc_trusted;
+  drive `Untrusted Pkalloc.alloc_untrusted;
+  (* Both pools keep serving afterwards, and a full alloc/free cycle
+     returns live bytes to where they started. *)
+  let live () =
+    Alloc_stats.live_bytes (Pkalloc.trusted_stats pk)
+    + Alloc_stats.live_bytes (Pkalloc.untrusted_stats pk)
+  in
+  let before = live () in
+  let t = Option.get (Pkalloc.alloc_trusted pk 128) in
+  let u = Option.get (Pkalloc.alloc_untrusted pk 128) in
+  Pkalloc.dealloc pk t;
+  Pkalloc.dealloc pk u;
+  Alcotest.(check int) "live bytes restored" before (live ())
+
+let test_pk_realloc_copy_fault_frees_fresh_block () =
+  let m, pk = fresh_pk () in
+  let a = Option.get (Pkalloc.alloc_trusted pk 32) in
+  Sim.Machine.write_u64 m a 4242;
+  let frees_before = (Pkalloc.trusted_stats pk).Alloc_stats.frees in
+  (* Deny the trusted key so the grow-copy's read faults mid-realloc
+     (there is no SEGV handler on this machine, so the fault is fatal to
+     the copy).  realloc must fail cleanly: fresh block released,
+     original untouched. *)
+  Sim.Cpu.set_pkru m.Sim.Machine.cpu (Mpk.Pkru.all_disabled_except []);
+  Alcotest.(check (option int)) "realloc reports failure" None (Pkalloc.realloc pk a 5000);
+  Sim.Cpu.set_pkru m.Sim.Machine.cpu Mpk.Pkru.all_enabled;
+  Alcotest.(check int) "fresh block freed" (frees_before + 1)
+    (Pkalloc.trusted_stats pk).Alloc_stats.frees;
+  Alcotest.(check bool) "MT books consistent" true (stats_consistent (Pkalloc.trusted_stats pk));
+  Alcotest.(check int) "original data intact" 4242 (Sim.Machine.read_u64 m a);
+  (* The original allocation is still live and still resizable. *)
+  let a' = Option.get (Pkalloc.realloc pk a 5000) in
+  Alcotest.(check int) "data survives the eventual move" 4242 (Sim.Machine.read_u64 m a');
+  Pkalloc.dealloc pk a'
+
+let test_pk_quarantine_table () =
+  let _, pk = fresh_pk () in
+  Alcotest.(check int) "empty" 0 (Pkalloc.quarantined_count pk);
+  Pkalloc.quarantine_site pk "alloc<1:2:3>";
+  Pkalloc.quarantine_site pk "alloc<1:2:3>";
+  Pkalloc.quarantine_site pk "alloc<0:0:9>";
+  Alcotest.(check int) "idempotent insert" 2 (Pkalloc.quarantined_count pk);
+  Alcotest.(check bool) "member" true (Pkalloc.site_quarantined pk "alloc<1:2:3>");
+  Alcotest.(check bool) "non-member" false (Pkalloc.site_quarantined pk "alloc<9:9:9>");
+  Alcotest.(check (list string)) "sorted listing" [ "alloc<0:0:9>"; "alloc<1:2:3>" ]
+    (Pkalloc.quarantined_sites pk)
+
 let prop_dl_resize_preserves_invariants =
   QCheck.Test.make ~count:20 ~name:"dlmalloc: try_resize keeps heap invariants"
     QCheck.(make Gen.(int_bound 1_000_000))
@@ -460,5 +550,9 @@ let suite =
     Alcotest.test_case "dlmalloc resize in place" `Quick test_dl_resize_in_place;
     Alcotest.test_case "jemalloc resize in place" `Quick test_je_resize_in_place;
     Alcotest.test_case "pkalloc in-place realloc" `Quick test_pk_realloc_in_place_keeps_address;
-    QCheck_alcotest.to_alcotest prop_dl_resize_preserves_invariants;
+    Alcotest.test_case "pkalloc failpoint one-shot" `Quick test_pk_failpoint_one_shot;
+    Alcotest.test_case "pkalloc OOM stats consistent" `Quick test_pk_oom_keeps_stats_consistent;
+    Alcotest.test_case "pkalloc realloc copy-fault cleanup" `Quick
+      test_pk_realloc_copy_fault_frees_fresh_block;
+    Alcotest.test_case "pkalloc quarantine table" `Quick test_pk_quarantine_table;
   ]

@@ -302,6 +302,140 @@ let test_profiler_chains_to_app_handler () =
   Alcotest.(check int) "app handler saw the fault" 1 !app_handler_hits;
   ignore (m, gate)
 
+(* A fault resolved by a handler registered after the profiler (so: ahead
+   of it in the chain) must never reach the profiler at all — its
+   untracked-fault counter stays at zero. *)
+let test_profiler_not_charged_for_shadowed_fault () =
+  let m, _pk, profiler, gate = profiling_setup () in
+  let secret = Vmm.Layout.secret_addr in
+  Sim.Machine.priv_write_u64 m secret 42;
+  Sim.Signals.register_segv m.Sim.Machine.signals (fun f ->
+      match f.Vmm.Fault.kind with
+      | Vmm.Fault.Pkey_violation _ ->
+        (* Resolve by opening the compartment for the retried access. *)
+        Sim.Cpu.set_pkru m.Sim.Machine.cpu Mpk.Pkru.all_enabled;
+        Sim.Signals.Retry
+      | _ -> Sim.Signals.Pass);
+  Runtime.Gate.call_untrusted gate (fun () -> ignore (Sim.Machine.read_u64 m secret));
+  Alcotest.(check int) "profiler never saw the fault" 0
+    (Runtime.Profiler.untracked_faults profiler);
+  Alcotest.(check int) "nothing recorded" 0
+    (Runtime.Profile.cardinal (Runtime.Profiler.profile profiler))
+
+(* --- Mitigator: enforcement-mode fault recovery --- *)
+
+let mitigator_setup ?budget ?refill_cycles policy =
+  let m = Sim.Machine.create () in
+  let pk = ok (Allocators.Pkalloc.create m) in
+  let mit = Runtime.Mitigator.create ?budget ?refill_cycles ~policy ~pkalloc:pk m in
+  Runtime.Mitigator.install mit;
+  let gate = Runtime.Gate.create m in
+  (m, pk, mit, gate)
+
+(* An MT object whose site is "unprofiled": in enforcement mode a U access
+   faults, and the mitigator adjudicates. *)
+let tracked_mt_object ?(id = 77) ?(size = 64) pk mit =
+  let addr = Option.get (Allocators.Pkalloc.alloc_trusted pk size) in
+  Runtime.Mitigator.log_alloc mit ~alloc_id:(site id) ~addr ~size;
+  addr
+
+let test_mitigator_emulate_spends_budget () =
+  let m, pk, mit, gate = mitigator_setup ~budget:2 Runtime.Mitigator.Emulate in
+  let addr = tracked_mt_object pk mit in
+  Sim.Machine.write_u64 m addr 4242;
+  (* Two incidents fit the budget and are emulated transparently. *)
+  Runtime.Gate.call_untrusted gate (fun () ->
+      Alcotest.(check int) "first emulated" 4242 (Sim.Machine.read_u64 m addr);
+      Alcotest.(check int) "second emulated" 4242 (Sim.Machine.read_u64 m addr));
+  Alcotest.(check int) "tokens spent" 0 (Runtime.Mitigator.tokens_left mit);
+  (* The third incident escalates to Abort behaviour: unresolved fault. *)
+  (match Runtime.Gate.call_untrusted gate (fun () -> ignore (Sim.Machine.read_u64 m addr)) with
+  | exception Vmm.Fault.Unhandled { Vmm.Fault.kind = Vmm.Fault.Pkey_violation _; _ } -> ()
+  | _ -> Alcotest.fail "expected escalation once the budget is spent");
+  Alcotest.(check (list (pair string int))) "outcome counts"
+    [ ("emulated", 2); ("escalated", 1) ]
+    (Runtime.Mitigator.outcome_counts mit);
+  Alcotest.(check int) "three incidents" 3 (Runtime.Mitigator.incidents mit);
+  Alcotest.(check int) "gate balanced after escalation" 0
+    (Runtime.Comp_stack.depth (Runtime.Gate.stack gate))
+
+let test_mitigator_token_refill () =
+  let m, pk, mit, gate =
+    mitigator_setup ~budget:1 ~refill_cycles:10_000 Runtime.Mitigator.Emulate
+  in
+  let addr = tracked_mt_object pk mit in
+  Sim.Machine.write_u64 m addr 7;
+  Runtime.Gate.call_untrusted gate (fun () -> ignore (Sim.Machine.read_u64 m addr));
+  Alcotest.(check int) "bucket empty" 0 (Runtime.Mitigator.tokens_left mit);
+  Sim.Cpu.charge m.Sim.Machine.cpu 10_000;
+  Alcotest.(check int) "one token earned back" 1 (Runtime.Mitigator.tokens_left mit);
+  Runtime.Gate.call_untrusted gate (fun () ->
+      Alcotest.(check int) "refilled token services the next incident" 7
+        (Sim.Machine.read_u64 m addr))
+
+let test_mitigator_promote_quarantines_site () =
+  let m, pk, mit, gate = mitigator_setup Runtime.Mitigator.Promote in
+  let addr = tracked_mt_object ~id:91 pk mit in
+  Sim.Machine.write_u64 m addr 13;
+  Runtime.Gate.call_untrusted gate (fun () ->
+      Alcotest.(check int) "access emulated" 13 (Sim.Machine.read_u64 m addr));
+  let printed = Runtime.Alloc_id.to_string (site 91) in
+  Alcotest.(check (list string)) "site quarantined" [ printed ]
+    (Runtime.Mitigator.promoted_sites mit);
+  Alcotest.(check bool) "pkalloc override table sees it" true
+    (Allocators.Pkalloc.site_quarantined pk printed);
+  Alcotest.(check (list (pair string int))) "outcome" [ ("promoted", 1) ]
+    (Runtime.Mitigator.outcome_counts mit)
+
+let test_mitigator_degrade_fails_gracefully () =
+  let m, pk, mit, gate = mitigator_setup Runtime.Mitigator.Degrade in
+  let addr = tracked_mt_object pk mit in
+  Sim.Machine.write_u64 m addr 1;
+  (match Runtime.Gate.call_untrusted gate (fun () -> ignore (Sim.Machine.read_u64 m addr)) with
+  | exception Runtime.Mitigator.Degraded _ -> ()
+  | _ -> Alcotest.fail "expected Degraded");
+  Alcotest.(check bool) "degraded flag" true (Runtime.Mitigator.is_degraded mit);
+  Alcotest.(check int) "gate restored by the unwind" 0
+    (Runtime.Comp_stack.depth (Runtime.Gate.stack gate));
+  Alcotest.(check bool) "back in trusted view" true
+    (Runtime.Compartment.equal (Runtime.Gate.current gate) Runtime.Compartment.Trusted);
+  Alcotest.(check (list (pair string int))) "outcome" [ ("degraded", 1) ]
+    (Runtime.Mitigator.outcome_counts mit)
+
+let test_mitigator_refuses_untracked_address () =
+  (* The secret page resolves in no metadata table: leniency must not
+     extend to it — the fault stays unresolved whatever the policy. *)
+  let m, _pk, mit, gate = mitigator_setup Runtime.Mitigator.Emulate in
+  let secret = Vmm.Layout.secret_addr in
+  Sim.Machine.priv_write_u64 m secret 42;
+  (match Runtime.Gate.call_untrusted gate (fun () -> ignore (Sim.Machine.read_u64 m secret)) with
+  | exception Vmm.Fault.Unhandled { Vmm.Fault.kind = Vmm.Fault.Pkey_violation _; _ } -> ()
+  | _ -> Alcotest.fail "expected the untracked fault to stay unresolved");
+  Alcotest.(check (list (pair string int))) "refused, not emulated" [ ("refused", 1) ]
+    (Runtime.Mitigator.outcome_counts mit);
+  Alcotest.(check int) "budget untouched" 65536 (Runtime.Mitigator.tokens_left mit)
+
+let test_mitigator_abort_does_nothing () =
+  let m, pk, mit, gate = mitigator_setup Runtime.Mitigator.Abort in
+  let addr = tracked_mt_object pk mit in
+  Sim.Machine.write_u64 m addr 9;
+  (match Runtime.Gate.call_untrusted gate (fun () -> ignore (Sim.Machine.read_u64 m addr)) with
+  | exception Vmm.Fault.Unhandled { Vmm.Fault.kind = Vmm.Fault.Pkey_violation _; _ } -> ()
+  | _ -> Alcotest.fail "expected the fault to propagate under Abort");
+  Alcotest.(check int) "no incidents accounted" 0 (Runtime.Mitigator.incidents mit);
+  Alcotest.(check (list (pair string int))) "no outcomes" []
+    (Runtime.Mitigator.outcome_counts mit)
+
+let test_mitigator_counts_into_telemetry () =
+  let m, pk, mit, gate = mitigator_setup Runtime.Mitigator.Emulate in
+  let addr = tracked_mt_object pk mit in
+  Sim.Machine.write_u64 m addr 3;
+  let sink = Telemetry.Sink.create () in
+  Telemetry.Sink.with_sink sink (fun () ->
+      Runtime.Gate.call_untrusted gate (fun () -> ignore (Sim.Machine.read_u64 m addr)));
+  Alcotest.(check int) "sink counter mirrors the incident" 1
+    (Telemetry.Sink.count sink "mitigation.emulate.emulated")
+
 let suite =
   [
     Alcotest.test_case "alloc_id order + json" `Quick test_alloc_id_order_and_json;
@@ -323,4 +457,15 @@ let suite =
     Alcotest.test_case "profiler dedups sites" `Quick test_profiler_dedups_repeated_site;
     Alcotest.test_case "profiler untracked fault" `Quick test_profiler_untracked_fault;
     Alcotest.test_case "profiler chains to app handler" `Quick test_profiler_chains_to_app_handler;
+    Alcotest.test_case "profiler not charged for shadowed fault" `Quick
+      test_profiler_not_charged_for_shadowed_fault;
+    Alcotest.test_case "mitigator emulate + budget" `Quick test_mitigator_emulate_spends_budget;
+    Alcotest.test_case "mitigator token refill" `Quick test_mitigator_token_refill;
+    Alcotest.test_case "mitigator promote quarantines" `Quick
+      test_mitigator_promote_quarantines_site;
+    Alcotest.test_case "mitigator degrade graceful" `Quick test_mitigator_degrade_fails_gracefully;
+    Alcotest.test_case "mitigator refuses untracked" `Quick
+      test_mitigator_refuses_untracked_address;
+    Alcotest.test_case "mitigator abort inert" `Quick test_mitigator_abort_does_nothing;
+    Alcotest.test_case "mitigator telemetry counters" `Quick test_mitigator_counts_into_telemetry;
   ]

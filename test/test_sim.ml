@@ -147,6 +147,100 @@ let test_handler_kill () =
     Alcotest.(check string) "message" "policy violation" msg
   | _ -> Alcotest.fail "expected kill"
 
+(* With three handlers installed, the chain runs newest-first; Pass moves
+   to the next-older handler and the oldest one's Kill wins.  The
+   traversal order is what the mitigator/profiler stacking relies on. *)
+let test_handler_chain_kill_order () =
+  let m = machine_with_region ~base () in
+  m.Sim.Machine.cpu.Sim.Cpu.pkru <- Mpk.Pkru.all_disabled_except [];
+  let order = ref [] in
+  let passer name _ =
+    order := name :: !order;
+    Sim.Signals.Pass
+  in
+  Sim.Signals.register_segv m.Sim.Machine.signals (fun _ ->
+      order := "app" :: !order;
+      Sim.Signals.Kill "app enforcement");
+  Sim.Signals.register_segv m.Sim.Machine.signals (passer "middle");
+  Sim.Signals.register_segv m.Sim.Machine.signals (passer "late");
+  (match Sim.Machine.read_u8 m base with
+  | exception Sim.Signals.Process_killed msg ->
+    Alcotest.(check string) "kill message" "app enforcement" msg
+  | _ -> Alcotest.fail "expected the earliest handler's Kill");
+  Alcotest.(check (list string)) "reverse registration order" [ "late"; "middle"; "app" ]
+    (List.rev !order)
+
+let test_unregister_segv_pops_newest () =
+  let m = machine_with_region ~base () in
+  m.Sim.Machine.cpu.Sim.Cpu.pkru <- Mpk.Pkru.all_disabled_except [];
+  let late_ran = ref false in
+  Sim.Signals.register_segv m.Sim.Machine.signals (fun _ -> Sim.Signals.Kill "early");
+  Sim.Signals.register_segv m.Sim.Machine.signals (fun _ ->
+      late_ran := true;
+      Sim.Signals.Kill "late");
+  Alcotest.(check int) "two installed" 2
+    (Sim.Signals.segv_handler_count m.Sim.Machine.signals);
+  Alcotest.(check bool) "unregister pops" true
+    (Sim.Signals.unregister_segv m.Sim.Machine.signals);
+  (match Sim.Machine.read_u8 m base with
+  | exception Sim.Signals.Process_killed msg -> Alcotest.(check string) "early wins" "early" msg
+  | _ -> Alcotest.fail "expected kill");
+  Alcotest.(check bool) "popped handler never ran" false !late_ran;
+  Alcotest.(check bool) "pop remaining" true
+    (Sim.Signals.unregister_segv m.Sim.Machine.signals);
+  Alcotest.(check bool) "empty chain refuses" false
+    (Sim.Signals.unregister_segv m.Sim.Machine.signals)
+
+let test_reorder_segv_chain () =
+  let m = machine_with_region ~base () in
+  m.Sim.Machine.cpu.Sim.Cpu.pkru <- Mpk.Pkru.all_disabled_except [];
+  let order = ref [] in
+  let tracer name verdict _ =
+    order := name :: !order;
+    verdict
+  in
+  Sim.Signals.register_segv m.Sim.Machine.signals (tracer "a" (Sim.Signals.Kill "a"));
+  Sim.Signals.register_segv m.Sim.Machine.signals (tracer "b" Sim.Signals.Pass);
+  (* Head is b; reversing makes a (the Kill) run first. *)
+  Sim.Signals.reorder_segv m.Sim.Machine.signals List.rev;
+  (match Sim.Machine.read_u8 m base with
+  | exception Sim.Signals.Process_killed _ -> ()
+  | _ -> Alcotest.fail "expected kill");
+  Alcotest.(check (list string)) "reordered traversal" [ "a" ] (List.rev !order)
+
+let test_last_fault_recorded () =
+  let m = machine_with_region ~base () in
+  Alcotest.(check bool) "no fault yet" true (Sim.Signals.last_fault m.Sim.Machine.signals = None);
+  m.Sim.Machine.cpu.Sim.Cpu.pkru <- Mpk.Pkru.all_disabled_except [];
+  Sim.Signals.register_segv m.Sim.Machine.signals (fun _ ->
+      m.Sim.Machine.cpu.Sim.Cpu.pkru <- Mpk.Pkru.all_enabled;
+      Sim.Signals.Retry);
+  ignore (Sim.Machine.read_u8 m (base + 24));
+  match Sim.Signals.last_fault m.Sim.Machine.signals with
+  | Some f -> Alcotest.(check int) "fault address kept" (base + 24) f.Vmm.Fault.addr
+  | None -> Alcotest.fail "expected last_fault to be recorded"
+
+(* SIGTRAP with an empty handler chain is fatal, and the kill message
+   carries the debugging context: chain depth and the last SEGV. *)
+let test_trap_without_handler_reports_context () =
+  let m = machine_with_region ~base () in
+  m.Sim.Machine.cpu.Sim.Cpu.pkru <- Mpk.Pkru.all_disabled_except [];
+  Sim.Signals.register_segv m.Sim.Machine.signals (fun _ ->
+      m.Sim.Machine.cpu.Sim.Cpu.pkru <- Mpk.Pkru.all_enabled;
+      m.Sim.Machine.cpu.Sim.Cpu.trap_flag <- true;
+      Sim.Signals.Retry);
+  match Sim.Machine.read_u8 m base with
+  | exception Sim.Signals.Process_killed msg ->
+    let contains needle =
+      let nh = String.length msg and nn = String.length needle in
+      let rec scan i = i + nn <= nh && (String.sub msg i nn = needle || scan (i + 1)) in
+      scan 0
+    in
+    Alcotest.(check bool) "mentions chain depth" true
+      (contains "segv handler chain depth 1");
+    Alcotest.(check bool) "mentions the faulting access" true (contains "SEGV_PKUERR")
+  | _ -> Alcotest.fail "expected SIGTRAP with no handler to kill the process"
+
 let test_single_step_trap () =
   let m = machine_with_region ~base () in
   Sim.Machine.write_u64 m base 7;
@@ -244,6 +338,12 @@ let suite =
     Alcotest.test_case "handler retry" `Quick test_handler_retry_semantics;
     Alcotest.test_case "handler chain pass" `Quick test_handler_chain_pass;
     Alcotest.test_case "handler kill" `Quick test_handler_kill;
+    Alcotest.test_case "handler chain: kill order" `Quick test_handler_chain_kill_order;
+    Alcotest.test_case "unregister pops newest" `Quick test_unregister_segv_pops_newest;
+    Alcotest.test_case "reorder chain" `Quick test_reorder_segv_chain;
+    Alcotest.test_case "last fault recorded" `Quick test_last_fault_recorded;
+    Alcotest.test_case "trap without handler: context" `Quick
+      test_trap_without_handler_reports_context;
     Alcotest.test_case "single-step trap" `Quick test_single_step_trap;
     Alcotest.test_case "retry exhaustion: pkey kind" `Quick test_retry_exhaustion_reports_pkey_kind;
     Alcotest.test_case "retry exhaustion: not mapped" `Quick test_retry_exhaustion_reports_not_mapped;
