@@ -4,13 +4,26 @@
    over scaled-down versions of each experiment.
 
    Usage: main.exe [--skip-bechamel] [--only SECTION]...
+                   [--compare BASELINE] [--baseline-out FILE]
+                   [--wall-tolerance X] [--compare-strict]
    --only may repeat; with none given, every section runs.
    Sections: micro fig3 table1 table2 fig5 fig6 fig7 security sites
-             ablations tlb mitigation bechamel *)
+             ablations tlb mitigation bechamel
+
+   --compare / --baseline-out run only the regression-sentinel probes
+   (unless sections are also requested with --only): --baseline-out
+   regenerates BENCH_BASELINE.json, --compare diffs a fresh probe run
+   against a checked-in baseline.  Simulated-cycle drift is flagged hard
+   but, being a warn-only CI gate, only fails the process under
+   --compare-strict; host wall-clock always warns only. *)
 
 let skip_bechamel = ref false
 let only : string list ref = ref []
 let json_dir : string option ref = ref None
+let compare_file : string option ref = ref None
+let baseline_out : string option ref = ref None
+let wall_tolerance = ref Workloads.Sentinel.default_wall_tolerance
+let compare_strict = ref false
 
 let () =
   let rec parse = function
@@ -24,11 +37,28 @@ let () =
     | "--json" :: dir :: rest ->
       json_dir := Some dir;
       parse rest
+    | "--compare" :: file :: rest ->
+      compare_file := Some file;
+      parse rest
+    | "--baseline-out" :: file :: rest ->
+      baseline_out := Some file;
+      parse rest
+    | "--wall-tolerance" :: x :: rest ->
+      (match float_of_string_opt x with
+      | Some t when t > 1.0 -> wall_tolerance := t
+      | _ -> failwith ("--wall-tolerance must be a factor > 1.0, got " ^ x));
+      parse rest
+    | "--compare-strict" :: rest ->
+      compare_strict := true;
+      parse rest
     | arg :: _ -> failwith ("unknown argument " ^ arg)
   in
   parse (List.tl (Array.to_list Sys.argv))
 
-let section name = !only = [] || List.mem name !only
+(* A sentinel-only invocation skips the report sections unless some were
+   explicitly requested. *)
+let sentinel_requested () = !compare_file <> None || !baseline_out <> None
+let section name = (!only = [] && not (sentinel_requested ())) || List.mem name !only
 
 (* Per-section host wall-clock, recorded for every section that runs and
    emitted into host.json alongside the simulated-cycle results. *)
@@ -607,13 +637,30 @@ let suite_json (result : Workloads.Runner.suite_result) =
              result.Workloads.Runner.bench_results) );
     ]
 
+let artifact_schema = "pkru-safe.bench-artifact/1"
+
 let write_json_results dir =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let commit = Workloads.Sentinel.commit_hash () in
+  let written = ref [] in
+  (* Object-rooted artifacts carry the schema + commit stamp inline;
+     list-rooted ones (micro.json, fig3.json, security.json) keep their
+     shape — the CLI `compare` subcommand pattern-matches on it — and are
+     covered by manifest.json instead. *)
+  let stamp = function
+    | Util.Json.Obj fields ->
+      Util.Json.Obj
+        (("schema", Util.Json.String artifact_schema)
+        :: ("commit", Util.Json.String commit)
+        :: fields)
+    | other -> other
+  in
   let write name json =
+    written := name :: !written;
     let oc = open_out (Filename.concat dir name) in
     Fun.protect
       ~finally:(fun () -> close_out oc)
-      (fun () -> output_string oc (Util.Json.to_string_pretty json))
+      (fun () -> output_string oc (Util.Json.to_string_pretty (stamp json)))
   in
   write "micro.json"
     (Util.Json.List
@@ -745,8 +792,62 @@ let write_json_results dir =
                ("flushes", Util.Json.Int tlb.Workloads.Microbench.tlb.Sim.Tlb.flushes);
              ] );
        ]);
+  (* Written last so it lists every other artifact in this directory. *)
+  write "manifest.json"
+    (Util.Json.Obj
+       [
+         ( "files",
+           Util.Json.List
+             (List.rev_map (fun f -> Util.Json.String f) !written) );
+       ]);
   Printf.printf "JSON results written to %s/
 " dir
+
+(* --- Regression sentinel (--compare / --baseline-out) --- *)
+
+let run_sentinel () =
+  header "Regression sentinel: deterministic probe workloads";
+  let results = Workloads.Sentinel.run_probes () in
+  Util.Table.print
+    ~header:[ "probe"; "sim cycles"; "transitions"; "host wall" ]
+    (List.map
+       (fun (r : Workloads.Sentinel.probe_result) ->
+         [
+           r.Workloads.Sentinel.p_name;
+           string_of_int r.Workloads.Sentinel.p_cycles;
+           string_of_int r.Workloads.Sentinel.p_transitions;
+           Printf.sprintf "%.3fs" r.Workloads.Sentinel.p_wall_s;
+         ])
+       results);
+  (match !baseline_out with
+  | Some path ->
+    Out_channel.with_open_text path (fun oc ->
+        output_string oc
+          (Util.Json.to_string_pretty (Workloads.Sentinel.baseline_json results) ^ "\n"));
+    Printf.printf "baseline written to %s (commit %s)\n" path (Workloads.Sentinel.commit_hash ())
+  | None -> ());
+  match !compare_file with
+  | None -> true
+  | Some path ->
+    let commit, baseline =
+      Workloads.Sentinel.baseline_of_json
+        (Util.Json.of_string (In_channel.with_open_text path In_channel.input_all))
+    in
+    let verdicts =
+      Workloads.Sentinel.compare_results ~wall_tolerance:!wall_tolerance ~baseline results
+    in
+    print_newline ();
+    print_string (Workloads.Sentinel.render_comparison ~commit verdicts);
+    if not (Workloads.Sentinel.has_regression verdicts) then true
+    else begin
+      print_endline
+        (if !compare_strict then "cycle drift detected; failing (--compare-strict)"
+         else
+           "cycle drift detected — warn-only gate, not failing the build; re-run with \
+            --compare-strict to gate hard, or regenerate the baseline with --baseline-out \
+            if the change is intended");
+      not !compare_strict
+    end
 
 let () =
   print_endline "PKRU-Safe reproduction: benchmark harness";
@@ -764,7 +865,16 @@ let () =
   if section "tlb" then timed "tlb" run_tlb;
   if section "mitigation" then timed "mitigation" run_mitigation;
   if (not !skip_bechamel) && section "bechamel" then timed "bechamel" run_bechamel;
+  let sentinel_ok =
+    if sentinel_requested () then begin
+      let ok = ref true in
+      timed "sentinel" (fun () -> ok := run_sentinel ());
+      !ok
+    end
+    else true
+  in
   (match !json_dir with
   | Some dir -> write_json_results dir
   | None -> ());
-  print_endline "\ndone."
+  print_endline "\ndone.";
+  if not sentinel_ok then exit 1

@@ -8,7 +8,8 @@
      suite     — run one benchmark suite and print its table
      trace     — run one benchmark with telemetry and export the trace
      report    — attribution report: site heat, flow matrix, sampled
-                 flamegraph stacks, Prometheus exposition *)
+                 flamegraph stacks, Prometheus exposition
+     doctor    — render a flight-recorder dump as an incident report *)
 
 open Cmdliner
 
@@ -40,6 +41,28 @@ let mitigation_flag =
 let fail_on_error = function
   | Ok v -> v
   | Error msg -> failwith msg
+
+(* --flight FILE: arm the black-box recorder for the duration of a run;
+   any post-mortem dump lands in FILE, ready for `doctor`. *)
+let flight_flag =
+  Arg.(value & opt (some string) None
+       & info [ "flight" ] ~docv:"FILE"
+           ~doc:"Arm the flight recorder; post-mortem dumps (gate-verify kills, unrecovered \
+                 faults, degradations) are written to FILE for `doctor`")
+
+let with_flight ?context flight f =
+  match flight with
+  | None -> f ()
+  | Some path ->
+    let recorder = Telemetry.Flight.arm ~path () in
+    (match context with Some c -> Telemetry.Flight.set_context recorder c | None -> ());
+    Fun.protect
+      ~finally:(fun () ->
+        if Telemetry.Flight.dump_total recorder > 0 then
+          Printf.printf "flight recorder: %d dump(s), latest written to %s\n"
+            (Telemetry.Flight.dump_total recorder) path;
+        Telemetry.Flight.disarm ())
+      f
 
 (* --- pipeline (E1) --- *)
 
@@ -102,7 +125,7 @@ print("data = " + d);
 print("innerHTML = " + domGetInnerHTML(app));
 print("children = " + domChildCount(app));|}
 
-let run_browse mode page script mitigation =
+let run_browse mode page script mitigation flight =
   let profile =
     match mode with
     | Pkru_safe.Config.Alloc | Pkru_safe.Config.Mpk ->
@@ -120,14 +143,15 @@ let run_browse mode page script mitigation =
     fail_on_error (Pkru_safe.Env.create ~profile (Pkru_safe.Config.make ?mitigation mode))
   in
   let browser = Browser.create env in
-  Browser.load_page browser page;
-  (match Browser.exec_script browser script with
-  | _ -> ()
-  | exception Vmm.Fault.Unhandled fault ->
-    Printf.printf "script killed: %s\n" (Vmm.Fault.to_string fault)
-  | exception Sim.Signals.Process_killed msg -> Printf.printf "process killed: %s\n" msg
-  | exception Runtime.Mitigator.Degraded fault ->
-    Printf.printf "request degraded: %s\n" (Vmm.Fault.to_string fault));
+  with_flight ~context:(Pkru_safe.Env.flight_context env) flight (fun () ->
+      Browser.load_page browser page;
+      match Browser.exec_script browser script with
+      | _ -> ()
+      | exception Vmm.Fault.Unhandled fault ->
+        Printf.printf "script killed: %s\n" (Vmm.Fault.to_string fault)
+      | exception Sim.Signals.Process_killed msg -> Printf.printf "process killed: %s\n" msg
+      | exception Runtime.Mitigator.Degraded fault ->
+        Printf.printf "request degraded: %s\n" (Vmm.Fault.to_string fault));
   List.iter print_endline (Browser.console browser);
   (match Pkru_safe.Env.mitigator env with
   | Some m when Runtime.Mitigator.incidents m > 0 ->
@@ -272,12 +296,15 @@ let profile_for ~mode (bench : Workloads.Bench_def.bench) =
     Workloads.Runner.profile_suite suite
   | Pkru_safe.Config.Base | Pkru_safe.Config.Profiling -> Runtime.Profile.create ()
 
-let run_trace bench_name mode format output =
+let run_trace bench_name mode format output flight =
   match Workloads.Registry.bench_of_name bench_name with
   | Error msg -> `Error (false, msg)
   | Ok bench ->
     let profile = profile_for ~mode bench in
-    let m = Workloads.Runner.run_config ~telemetry:true ~mode ~profile bench in
+    let m =
+      with_flight flight (fun () ->
+          Workloads.Runner.run_config ~telemetry:true ~mode ~profile bench)
+    in
     let sink =
       match m.Workloads.Runner.trace with
       | Some sink -> sink
@@ -325,7 +352,7 @@ let report_format_conv =
           (match f with `Table -> "table" | `Json -> "json" | `Prom -> "prom" | `Folded -> "folded")
     )
 
-let run_report bench_name mode sample_every format output mitigation =
+let run_report bench_name mode sample_every format output mitigation flight =
   if sample_every <= 0 then `Error (false, "--sample-every must be positive")
   else
     match Workloads.Registry.bench_of_name bench_name with
@@ -333,8 +360,9 @@ let run_report bench_name mode sample_every format output mitigation =
     | Ok bench ->
       let profile = profile_for ~mode bench in
       let m =
-        Workloads.Runner.run_config ~telemetry:true ~sample_every ?mitigation ~mode ~profile
-          bench
+        with_flight flight (fun () ->
+            Workloads.Runner.run_config ~telemetry:true ~sample_every ?mitigation ~mode ~profile
+              bench)
       in
       let sink = Option.get m.Workloads.Runner.trace in
       let sampler = Option.get m.Workloads.Runner.samples in
@@ -541,7 +569,7 @@ let chaos_format_conv =
         Format.pp_print_string fmt
           (match f with `Table -> "table" | `Json -> "json" | `Prom -> "prom") )
 
-let run_chaos scenario policy seed drop oom_at format output =
+let run_chaos scenario policy seed drop oom_at format output flight =
   if drop <= 0.0 || drop >= 1.0 then `Error (false, "--drop must be in (0, 1)")
   else if oom_at <= 0 then `Error (false, "--oom-at must be positive")
   else begin
@@ -578,6 +606,15 @@ let run_chaos scenario policy seed drop oom_at format output =
       | () -> Printf.printf "chaos report written to %s\n" path
       | exception Sys_error msg -> failwith ("cannot write chaos report: " ^ msg))
     | None -> print_string rendered);
+    (match flight with
+    | Some path ->
+      (* Each scenario records into its own recorder; pool the dumps so a
+         CI artifact (or `doctor`) sees every death of the run. *)
+      let dumps = List.concat_map (fun (r : Chaos.report) -> r.Chaos.flight_dumps) reports in
+      Out_channel.with_open_text path (fun oc ->
+          output_string oc (Util.Json.to_string_pretty (Util.Json.List dumps) ^ "\n"));
+      Printf.printf "%d flight dump(s) written to %s\n" (List.length dumps) path
+    | None -> ());
     let broken =
       List.filter (fun r -> r.Chaos.invariant_failures <> []) reports
     in
@@ -588,6 +625,30 @@ let run_chaos scenario policy seed drop oom_at format output =
           Printf.sprintf "%d of %d chaos run(s) violated invariants" (List.length broken)
             (List.length reports) )
   end
+
+(* --- doctor: render a flight-recorder dump as an incident report --- *)
+
+let run_doctor path =
+  match load_json path with
+  | exception Sys_error msg -> `Error (false, msg)
+  | exception Util.Json.Parse_error msg ->
+    `Error (false, Printf.sprintf "%s: not valid JSON (%s)" path msg)
+  | Util.Json.List [] -> `Error (false, path ^ ": empty dump list — nothing died in that run")
+  | Util.Json.List dumps ->
+    (* A pooled file (chaos --flight): render every dump in order. *)
+    List.iteri
+      (fun i dump ->
+        if i > 0 then print_endline (String.make 72 '=');
+        print_string (Telemetry.Flight.render dump))
+      dumps;
+    `Ok ()
+  | dump -> (
+    match Telemetry.Flight.render dump with
+    | report ->
+      print_string report;
+      `Ok ()
+    | exception (Not_found | Invalid_argument _) ->
+      `Error (false, path ^ ": not a flight-recorder dump"))
 
 (* --- cmdliner wiring --- *)
 
@@ -606,7 +667,7 @@ let browse_cmd =
     Arg.(value & opt string default_script & info [ "s"; "script" ] ~doc:"Script to execute")
   in
   Cmd.v (Cmd.info "browse" ~doc:"Run a page + script under a configuration (E2-style)")
-    Term.(ret (const run_browse $ mode $ page $ script $ mitigation_flag))
+    Term.(ret (const run_browse $ mode $ page $ script $ mitigation_flag $ flight_flag))
 
 let exploit_cmd =
   Cmd.v (Cmd.info "exploit" ~doc:"Run the E3 security experiment")
@@ -647,7 +708,7 @@ let trace_cmd =
   in
   Cmd.v
     (Cmd.info "trace" ~doc:"Run one benchmark with telemetry enabled and export the trace")
-    Term.(ret (const run_trace $ bench_arg $ mode $ format $ output))
+    Term.(ret (const run_trace $ bench_arg $ mode $ format $ output $ flight_flag))
 
 let report_cmd =
   let bench_arg =
@@ -674,7 +735,10 @@ let report_cmd =
   Cmd.v
     (Cmd.info "report"
        ~doc:"Run one benchmark with telemetry + cycle sampling and print the attribution report")
-    Term.(ret (const run_report $ bench_arg $ mode $ sample_every $ format $ output $ mitigation_flag))
+    Term.(
+      ret
+        (const run_report $ bench_arg $ mode $ sample_every $ format $ output $ mitigation_flag
+        $ flight_flag))
 
 let compare_cmd =
   let dir n doc = Arg.(required & pos n (some dir) None & info [] ~docv:"DIR" ~doc) in
@@ -732,11 +796,26 @@ let chaos_cmd =
   Cmd.v
     (Cmd.info "chaos"
        ~doc:"Inject deterministic faults into the enforcement pipeline and check invariants")
-    Term.(ret (const run_chaos $ scenario $ policy $ seed $ drop $ oom_at $ format $ output))
+    Term.(
+      ret
+        (const run_chaos $ scenario $ policy $ seed $ drop $ oom_at $ format $ output
+        $ flight_flag))
+
+let doctor_cmd =
+  let path =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"DUMP"
+             ~doc:"A flight-recorder dump file (from --flight, chaos, or an aborted run)")
+  in
+  Cmd.v
+    (Cmd.info "doctor"
+       ~doc:"Render a flight-recorder dump into a human-readable incident report: context, \
+             gate-tail balance, span timeline, and the causal chain open at death")
+    Term.(ret (const run_doctor $ path))
 
 let default =
   Term.(ret (const (`Help (`Pager, None))))
 
 let () =
   let info = Cmd.info "pkru_safe_cli" ~doc:"PKRU-Safe reproduction driver" in
-  exit (Cmd.eval (Cmd.group ~default info [ pipeline_cmd; browse_cmd; exploit_cmd; micro_cmd; suite_cmd; trace_cmd; report_cmd; run_cmd; corpus_cmd; compare_cmd; chaos_cmd ]))
+  exit (Cmd.eval (Cmd.group ~default info [ pipeline_cmd; browse_cmd; exploit_cmd; micro_cmd; suite_cmd; trace_cmd; report_cmd; run_cmd; corpus_cmd; compare_cmd; chaos_cmd; doctor_cmd ]))

@@ -295,9 +295,31 @@ let env t = t.env
 let dom t = t.dom
 let engine t = t.engine
 
-let load_page t html = build_trees t (Dom.root t.dom) (Html.parse html)
+(* Workload-phase spans (see Engine.with_phase): page loads and script
+   executions become causal roots, so every gate crossing and incident
+   underneath them is attributed to the phase that drove it. *)
+let with_phase t name f =
+  match !Telemetry.Sink.current with
+  | None -> f ()
+  | Some sink ->
+    let cpu = t.machine.Sim.Machine.cpu.Sim.Cpu.id in
+    let id =
+      Telemetry.Sink.span_enter sink ~ts:(Sim.Machine.cycles t.machine) ~cpu
+        ~kind:Telemetry.Span.Phase name
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        match !Telemetry.Sink.current with
+        | None -> ()
+        | Some sink ->
+          Telemetry.Sink.span_exit sink ~ts:(Sim.Machine.cycles t.machine) ~cpu ~id ())
+      f
 
-let exec_script t src =
+let load_page t html =
+  with_phase t "phase:load-page" (fun () ->
+      build_trees t (Dom.root t.dom) (Html.parse html))
+
+let exec_script_body t src =
   t.scripts_run <- t.scripts_run + 1;
   let len = String.length src in
   (* The script text is trusted-side data handed to the engine by pointer:
@@ -310,6 +332,8 @@ let exec_script t src =
     | _ -> assert false
   in
   Pkru_safe.Env.ffi_call t.env (fun () -> Engine.eval_source t.engine source)
+
+let exec_script t src = with_phase t "phase:exec-script" (fun () -> exec_script_body t src)
 
 let console t = Engine.take_output t.engine
 

@@ -34,6 +34,7 @@ type report = {
   invariant_failures : string list;
   details : string list;
   prometheus : string;
+  flight_dumps : Util.Json.t list; (* post-mortems recorded during the scenario *)
 }
 
 let ok_exn = function
@@ -120,14 +121,44 @@ let secret_unreadable_from_u env =
 
 let gate_depth env = Runtime.Comp_stack.depth (Runtime.Gate.stack (Pkru_safe.Env.gate env))
 
+(* Every scenario drives its workload with the flight recorder armed: a
+   death inside the boundary (gate verify kill, unhandled fault, trap with
+   no handler) snapshots the scenario's own sink — recent events, the
+   gate tail, and the causal span chain that was open at the death. *)
+let flight_for env sink =
+  let recorder = Telemetry.Flight.create () in
+  Telemetry.Flight.attach_sink recorder sink;
+  Telemetry.Flight.set_context recorder (Pkru_safe.Env.flight_context env);
+  recorder
+
+(* The injection window is itself a causal span, so everything the
+   workload does — phases, crossings, incidents — nests under it. *)
+let chaos_span env sink name f =
+  let machine = Pkru_safe.Env.machine env in
+  let cpu = machine.Sim.Machine.cpu.Sim.Cpu.id in
+  let id =
+    Telemetry.Sink.span_enter sink ~ts:(Sim.Machine.cycles machine) ~cpu
+      ~kind:Telemetry.Span.Chaos name
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Telemetry.Sink.span_exit sink ~ts:(Sim.Machine.cycles machine) ~cpu ~id ())
+    f
+
+let driven env sink recorder name f =
+  Telemetry.Flight.with_recorder recorder (fun () ->
+      Telemetry.Sink.with_sink sink (fun () -> chaos_span env sink name f))
+
 let mitigator_exn env =
   match Pkru_safe.Env.mitigator env with
   | Some m -> m
   | None -> failwith "Chaos: enforcement env has no mitigator"
 
 (* Common post-mortem: snapshot mitigator accounting (before the secret
-   probe, which itself is adjudicated), then check invariants. *)
-let finish ~scenario ~policy ~seed ~ending ~rerun_incidents ~details ~sink env =
+   probe, which itself is adjudicated), then check invariants.  Any
+   invariant failure records one more flight dump so a failing chaos run
+   always leaves a machine-readable post-mortem behind. *)
+let finish ~scenario ~policy ~seed ~ending ~rerun_incidents ~details ~sink ~recorder env =
   let m = mitigator_exn env in
   let incidents = Runtime.Mitigator.incidents m in
   let incident_outcomes = Runtime.Mitigator.outcome_counts m in
@@ -155,6 +186,16 @@ let finish ~scenario ~policy ~seed ~ending ~rerun_incidents ~details ~sink env =
   | Runtime.Mitigator.Abort when incidents <> 0 ->
     fail "Abort policy did accounting (must stay bit-identical to seed)"
   | _ -> ());
+  if !failures <> [] then
+    ignore
+      (Telemetry.Flight.record recorder ~reason:"chaos invariant failure"
+         ~details:
+           [
+             ("scenario", Util.Json.String (scenario_to_string scenario));
+             ("policy", Util.Json.String (Runtime.Mitigator.policy_to_string policy));
+             ( "failures",
+               Util.Json.List (List.map (fun s -> Util.Json.String s) (List.rev !failures)) );
+           ]);
   {
     scenario;
     policy;
@@ -170,6 +211,7 @@ let finish ~scenario ~policy ~seed ~ending ~rerun_incidents ~details ~sink env =
     invariant_failures = List.rev !failures;
     details;
     prometheus;
+    flight_dumps = Telemetry.Flight.dumps recorder;
   }
 
 let run_script browser =
@@ -197,7 +239,10 @@ let coverage_gap ~drop ~policy ~seed =
   let browser = Browser.create ~engine_seed:workload.Workloads.Bench_def.engine_seed env in
   Browser.load_page browser workload.Workloads.Bench_def.page;
   let sink = Telemetry.Sink.create () in
-  let ending = Telemetry.Sink.with_sink sink (fun () -> run_script browser) in
+  let recorder = flight_for env sink in
+  let ending =
+    driven env sink recorder "chaos:coverage-gap" (fun () -> run_script browser)
+  in
   let m = mitigator_exn env in
   let first_incidents = Runtime.Mitigator.incidents m in
   (* Second run of the same workload on the same image: Promote's
@@ -205,7 +250,9 @@ let coverage_gap ~drop ~policy ~seed =
      strictly less.  Only meaningful when the first run survived. *)
   let rerun_incidents =
     if ending = Completed then begin
-      let ending2 = Telemetry.Sink.with_sink sink (fun () -> run_script browser) in
+      let ending2 =
+        driven env sink recorder "chaos:coverage-gap:rerun" (fun () -> run_script browser)
+      in
       match ending2 with
       | Completed -> Some (Runtime.Mitigator.incidents m - first_incidents)
       | _ -> Some max_int (* a surviving policy must keep surviving *)
@@ -220,7 +267,8 @@ let coverage_gap ~drop ~policy ~seed =
         dropped drop;
     ]
   in
-  finish ~scenario:Coverage_gap ~policy ~seed ~ending ~rerun_incidents ~details ~sink env
+  finish ~scenario:Coverage_gap ~policy ~seed ~ending ~rerun_incidents ~details ~sink ~recorder
+    env
 
 let pkalloc_oom ~oom_at ~policy ~seed =
   let profile = profile_workload () in
@@ -232,7 +280,8 @@ let pkalloc_oom ~oom_at ~policy ~seed =
   let pkalloc = Pkru_safe.Env.pkalloc env in
   Allocators.Pkalloc.fail_nth_alloc pkalloc pool oom_at;
   let sink = Telemetry.Sink.create () in
-  let ending = Telemetry.Sink.with_sink sink (fun () -> run_script browser) in
+  let recorder = flight_for env sink in
+  let ending = driven env sink recorder "chaos:pkalloc-oom" (fun () -> run_script browser) in
   (* Exhaustion must be a one-shot, leaving consistent books: the
      failpoint disarms after firing and both pools' counters still
      balance. *)
@@ -261,7 +310,8 @@ let pkalloc_oom ~oom_at ~policy ~seed =
     ]
   in
   let report =
-    finish ~scenario:Pkalloc_oom ~policy ~seed ~ending ~rerun_incidents:None ~details ~sink env
+    finish ~scenario:Pkalloc_oom ~policy ~seed ~ending ~rerun_incidents:None ~details ~sink
+      ~recorder env
   in
   let extra = ref [] in
   if not books_ok then extra := "alloc stats inconsistent after forced OOM" :: !extra;
@@ -288,17 +338,19 @@ let gate_corruption ~policy ~seed =
     end
   in
   let sink = Telemetry.Sink.create () in
+  let recorder = flight_for env sink in
   let ending =
     Fun.protect
       ~finally:(fun () -> Runtime.Gate.chaos_pkru_corruptor := None)
       (fun () ->
         Runtime.Gate.chaos_pkru_corruptor := Some corrupt;
-        Telemetry.Sink.with_sink sink (fun () -> run_script browser))
+        driven env sink recorder ("chaos:gate-corruption:" ^ variant) (fun () ->
+            run_script browser))
   in
   let details = [ "corruption: " ^ variant ] in
   let report =
     finish ~scenario:Gate_corruption ~policy ~seed ~ending ~rerun_incidents:None ~details ~sink
-      env
+      ~recorder env
   in
   (* Any value-changing corruption must be caught by the gate's own
      verifying RDPKRU — the run may never complete with a corrupted
@@ -341,7 +393,10 @@ let handler_tamper ~drop ~policy ~seed =
       ("reorder-chain (benign handler moved behind mitigator)", false)
   in
   let sink = Telemetry.Sink.create () in
-  let ending = Telemetry.Sink.with_sink sink (fun () -> run_script browser) in
+  let recorder = flight_for env sink in
+  let ending =
+    driven env sink recorder ("chaos:handler-tamper:" ^ action) (fun () -> run_script browser)
+  in
   let details =
     [
       "tamper: " ^ action;
@@ -351,7 +406,7 @@ let handler_tamper ~drop ~policy ~seed =
   in
   let report =
     finish ~scenario:Handler_tamper ~policy ~seed ~ending ~rerun_incidents:None ~details ~sink
-      env
+      ~recorder env
   in
   let extra =
     if expect_fail_closed && report.completed then
@@ -396,6 +451,7 @@ let report_to_json r =
       ("gate_balanced", Bool r.gate_balanced);
       ("invariant_failures", List (List.map (fun s -> String s) r.invariant_failures));
       ("details", List (List.map (fun s -> String s) r.details));
+      ("flight_dumps", List r.flight_dumps);
     ]
 
 let pp_report fmt r =
@@ -410,4 +466,6 @@ let pp_report fmt r =
   (match r.rerun_incidents with
   | Some n -> Format.fprintf fmt " rerun-incidents=%d" n
   | None -> ());
+  if r.flight_dumps <> [] then
+    Format.fprintf fmt " flight-dumps=%d" (List.length r.flight_dumps);
   if r.outcome <> "completed" then Format.fprintf fmt "@.    %s" r.outcome

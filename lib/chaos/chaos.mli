@@ -60,6 +60,12 @@ type report = {
       (** the run's telemetry rendered as the Prometheus text exposition —
           [pkru_mitigation_total{policy,outcome}] carries the incident
           counts (same pipeline as the CLI's [report prom]). *)
+  flight_dumps : Util.Json.t list;
+      (** {!Telemetry.Flight} post-mortems recorded while the scenario
+          drove the workload (deaths inside the boundary) plus one for any
+          invariant failure — each self-contained and renderable with the
+          [doctor] CLI.  Empty when nothing died and every invariant
+          held. *)
 }
 
 val run :

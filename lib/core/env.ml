@@ -204,3 +204,60 @@ let sites_moved t = t.sites_moved
 (* The sampling profiler's snapshot provider: the active thread's gate
    owns the compartment stack being executed right now. *)
 let stack_frames t = Runtime.Gate.stack_frames t.active.t_gate
+
+(* The flight recorder's machine-context provider: everything a
+   post-mortem wants that only the environment can see — simulated
+   cycles, each hart's live PKRU, the active gate's nesting depth,
+   the last fault delivered, and (when a mitigator tracks metadata) the
+   allocation that fault landed in.  Pure reads; charges no cycles.
+   Install with [Telemetry.Flight.set_context rec (Env.flight_context env)]. *)
+let flight_context t () =
+  let open Util.Json in
+  let cpus =
+    List.map
+      (fun (cpu : Sim.Cpu.t) ->
+        Obj [ ("id", Int cpu.Sim.Cpu.id); ("pkru", Int (Mpk.Pkru.to_int cpu.Sim.Cpu.pkru)) ])
+      (Sim.Machine.cpus t.machine)
+  in
+  let gate_depth =
+    List.length (Runtime.Comp_stack.to_list (Runtime.Gate.stack t.active.t_gate))
+  in
+  let last_fault =
+    match Sim.Signals.last_fault t.machine.Sim.Machine.signals with
+    | None -> []
+    | Some fault ->
+      [
+        ( "last_fault",
+          Obj
+            [
+              ("kind", String (Vmm.Fault.to_string fault));
+              ("addr", Int fault.Vmm.Fault.addr);
+            ] );
+      ]
+  in
+  let suspect =
+    match (t.mitigator, Sim.Signals.last_fault t.machine.Sim.Machine.signals) with
+    | Some m, Some fault -> (
+      match Runtime.Metadata.lookup (Runtime.Mitigator.metadata m) fault.Vmm.Fault.addr with
+      | None -> []
+      | Some r ->
+        [
+          ( "suspect_alloc",
+            Obj
+              [
+                ("alloc_id", String (Runtime.Alloc_id.to_string r.Runtime.Metadata.alloc_id));
+                ("base", Int r.Runtime.Metadata.addr);
+                ("size", Int r.Runtime.Metadata.size);
+              ] );
+        ])
+    | _ -> []
+  in
+  Obj
+    ([
+       ("cycles", Int (Sim.Machine.cycles t.machine));
+       ("cpus", List cpus);
+       ("gate_depth", Int gate_depth);
+       ("gate_transitions", Int (transitions t));
+       ("mode", String (Config.mode_to_string t.config.Config.mode));
+     ]
+    @ last_fault @ suspect)

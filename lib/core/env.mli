@@ -111,3 +111,11 @@ val stack_frames : t -> string list
 (** The active thread's compartment nesting, root first — register this
     as the {!Telemetry.Sampler} provider to attribute cycle samples to
     compartments.  Pure reads; charges no cycles. *)
+
+val flight_context : t -> unit -> Util.Json.t
+(** The {!Telemetry.Flight} context provider: simulated cycles, each
+    hart's live PKRU, the active gate's nesting depth, total transitions,
+    the last fault delivered and — when a mitigator tracks metadata — the
+    allocation that fault landed in ([suspect_alloc]).  Pure reads;
+    charges no cycles.  Install with
+    [Telemetry.Flight.set_context recorder (Env.flight_context env)]. *)

@@ -25,12 +25,38 @@ let evaluator t = t.eval
 
 let register_host t name fn = Eval.register_host t.eval name fn
 
+(* Workload-phase spans: engine stages become causal spans so a flight
+   dump (or Chrome trace) shows which stage a gate crossing or fault
+   happened inside.  With no sink installed this is a load and a branch
+   per phase — no event, no span, no cycle is ever produced. *)
+let with_phase t name f =
+  match !Telemetry.Sink.current with
+  | None -> f ()
+  | Some sink ->
+    let machine = Pkru_safe.Env.machine t.env in
+    let cpu = machine.Sim.Machine.cpu.Sim.Cpu.id in
+    let id =
+      Telemetry.Sink.span_enter sink ~ts:(Sim.Machine.cycles machine) ~cpu
+        ~kind:Telemetry.Span.Phase name
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        match !Telemetry.Sink.current with
+        | None -> ()
+        | Some sink ->
+          Telemetry.Sink.span_exit sink ~ts:(Sim.Machine.cycles machine) ~cpu ~id ())
+      f
+
 let eval_source ?(tier = Ast_tier) t src =
-  let tokens = Lexer.tokenize t.heap src in
-  let program = Parser.parse tokens in
+  let program =
+    with_phase t "engine:parse" (fun () ->
+        let tokens = Lexer.tokenize t.heap src in
+        Parser.parse tokens)
+  in
   match tier with
-  | Ast_tier -> Eval.run_program t.eval program
-  | Bytecode_tier -> Bytecode.run t.eval (Bytecode.compile program)
+  | Ast_tier -> with_phase t "engine:eval" (fun () -> Eval.run_program t.eval program)
+  | Bytecode_tier ->
+    with_phase t "engine:bytecode" (fun () -> Bytecode.run t.eval (Bytecode.compile program))
 
 let eval_string ?tier t text =
   match Value.str_of_string t.heap text with

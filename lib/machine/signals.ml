@@ -38,12 +38,23 @@ let note delivery =
   | None -> ()
   | Some sink -> Telemetry.Sink.incr sink delivery
 
+(* Death paths hand the flight recorder a post-mortem before raising.
+   The dump is a no-op when no recorder is armed and touches neither the
+   sink's counters nor simulated cycles, so enforcement runs stay
+   bit-identical. *)
+let fault_details fault =
+  [
+    ("fault", Util.Json.String (Vmm.Fault.to_string fault));
+    ("addr", Util.Json.Int fault.Vmm.Fault.addr);
+  ]
+
 let deliver_segv t fault =
   t.last_fault <- Some fault;
   note "signals.segv_delivered";
   let rec walk = function
     | [] ->
       note "signals.unhandled";
+      Telemetry.Flight.dump ~reason:"unhandled SIGSEGV" ~details:(fault_details fault) ();
       raise (Vmm.Fault.Unhandled fault)
     | handler :: rest ->
       (match handler fault with
@@ -51,6 +62,9 @@ let deliver_segv t fault =
       | Pass -> walk rest
       | Kill msg ->
         note "signals.killed";
+        Telemetry.Flight.dump ~reason:"SIGSEGV handler killed the process"
+          ~details:(("message", Util.Json.String msg) :: fault_details fault)
+          ();
         raise (Process_killed msg))
   in
   walk t.segv_chain
@@ -69,6 +83,13 @@ let deliver_trap t =
       | Some fault -> Vmm.Fault.to_string fault
       | None -> "none"
     in
+    Telemetry.Flight.dump ~reason:"SIGTRAP with no handler installed"
+      ~details:
+        [
+          ("segv_chain_depth", Util.Json.Int (List.length t.segv_chain));
+          ("last_fault", Util.Json.String last);
+        ]
+      ();
     raise
       (Process_killed
          (Printf.sprintf

@@ -4,6 +4,7 @@ type t = {
   untrusted_view : Mpk.Pkru.t;
   stack : Comp_stack.t;
   mutable transitions : int;
+  mutable span_ids : int list; (* causal span per stack frame, innermost first *)
 }
 
 let create ?(trusted_pkey = Mpk.Pkey.of_int 1) machine =
@@ -13,6 +14,7 @@ let create ?(trusted_pkey = Mpk.Pkey.of_int 1) machine =
     untrusted_view = Compartment.untrusted_view ~trusted_pkey;
     stack = Comp_stack.create ();
     transitions = 0;
+    span_ids = [];
   }
 
 let machine t = t.machine
@@ -36,9 +38,20 @@ let ev_exit_trusted = Telemetry.Event.Gate_exit { target = Telemetry.Event.Trust
    where gate instructions are reused with a tampered EAX. *)
 let chaos_pkru_corruptor : (Mpk.Pkru.t -> Mpk.Pkru.t) option ref = ref None
 
+let transition_name event =
+  match event with
+  | Telemetry.Event.Gate_enter { target } ->
+    "enter:" ^ Telemetry.Event.compartment_to_string target
+  | Telemetry.Event.Gate_exit { target } ->
+    "exit:" ^ Telemetry.Event.compartment_to_string target
+  | _ -> "?"
+
 (* One gate side: bookkeeping + WRPKRU + the verifying RDPKRU.  A mismatch
    after the write means PKRU-modifying code was reused out of context, so
-   the gate kills the process rather than continue with broken rights. *)
+   the gate kills the process rather than continue with broken rights —
+   after handing the flight recorder the intended-vs-observed values, with
+   the residency span for the corrupted transition still open so the dump's
+   causal chain names it. *)
 let switch_to t event target =
   let cpu = cpu t in
   Sim.Cpu.charge cpu cpu.Sim.Cpu.cost.Sim.Cost.gate_bookkeeping;
@@ -46,31 +59,76 @@ let switch_to t event target =
   | None -> Sim.Cpu.wrpkru cpu target
   | Some corrupt -> Sim.Cpu.wrpkru cpu (corrupt target));
   let now = Sim.Cpu.rdpkru cpu in
-  if not (Mpk.Pkru.equal now target) then
-    raise (Sim.Signals.Process_killed "call gate: PKRU value mismatch");
+  if not (Mpk.Pkru.equal now target) then begin
+    Telemetry.Flight.dump ~reason:"gate PKRU verification mismatch"
+      ~details:
+        [
+          ("transition", Util.Json.String (transition_name event));
+          ("intended_pkru", Util.Json.Int (Mpk.Pkru.to_int target));
+          ("observed_pkru", Util.Json.Int (Mpk.Pkru.to_int now));
+          ("cycle", Util.Json.Int (Sim.Machine.cycles t.machine));
+          ("cpu", Util.Json.Int cpu.Sim.Cpu.id);
+        ]
+      ();
+    raise (Sim.Signals.Process_killed "call gate: PKRU value mismatch")
+  end;
   t.transitions <- t.transitions + 1;
   match !Telemetry.Sink.current with
   | None -> ()
   | Some sink ->
     Telemetry.Sink.emit sink ~ts:(Sim.Machine.cycles t.machine) ~cpu:cpu.Sim.Cpu.id event
 
+(* Residency spans bracket each compartment stay.  The span opens BEFORE
+   the verifying write: if the gate's check kills the process, the span is
+   still open and the flight dump's causal chain ends at the very
+   transition that was corrupted.  Span ids ride a stack parallel to the
+   PKRU stack so exits close exactly the frame they pop (and an exception
+   unwinding several frames closes the abandoned inner spans too). *)
+let span_open t name =
+  match !Telemetry.Sink.current with
+  | None -> t.span_ids <- 0 :: t.span_ids
+  | Some sink ->
+    let id =
+      Telemetry.Sink.span_enter sink
+        ~ts:(Sim.Machine.cycles t.machine)
+        ~cpu:(cpu t).Sim.Cpu.id ~kind:Telemetry.Span.Gate name
+    in
+    t.span_ids <- id :: t.span_ids
+
+let span_close t =
+  match t.span_ids with
+  | [] -> ()
+  | id :: rest -> (
+    t.span_ids <- rest;
+    match !Telemetry.Sink.current with
+    | None -> ()
+    | Some sink ->
+      if id <> 0 then
+        Telemetry.Sink.span_exit sink
+          ~ts:(Sim.Machine.cycles t.machine)
+          ~cpu:(cpu t).Sim.Cpu.id ~id ())
+
 let enter_untrusted t =
   Comp_stack.push t.stack (cpu t).Sim.Cpu.pkru;
+  span_open t "gate:untrusted";
   switch_to t ev_enter_untrusted t.untrusted_view
 
 let exit_untrusted t =
   let saved = Comp_stack.pop t.stack in
-  switch_to t ev_exit_untrusted saved
+  switch_to t ev_exit_untrusted saved;
+  span_close t
 
 (* The reverse gate restores T's full view for the duration of a callback;
    it does not assume where it was called from. *)
 let enter_trusted t =
   Comp_stack.push t.stack (cpu t).Sim.Cpu.pkru;
+  span_open t "gate:trusted";
   switch_to t ev_enter_trusted Compartment.trusted_view
 
 let exit_trusted t =
   let saved = Comp_stack.pop t.stack in
-  switch_to t ev_exit_trusted saved
+  switch_to t ev_exit_trusted saved;
+  span_close t
 
 let bracketed t ~enter ~exit ~latency f =
   match !Telemetry.Sink.current with

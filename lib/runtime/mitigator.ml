@@ -107,7 +107,14 @@ let record_incident t outcome =
   | None -> ()
   | Some sink ->
     Telemetry.Sink.incr sink
-      (Printf.sprintf "mitigation.%s.%s" (policy_to_string t.policy) outcome)
+      (Printf.sprintf "mitigation.%s.%s" (policy_to_string t.policy) outcome);
+    (* Every adjudication also lands as an instant causal span, parented
+       under whatever gate/phase span was open on the hart — so a flight
+       dump shows which crossing the incident happened inside. *)
+    Telemetry.Sink.span_instant sink
+      ~ts:(Sim.Machine.cycles t.machine)
+      ~cpu:t.machine.Sim.Machine.cpu.Sim.Cpu.id ~kind:Telemetry.Span.Incident
+      (Printf.sprintf "mitigation:%s:%s" (policy_to_string t.policy) outcome)
 
 (* Single-step the faulting access exactly as the profiler does (§4.3.2):
    permissive PKRU + trap flag; the SIGTRAP handler restores the view. *)
@@ -130,6 +137,28 @@ let on_segv t (fault : Vmm.Fault.t) =
     | Degrade ->
       t.degraded <- true;
       record_incident t "degraded";
+      Telemetry.Flight.dump ~reason:"mitigator degraded: U denied MT access"
+        ~details:
+          ([
+             ("policy", Util.Json.String "degrade");
+             ("fault", Util.Json.String (Vmm.Fault.to_string fault));
+             ("addr", Util.Json.Int fault.Vmm.Fault.addr);
+             ("cycle", Util.Json.Int (Sim.Machine.cycles t.machine));
+           ]
+          @
+          match Metadata.lookup t.metadata fault.Vmm.Fault.addr with
+          | None -> []
+          | Some r ->
+            [
+              ( "suspect_alloc",
+                Util.Json.Obj
+                  [
+                    ("alloc_id", Util.Json.String (Alloc_id.to_string r.Metadata.alloc_id));
+                    ("base", Util.Json.Int r.Metadata.addr);
+                    ("size", Util.Json.Int r.Metadata.size);
+                  ] );
+            ])
+        ();
       raise (Degraded fault)
     | (Emulate | Promote) as p -> (
       (* Only faults on live tracked heap objects are recoverable: an MPK

@@ -8,6 +8,15 @@ let counters_json sink =
 let histograms_json sink =
   Util.Json.Obj (List.map (fun (name, h) -> (name, Histogram.to_json h)) (Sink.histograms sink))
 
+let spans_json sink =
+  let spans = Sink.spans sink in
+  Util.Json.Obj
+    [
+      ("digest", Span.digest_json spans);
+      ("closed", Util.Json.List (List.map Span.record_to_json (Span.closed spans)));
+      ("open", Util.Json.List (List.map Span.record_to_json (Span.open_spans spans)));
+    ]
+
 let to_json sink =
   let open Util.Json in
   Obj
@@ -18,6 +27,7 @@ let to_json sink =
       ("counters", counters_json sink);
       ("histograms", histograms_json sink);
       ("events", List (List.map Event.record_to_json (Sink.events sink)));
+      ("spans", spans_json sink);
     ]
 
 (* Chrome trace_event format: gates become nested duration slices (ph B/E —
@@ -46,11 +56,43 @@ let chrome_record (r : Event.record) =
   | event ->
     common (Event.kind event) (Event.kind event) "i" ([ ("s", String "t") ] @ args)
 
+(* Spans export as Chrome "complete" slices (ph X with an explicit dur)
+   on a dedicated pid so the causal-span track sits alongside — not
+   interleaved with — the raw gate B/E track on pid 0.  Spans still open
+   at snapshot time become dangling B slices, which the viewer renders
+   as running to the end of the trace: exactly the "open at death"
+   reading the flight recorder wants. *)
+let chrome_span (r : Span.record) =
+  let open Util.Json in
+  let common ph extra =
+    Obj
+      ([
+         ("name", String r.Span.name);
+         ("cat", String ("span:" ^ Span.kind_to_string r.Span.kind));
+         ("ph", String ph);
+         ("ts", Int r.Span.t_begin);
+         ("pid", Int 1);
+         ("tid", Int r.Span.cpu);
+         ( "args",
+           Obj [ ("id", Int r.Span.id); ("parent", Int r.Span.parent) ] );
+       ]
+      @ extra)
+  in
+  if Span.is_open r then common "B" []
+  else common "X" [ ("dur", Int (Span.duration r)) ]
+
 let chrome_trace sink =
   let open Util.Json in
+  let spans = Sink.spans sink in
+  let span_records =
+    List.sort
+      (fun (a : Span.record) b -> compare (a.Span.t_begin, a.Span.id) (b.Span.t_begin, b.Span.id))
+      (Span.closed spans @ Span.open_spans spans)
+  in
   Obj
     [
-      ("traceEvents", List (List.map chrome_record (Sink.events sink)));
+      ( "traceEvents",
+        List (List.map chrome_record (Sink.events sink) @ List.map chrome_span span_records) );
       ("displayTimeUnit", String "ns");
       ( "otherData",
         Obj
@@ -118,6 +160,7 @@ let summary_json sink =
       ("gate_roundtrip_cycles_exact", gate_percentiles);
       ("counters", counters_json sink);
       ("histograms", histograms_json sink);
+      ("spans", Span.digest_json (Sink.spans sink));
     ]
 
 let summary sink =
@@ -164,6 +207,42 @@ let summary sink =
          (Util.Stats.percentile 50.0 latencies)
          (Util.Stats.percentile 90.0 latencies)
          (Util.Stats.percentile 99.0 latencies)));
+  let spans = Sink.spans sink in
+  if Span.opened_total spans > 0 then begin
+    Buffer.add_string buf
+      (Printf.sprintf "\nspans: %d opened, %d closed in ring, %d dropped, %d still open\n"
+         (Span.opened_total spans)
+         (List.length (Span.closed spans))
+         (Span.dropped spans)
+         (List.length (Span.open_spans spans)));
+    let agg = Hashtbl.create 16 in
+    List.iter
+      (fun (r : Span.record) ->
+        let key = (r.Span.name, Span.kind_to_string r.Span.kind) in
+        let count, total, worst =
+          match Hashtbl.find_opt agg key with
+          | Some cell -> cell
+          | None ->
+            let cell = (ref 0, ref 0, ref 0) in
+            Hashtbl.add agg key cell;
+            cell
+        in
+        Stdlib.incr count;
+        total := !total + Span.duration r;
+        worst := max !worst (Span.duration r))
+      (Span.closed spans);
+    let rows =
+      Hashtbl.fold
+        (fun (name, kind) (count, total, worst) acc ->
+          [ name; kind; string_of_int !count; string_of_int !total; string_of_int !worst ]
+          :: acc)
+        agg []
+      |> List.sort compare
+    in
+    if rows <> [] then
+      Buffer.add_string buf
+        (Util.Table.render ~header:[ "span"; "kind"; "count"; "total cyc"; "max cyc" ] rows)
+  end;
   Buffer.contents buf
 
 (* --- Prometheus exposition via the metrics registry --- *)

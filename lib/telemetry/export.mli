@@ -1,26 +1,33 @@
 (** Sink exporters: compact JSON, Chrome [trace_event] JSON, ASCII summary. *)
 
 val to_json : Sink.t -> Util.Json.t
-(** Full snapshot: counters, histogram summaries, and the trace. *)
+(** Full snapshot: counters, histogram summaries, the trace, and the
+    span store (digest + closed + open records). *)
+
+val spans_json : Sink.t -> Util.Json.t
+(** Just the span store: [{digest; closed; open}]. *)
 
 val chrome_trace : Sink.t -> Util.Json.t
 (** Chrome trace_event format, loadable in [chrome://tracing] or Perfetto
     ([ui.perfetto.dev]).  Gate enters/exits become nested duration slices
     (one [ph:"B"] or [ph:"E"] record per transition, so the slice-record
     count equals {!Sink.gate_transitions}); every other event is an
-    instant. *)
+    instant.  Causal spans ride on a separate track ([pid 1]): closed
+    spans as [ph:"X"] complete slices with explicit [dur], still-open
+    spans as dangling [ph:"B"] slices. *)
 
 val gate_latencies : Sink.t -> float list
 (** Gate round-trip times (cycles) recovered by pairing enter/exit records
     in the trace, per hart, in completion order. *)
 
 val summary_json : Sink.t -> Util.Json.t
-(** Counters, histogram summaries and exact gate round-trip percentiles —
-    everything except the raw event trace. *)
+(** Counters, histogram summaries, exact gate round-trip percentiles and
+    the span digest — everything except the raw event trace. *)
 
 val summary : Sink.t -> string
 (** Human-readable overview: event totals, counter table, histogram
-    percentile table, and exact gate round-trip percentiles. *)
+    percentile table, exact gate round-trip percentiles, and a per-name
+    span table when any spans were recorded. *)
 
 val to_metrics :
   ?attribution:Attribution.t ->

@@ -50,9 +50,27 @@ let family t ~kind ~help name =
     Hashtbl.add t.families name f;
     f
 
+(* Prometheus label names: [a-zA-Z_][a-zA-Z0-9_]* (no colons, unlike
+   metric names; "__"-prefixed names are reserved for internal use). *)
+let valid_label_name name =
+  name <> ""
+  && (match name.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false)
+       name
+  && not (String.length name >= 2 && name.[0] = '_' && name.[1] = '_')
+
 (* Label sets are compared structurally; sort so ("a",_)::("b",_) and its
-   permutation are the same cell. *)
-let norm labels = List.sort (fun (a, _) (b, _) -> compare a b) labels
+   permutation are the same cell.  Label values are unrestricted (any
+   UTF-8, escaped at exposition time) but names must be valid — an
+   invalid name would corrupt the text format for every scraper. *)
+let norm labels =
+  List.iter
+    (fun (k, _) ->
+      if not (valid_label_name k) then
+        invalid_arg (Printf.sprintf "Metrics: invalid label name %S" k))
+    labels;
+  List.sort (fun (a, _) (b, _) -> compare a b) labels
 
 let cell f labels make =
   let labels = norm labels in
@@ -142,8 +160,13 @@ let render_labels = function
         (List.map (fun (k, v) -> k ^ "=\"" ^ escape_label_value v ^ "\"") labels)
     ^ "}"
 
+(* Prometheus spells the special values "NaN", "+Inf" and "-Inf" —
+   OCaml's %g would print "nan" / "inf", which scrapers reject. *)
 let render_float v =
-  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  if Float.is_nan v then "NaN"
+  else if v = Float.infinity then "+Inf"
+  else if v = Float.neg_infinity then "-Inf"
+  else if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
   else Printf.sprintf "%g" v
 
 let render_cell buf name labels = function

@@ -22,7 +22,11 @@ val create : unit -> t
    Each accessor registers the family on first use and returns the cell
    for the given label set, creating it when absent.
    @raise Invalid_argument if the name is not a valid Prometheus metric
-   name, or if it was previously registered with a different type. *)
+   name ([[a-zA-Z_:][a-zA-Z0-9_:]*]), a label name is not a valid
+   Prometheus label name ([[a-zA-Z_][a-zA-Z0-9_]*], no leading [__]),
+   or the family was previously registered with a different type.
+   Label {e values} are unrestricted — backslashes, quotes and newlines
+   are escaped at exposition time per the 0.0.4 text format. *)
 
 val counter : t -> ?help:string -> ?labels:labels -> string -> int ref
 val incr : ?by:int -> int ref -> unit
@@ -58,6 +62,9 @@ val expose : t -> string
 (** Prometheus text format: [# HELP] / [# TYPE] headers, one sample line
     per cell (histograms expand to cumulative [_bucket]/[_sum]/[_count];
     series render as gauges with a [window_start] label).  Families and
-    cells are emitted in sorted order so output is deterministic. *)
+    cells are emitted in sorted order so output is deterministic.  Label
+    values escape backslash, double-quote and newline; help text escapes
+    backslash and newline; non-finite gauge values render as [NaN] /
+    [+Inf] / [-Inf] per the spec. *)
 
 val to_json : t -> Util.Json.t

@@ -18,13 +18,23 @@ val default_capacity : int
 (** 65536 trace records (counters and histograms are unbounded-precision
     regardless of ring capacity). *)
 
-val create : ?capacity:int -> unit -> t
+val default_gate_tail : int
+(** 256 — the dedicated last-N ring of gate transitions kept for the
+    flight recorder. *)
+
+val create :
+  ?capacity:int -> ?span_capacity:int -> ?record_spans:bool -> ?gate_tail:int -> unit -> t
+(** [record_spans] (default true) switches the span layer off entirely:
+    span calls become no-ops and the event trace is bit-identical to a
+    span-recording sink's. *)
 
 (* {2 Recording} *)
 
 val emit : t -> ts:int -> cpu:int -> Event.t -> unit
-(** Appends to the ring (dropping oldest-first at capacity) and bumps the
-    event-kind counter. *)
+(** Appends to the ring (dropping oldest-first at capacity, counted under
+    the ["trace.dropped"] counter) and bumps the event-kind counter.
+    Gate transitions are additionally copied into the bounded gate
+    tail. *)
 
 val observe : t -> string -> int -> unit
 (** Records a sample into the named histogram, creating it on first use. *)
@@ -49,6 +59,28 @@ val histograms : t -> (string * Histogram.t) list
 val gate_transitions : t -> int
 (** [count "gate_enter" + count "gate_exit"] — must equal
     {!Runtime.Gate.transitions} summed over the traced run's gates. *)
+
+val gate_tail : t -> Event.record list
+(** The last-N gate transitions (oldest first), kept separately from the
+    main ring so flight dumps retain the recent crossing history even
+    when allocation events dominate the trace. *)
+
+(* {2 Spans} *)
+
+val spans : t -> Span.t
+
+val span_enter : t -> ts:int -> cpu:int -> kind:Span.kind -> string -> int
+(** Opens a causal span (see {!Span.enter}); returns 0 when span
+    recording is disabled. *)
+
+val span_exit : t -> ts:int -> cpu:int -> ?id:int -> unit -> unit
+(** Closes the innermost open span on the hart, or — with the [id]
+    returned by {!span_enter} — that specific span, closing abandoned
+    children.  [~id:0] (the disabled-spans sentinel) closes the
+    innermost. *)
+
+val span_instant : t -> ts:int -> cpu:int -> kind:Span.kind -> string -> unit
+(** A zero-duration span ({!Span.instant}). *)
 
 (* {2 The process-wide sink} *)
 

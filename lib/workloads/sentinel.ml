@@ -1,0 +1,237 @@
+(* The bench regression sentinel.
+
+   A small fixed set of probe workloads, each deterministic in simulated
+   cycles, run against a checked-in baseline (BENCH_BASELINE.json).  The
+   comparison rules follow what the simulator guarantees:
+
+   - simulated cycles and gate transitions are deterministic, so ANY
+     drift against the baseline is a real behavioural change (a perf
+     regression or an unacknowledged improvement) and is flagged exactly;
+   - host wall-clock is machine-dependent, so it only warns, and only
+     past a generous tolerance factor.
+
+   The baseline file is schema-versioned and stamped with the commit that
+   produced it, so `bench --compare` output can always say what it was
+   diffed against. *)
+
+let schema_version = "pkru-safe.bench-baseline/1"
+
+type probe_result = {
+  p_name : string;
+  p_cycles : int;
+  p_transitions : int;
+  p_wall_s : float;
+}
+
+(* --- the probe set --- *)
+
+let page = Dom_scripts.page ~rows:6
+
+let bench name script = Bench_def.bench ~page name script
+
+type probe = {
+  name : string;
+  bench : Bench_def.bench;
+  mode : Pkru_safe.Config.mode;
+  mitigation : Runtime.Mitigator.policy option;
+}
+
+(* Five probes spanning the perf-relevant axes: gate-bound DOM traffic,
+   DOM construction, a compute kernel where gates are rare, an engine-
+   heavy benchmark, and the mitigator's interposition cost. *)
+let probes =
+  [
+    {
+      name = "dom-attr:mpk";
+      bench = bench "dom-attr" (Dom_scripts.dom_attr ~iters:40);
+      mode = Pkru_safe.Config.Mpk;
+      mitigation = None;
+    };
+    {
+      name = "dom-create:mpk";
+      bench = bench "dom-create" (Dom_scripts.dom_create ~iters:24);
+      mode = Pkru_safe.Config.Mpk;
+      mitigation = None;
+    };
+    {
+      name = "fft:base";
+      bench = bench "fft" (Kernels.fft ~n:64);
+      mode = Pkru_safe.Config.Base;
+      mitigation = None;
+    };
+    {
+      name = "richards:mpk";
+      bench = bench "richards" (Kernels.richards ~iterations:12);
+      mode = Pkru_safe.Config.Mpk;
+      mitigation = None;
+    };
+    {
+      name = "dom-attr:mpk:emulate";
+      bench = bench "dom-attr-mitigated" (Dom_scripts.dom_attr ~iters:40);
+      mode = Pkru_safe.Config.Mpk;
+      mitigation = Some Runtime.Mitigator.Emulate;
+    };
+  ]
+
+let probe_names = List.map (fun p -> p.name) probes
+
+let run_probe p =
+  let profile =
+    Runner.profile_suite { Bench_def.suite_name = "sentinel"; benches = [ p.bench ] }
+  in
+  let t0 = Unix.gettimeofday () in
+  let m = Runner.run_config ?mitigation:p.mitigation ~mode:p.mode ~profile p.bench in
+  let wall = Unix.gettimeofday () -. t0 in
+  {
+    p_name = p.name;
+    p_cycles = m.Runner.cycles;
+    p_transitions = m.Runner.transitions;
+    p_wall_s = wall;
+  }
+
+let run_probes () = List.map run_probe probes
+
+(* --- commit stamping --- *)
+
+(* `git rev-parse HEAD`, tolerating environments with no git or no repo:
+   artifacts are still valid, just unstamped. *)
+let commit_hash () =
+  try
+    let ic = Unix.open_process_in "git rev-parse HEAD 2>/dev/null" in
+    let line = try input_line ic with End_of_file -> "" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when String.length line >= 7 -> line
+    | _ -> "unknown"
+  with Unix.Unix_error _ | Sys_error _ -> "unknown"
+
+(* --- baseline (de)serialisation --- *)
+
+let result_to_json r =
+  let open Util.Json in
+  Obj
+    [
+      ("name", String r.p_name);
+      ("cycles", Int r.p_cycles);
+      ("transitions", Int r.p_transitions);
+      ("wall_s", Float r.p_wall_s);
+    ]
+
+let result_of_json j =
+  let open Util.Json in
+  {
+    p_name = to_str (member "name" j);
+    p_cycles = to_int (member "cycles" j);
+    p_transitions = to_int (member "transitions" j);
+    p_wall_s = to_float (member "wall_s" j);
+  }
+
+let baseline_json ?commit results =
+  let open Util.Json in
+  Obj
+    [
+      ("schema", String schema_version);
+      ("commit", String (match commit with Some c -> c | None -> commit_hash ()));
+      ("probes", List (List.map result_to_json results));
+    ]
+
+let baseline_of_json j =
+  let open Util.Json in
+  (match member "schema" j with
+  | String s when s = schema_version -> ()
+  | String s ->
+    invalid_arg
+      (Printf.sprintf "Sentinel: baseline schema %S, this build expects %S" s schema_version)
+  | _ -> invalid_arg "Sentinel: baseline has no schema field"
+  | exception Not_found -> invalid_arg "Sentinel: baseline has no schema field");
+  let commit =
+    match member "commit" j with String s -> s | _ | (exception Not_found) -> "unknown"
+  in
+  (commit, List.map result_of_json (to_list (member "probes" j)))
+
+(* --- comparison --- *)
+
+type verdict =
+  | Match
+  | Cycle_drift of { base_cycles : int; base_transitions : int }
+  | Wall_slow of { base_wall_s : float; ratio : float }
+  | Missing_in_baseline
+  | Missing_in_run
+
+let is_regression = function
+  | Cycle_drift _ | Missing_in_run -> true
+  | Match | Wall_slow _ | Missing_in_baseline -> false
+
+let is_warning = function
+  | Wall_slow _ | Missing_in_baseline -> true
+  | Match | Cycle_drift _ | Missing_in_run -> false
+
+let default_wall_tolerance = 2.5
+
+let compare_results ?(wall_tolerance = default_wall_tolerance) ~baseline fresh =
+  let verdict_for (b : probe_result) (f : probe_result) =
+    if b.p_cycles <> f.p_cycles || b.p_transitions <> f.p_transitions then
+      Cycle_drift { base_cycles = b.p_cycles; base_transitions = b.p_transitions }
+    else begin
+      (* Guard against a zero/garbage baseline wall time, and require an
+         absolute slowdown too: the probes take ~1ms, where a ratio alone
+         would warn on scheduler noise. *)
+      let ratio = if b.p_wall_s > 1e-9 then f.p_wall_s /. b.p_wall_s else 1.0 in
+      if ratio > wall_tolerance && f.p_wall_s -. b.p_wall_s > 0.05 then
+        Wall_slow { base_wall_s = b.p_wall_s; ratio }
+      else Match
+    end
+  in
+  let fresh_verdicts =
+    List.map
+      (fun (f : probe_result) ->
+        match List.find_opt (fun (b : probe_result) -> b.p_name = f.p_name) baseline with
+        | None -> (f.p_name, f, Missing_in_baseline)
+        | Some b -> (f.p_name, f, verdict_for b f))
+      fresh
+  in
+  let missing =
+    List.filter_map
+      (fun (b : probe_result) ->
+        if List.exists (fun (f : probe_result) -> f.p_name = b.p_name) fresh then None
+        else Some (b.p_name, b, Missing_in_run))
+      baseline
+  in
+  fresh_verdicts @ missing
+
+let render_comparison ~commit verdicts =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "bench --compare against baseline %s\n" commit);
+  List.iter
+    (fun (name, (r : probe_result), verdict) ->
+      let line =
+        match verdict with
+        | Match ->
+          Printf.sprintf "  ok    %-22s %10d cycles  %5d transitions  %.3fs" name r.p_cycles
+            r.p_transitions r.p_wall_s
+        | Cycle_drift { base_cycles; base_transitions } ->
+          Printf.sprintf
+            "  DRIFT %-22s cycles %d -> %d (%+d), transitions %d -> %d — deterministic \
+             simulation changed"
+            name base_cycles r.p_cycles (r.p_cycles - base_cycles) base_transitions
+            r.p_transitions
+        | Wall_slow { base_wall_s; ratio } ->
+          Printf.sprintf
+            "  warn  %-22s host wall %.3fs vs baseline %.3fs (%.1fx > tolerance) — \
+             machine-dependent, not gating"
+            name r.p_wall_s base_wall_s ratio
+        | Missing_in_baseline ->
+          Printf.sprintf "  warn  %-22s not in baseline (new probe?) — re-generate with \
+                          --baseline-out" name
+        | Missing_in_run -> Printf.sprintf "  DRIFT %-22s in baseline but not produced by this run" name
+      in
+      Buffer.add_string buf (line ^ "\n"))
+    verdicts;
+  let regressions = List.filter (fun (_, _, v) -> is_regression v) verdicts in
+  let warnings = List.filter (fun (_, _, v) -> is_warning v) verdicts in
+  Buffer.add_string buf
+    (Printf.sprintf "%d probes: %d ok, %d drift, %d warnings\n" (List.length verdicts)
+       (List.length verdicts - List.length regressions - List.length warnings)
+       (List.length regressions) (List.length warnings));
+  Buffer.contents buf
+
+let has_regression verdicts = List.exists (fun (_, _, v) -> is_regression v) verdicts

@@ -1,0 +1,78 @@
+(** The bench regression sentinel.
+
+    A fixed set of small probe workloads whose simulated cycle counts are
+    deterministic, compared against a checked-in, schema-versioned
+    baseline ([BENCH_BASELINE.json]).  Because the simulator is
+    deterministic, the cycle comparison is {e exact}: any drift means the
+    simulation's behaviour changed and is flagged hard.  Host wall-clock
+    is machine-dependent and only ever warns, past a generous tolerance
+    factor. *)
+
+val schema_version : string
+(** ["pkru-safe.bench-baseline/1"] — stamped into every baseline file and
+    checked on load. *)
+
+type probe_result = {
+  p_name : string;
+  p_cycles : int;  (** simulated cycles — deterministic, compared exactly *)
+  p_transitions : int;  (** gate transitions — deterministic, compared exactly *)
+  p_wall_s : float;  (** host wall time — machine-dependent, warn-only *)
+}
+
+val probe_names : string list
+(** Names of the probes [run_probes] produces, in order. *)
+
+val run_probes : unit -> probe_result list
+(** Profile and run every probe (fresh machine per probe, same pipeline as
+    the bench harness). *)
+
+val commit_hash : unit -> string
+(** [git rev-parse HEAD], or ["unknown"] outside a git checkout. *)
+
+val result_to_json : probe_result -> Util.Json.t
+val result_of_json : Util.Json.t -> probe_result
+
+val baseline_json : ?commit:string -> probe_result list -> Util.Json.t
+(** Wrap results as a baseline artifact: [{schema; commit; probes}].
+    [commit] defaults to {!commit_hash}[ ()]. *)
+
+val baseline_of_json : Util.Json.t -> string * probe_result list
+(** Inverse of {!baseline_json}; returns [(commit, results)].  Raises
+    [Invalid_argument] on a missing or mismatched schema stamp. *)
+
+type verdict =
+  | Match
+  | Cycle_drift of { base_cycles : int; base_transitions : int }
+      (** simulated cycles or transitions differ from the baseline — a
+          hard flag, the deterministic simulation changed *)
+  | Wall_slow of { base_wall_s : float; ratio : float }
+      (** host wall time exceeded [wall_tolerance] × baseline {e and} the
+          absolute slowdown exceeds 50ms — warn-only; the probes take
+          ~1ms, so a ratio alone would warn on scheduler noise *)
+  | Missing_in_baseline  (** probe ran but the baseline has no entry — warn-only *)
+  | Missing_in_run  (** baseline entry with no fresh result — hard flag *)
+
+val is_regression : verdict -> bool
+(** [Cycle_drift] and [Missing_in_run]. *)
+
+val is_warning : verdict -> bool
+(** [Wall_slow] and [Missing_in_baseline]. *)
+
+val default_wall_tolerance : float
+(** 2.5× — CI machines are slow and noisy; only flag order-of-magnitude
+    problems. *)
+
+val compare_results :
+  ?wall_tolerance:float ->
+  baseline:probe_result list ->
+  probe_result list ->
+  (string * probe_result * verdict) list
+(** Diff a fresh run against the baseline.  One entry per fresh probe (in
+    run order) followed by one [Missing_in_run] entry per baseline probe
+    the run did not produce (carrying the baseline's own result). *)
+
+val has_regression : (string * probe_result * verdict) list -> bool
+
+val render_comparison : commit:string -> (string * probe_result * verdict) list -> string
+(** Human-readable comparison table, one line per probe plus a summary
+    line; [commit] is the baseline's stamp. *)

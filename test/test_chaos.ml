@@ -131,6 +131,49 @@ let test_report_json_shape () =
     (fun needle -> Alcotest.(check bool) ("json has " ^ needle) true (contains json needle))
     [ "\"scenario\""; "\"policy\""; "\"incidents\""; "\"secret_intact\""; "\"outcome\"" ]
 
+(* The acceptance scenario for the flight recorder: a gate-PKRU
+   corruption kill must leave a post-mortem whose causal span chain is
+   still open at the corrupted transition, with the intended vs observed
+   PKRU values in the details. *)
+let test_gate_corruption_flight_dump () =
+  let r = Chaos.run ~scenario:Chaos.Gate_corruption ~policy:Runtime.Mitigator.Abort ~seed:7 () in
+  Alcotest.(check bool) "gate verify killed the run" true (starts_with "killed" r.Chaos.outcome);
+  check_invariants r;
+  match r.Chaos.flight_dumps with
+  | [] -> Alcotest.fail "expected a flight dump from the gate kill"
+  | dump :: _ ->
+    Alcotest.(check string) "dump reason" "gate PKRU verification mismatch"
+      (Util.Json.to_str (Util.Json.member "reason" dump));
+    let details = Util.Json.member "details" dump in
+    let intended = Util.Json.to_int (Util.Json.member "intended_pkru" details) in
+    let observed = Util.Json.to_int (Util.Json.member "observed_pkru" details) in
+    Alcotest.(check bool) "intended <> observed" true (intended <> observed);
+    (* The open span chain names the corrupted transition: a gate-kind
+       span under the chaos injection window. *)
+    let opened =
+      List.map Telemetry.Span.record_of_json
+        (Util.Json.to_list
+           (Util.Json.member "open" (Util.Json.member "spans" dump)))
+    in
+    Alcotest.(check bool) "a gate span is open at death" true
+      (List.exists
+         (fun (s : Telemetry.Span.record) ->
+           s.Telemetry.Span.kind = Telemetry.Span.Gate
+           && starts_with "gate:" s.Telemetry.Span.name)
+         opened);
+    Alcotest.(check bool) "the chaos window is open at death" true
+      (List.exists
+         (fun (s : Telemetry.Span.record) ->
+           s.Telemetry.Span.kind = Telemetry.Span.Chaos
+           && starts_with "chaos:gate-corruption" s.Telemetry.Span.name)
+         opened);
+    (* The doctor rendering of the same dump names the transition. *)
+    let report = Telemetry.Flight.render dump in
+    Alcotest.(check bool) "doctor names the corrupted transition" true
+      (contains report "gate:");
+    Alcotest.(check bool) "doctor shows the causal chain" true
+      (contains report "causal chain open at death")
+
 let suite =
   [
     Alcotest.test_case "coverage gap: abort dies like seed" `Quick test_coverage_gap_abort;
@@ -142,4 +185,6 @@ let suite =
     Alcotest.test_case "all scenarios x policies" `Slow test_all_scenarios_all_policies;
     Alcotest.test_case "abort bit-identical to seed" `Quick test_abort_bit_identical;
     Alcotest.test_case "report json shape" `Quick test_report_json_shape;
+    Alcotest.test_case "gate corruption leaves a flight dump" `Quick
+      test_gate_corruption_flight_dump;
   ]

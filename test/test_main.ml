@@ -26,6 +26,7 @@ let () =
       ("selector", Test_selector.suite);
       ("exploit", Test_exploit.suite);
       ("workloads", Test_workloads.suite);
+      ("sentinel", Test_sentinel.suite);
       ("chaos", Test_chaos.suite);
       ("fuzz-substrates", Test_fuzz_substrates.suite);
       ("edge-cases", Test_edge_cases.suite);
