@@ -8,7 +8,7 @@
                    [--wall-tolerance X] [--compare-strict]
    --only may repeat; with none given, every section runs.
    Sections: micro fig3 table1 table2 fig5 fig6 fig7 security sites
-             ablations tlb mitigation bechamel
+             ablations tlb mitigation census bechamel
 
    --compare / --baseline-out run only the regression-sentinel probes
    (unless sections are also requested with --only): --baseline-out
@@ -522,6 +522,88 @@ let run_mitigation () =
     "(abort dies exactly like the seed; emulate/promote complete with incidents counted;\n\
     \ promote's rerun faults strictly less: quarantined sites now allocate in MU)"
 
+(* --- Heap census + provenance audit --- *)
+
+let census_every_default = 128
+
+let census_bench =
+  Workloads.Bench_def.bench
+    ~page:(Workloads.Dom_scripts.page ~rows:12)
+    "census" (Workloads.Dom_scripts.dom_attr ~iters:60)
+
+(* Shared between the printed section and census.json: one uncensused and
+   one censused run (cycles must be identical — the census is
+   architecturally invisible) plus a post-run provenance scan. *)
+let census_runs =
+  lazy
+    (let suite = { Workloads.Bench_def.suite_name = "census"; benches = [ census_bench ] } in
+     let profile = Workloads.Runner.profile_suite suite in
+     let plain = Workloads.Runner.run_config ~mode:Pkru_safe.Config.Mpk ~profile census_bench in
+     let censused =
+       Workloads.Runner.run_config ~census_every:census_every_default
+         ~mode:Pkru_safe.Config.Mpk ~profile census_bench
+     in
+     let env =
+       match Pkru_safe.Env.create ~profile (Pkru_safe.Config.make Pkru_safe.Config.Mpk) with
+       | Ok env -> env
+       | Error msg -> failwith msg
+     in
+     Pkru_safe.Env.track_census env;
+     let browser =
+       Browser.create ~engine_seed:census_bench.Workloads.Bench_def.engine_seed env
+     in
+     Browser.load_page browser census_bench.Workloads.Bench_def.page;
+     ignore (Browser.exec_script browser census_bench.Workloads.Bench_def.script);
+     let audit_report =
+       Audit.scan
+         ~metadata:(Option.get (Pkru_safe.Env.census_metadata env))
+         (Pkru_safe.Env.pkalloc env)
+     in
+     (plain, censused, audit_report))
+
+let run_census () =
+  header "Heap census + provenance audit (dom-attr, mpk)";
+  let plain, censused, audit_report = Lazy.force census_runs in
+  if plain.Workloads.Runner.cycles <> censused.Workloads.Runner.cycles then
+    failwith
+      (Printf.sprintf "census changed simulated cycles: %d (off) vs %d (on)"
+         plain.Workloads.Runner.cycles censused.Workloads.Runner.cycles);
+  Printf.printf "cycles %d with the census off and on (identical by construction)\n"
+    plain.Workloads.Runner.cycles;
+  let census =
+    match censused.Workloads.Runner.census with Some c -> c | None -> assert false
+  in
+  Printf.printf "%d snapshot(s), 1 every %d cycles\n"
+    (Telemetry.Census.taken_total census)
+    (Telemetry.Census.every census);
+  (match Telemetry.Census.latest census with
+  | None -> ()
+  | Some snap ->
+    Printf.printf "last snapshot (cycle %d):\n" snap.Telemetry.Census.at_cycle;
+    Util.Table.print
+      ~header:[ "pool"; "live bytes"; "objects"; "pages"; "peak pages"; "frag" ]
+      (List.map
+         (fun (p : Telemetry.Census.pool_stats) ->
+           [
+             p.Telemetry.Census.cp_pool;
+             string_of_int p.Telemetry.Census.cp_live_bytes;
+             string_of_int p.Telemetry.Census.cp_live_objects;
+             string_of_int p.Telemetry.Census.cp_pages_in_use;
+             string_of_int p.Telemetry.Census.cp_high_water_pages;
+             Printf.sprintf "%.2f" p.Telemetry.Census.cp_fragmentation;
+           ])
+         snap.Telemetry.Census.pools);
+    Printf.printf "%d live allocation site(s); object-age log2 buckets: %d\n"
+      (List.length snap.Telemetry.Census.sites)
+      (List.length (Telemetry.Histogram.nonempty_buckets snap.Telemetry.Census.ages)));
+  Printf.printf "provenance audit: %d U-accessible pages, %d words — %s\n"
+    audit_report.Audit.scanned_pages audit_report.Audit.scanned_words
+    (if Audit.leak_free audit_report then "no MT object reachable from U"
+     else
+       Printf.sprintf "%d MT object(s) REACHABLE FROM U" (List.length audit_report.Audit.findings));
+  if not (Audit.leak_free audit_report) then
+    failwith "provenance audit found MT objects reachable from U on a seed workload"
+
 (* --- Bechamel --- *)
 
 let run_bechamel () =
@@ -602,10 +684,14 @@ let measurement_json (m : Workloads.Runner.measurement) =
           Telemetry.Attribution.of_sink ~total_cycles:m.Workloads.Runner.cycles sink
         in
         [
-          ("telemetry", Telemetry.Export.summary_json sink);
+          ( "telemetry",
+            Telemetry.Export.summary_json ?census:m.Workloads.Runner.census sink );
           ("site_heat", Telemetry.Attribution.site_heat_json ~limit:10 attribution);
           ("flow_matrix", Telemetry.Attribution.flow_json attribution);
         ]
+      | None -> [])
+    @ (match m.Workloads.Runner.census with
+      | Some census -> [ ("census", Telemetry.Census.digest_json census) ]
       | None -> [])
     @
     match m.Workloads.Runner.samples with
@@ -763,6 +849,22 @@ let write_json_results dir =
          traced_bench "richards"
            (Workloads.Bench_def.bench "richards" (Workloads.Kernels.richards ~iterations:40));
        ]);
+  (let plain, censused, audit_report = Lazy.force census_runs in
+   write "census.json"
+     (Util.Json.Obj
+        [
+          ("bench", Util.Json.String census_bench.Workloads.Bench_def.name);
+          ("cycles_off", Util.Json.Int plain.Workloads.Runner.cycles);
+          ("cycles_on", Util.Json.Int censused.Workloads.Runner.cycles);
+          ( "cycles_identical",
+            Util.Json.Bool (plain.Workloads.Runner.cycles = censused.Workloads.Runner.cycles)
+          );
+          ( "census",
+            match censused.Workloads.Runner.census with
+            | Some c -> Telemetry.Census.digest_json c
+            | None -> Util.Json.Null );
+          ("audit", Audit.to_json audit_report);
+        ]));
   (* Host-side timing: per-section wall clock for whatever ran this
      invocation, plus the TLB microbench digest (reusing the tlb
      section's result, or running a scaled-down one here).  Format is
@@ -864,6 +966,7 @@ let () =
   if section "ablations" then timed "ablations" run_ablations;
   if section "tlb" then timed "tlb" run_tlb;
   if section "mitigation" then timed "mitigation" run_mitigation;
+  if section "census" then timed "census" run_census;
   if (not !skip_bechamel) && section "bechamel" then timed "bechamel" run_bechamel;
   let sentinel_ok =
     if sentinel_requested () then begin

@@ -9,6 +9,8 @@
      trace     — run one benchmark with telemetry and export the trace
      report    — attribution report: site heat, flow matrix, sampled
                  flamegraph stacks, Prometheus exposition
+     audit     — run one benchmark with the heap census on, then scan the
+                 final heap for MT objects reachable from U
      doctor    — render a flight-recorder dump as an incident report *)
 
 open Cmdliner
@@ -369,6 +371,7 @@ let run_report bench_name mode sample_every format output mitigation flight =
       let attribution =
         Telemetry.Attribution.of_sink ~total_cycles:m.Workloads.Runner.cycles sink
       in
+      let quarantined = m.Workloads.Runner.quarantined_sites in
       let rendered =
         match format with
         | `Table ->
@@ -382,6 +385,12 @@ let run_report bench_name mode sample_every format output mitigation flight =
             (fun (leaf, share) ->
               Buffer.add_string buf (Printf.sprintf "  %-12s %5.1f%%\n" leaf (100.0 *. share)))
             (Telemetry.Sampler.leaf_shares sampler);
+          Buffer.add_string buf
+            (match quarantined with
+            | [] -> "\nQuarantined sites: none\n"
+            | sites ->
+              Printf.sprintf "\nQuarantined sites (future MT allocations routed to MU): %s\n"
+                (String.concat ", " sites));
           Buffer.contents buf
         | `Json ->
           Util.Json.to_string_pretty
@@ -392,6 +401,8 @@ let run_report bench_name mode sample_every format output mitigation flight =
                  ("cycles", Util.Json.Int m.Workloads.Runner.cycles);
                  ("attribution", Telemetry.Attribution.to_json attribution);
                  ("profile", Telemetry.Sampler.to_json sampler);
+                 ( "quarantined_sites",
+                   Util.Json.List (List.map (fun s -> Util.Json.String s) quarantined) );
                ])
           ^ "\n"
         | `Prom -> Telemetry.Export.prometheus ~attribution ~sampler sink
@@ -626,6 +637,135 @@ let run_chaos scenario policy seed drop oom_at format output flight =
             (List.length reports) )
   end
 
+(* --- audit: post-run provenance scan of one benchmark's heap --- *)
+
+let audit_format_conv =
+  let parse = function
+    | "table" -> Ok `Table
+    | "json" -> Ok `Json
+    | "prom" -> Ok `Prom
+    | s -> Error (`Msg (Printf.sprintf "unknown format %S (table|json|prom)" s))
+  in
+  Arg.conv
+    ( parse,
+      fun fmt f ->
+        Format.pp_print_string fmt
+          (match f with `Table -> "table" | `Json -> "json" | `Prom -> "prom") )
+
+let run_audit bench_name mode census_every promote format output mitigation flight =
+  if census_every <= 0 then `Error (false, "--census-every must be positive")
+  else
+    match Workloads.Registry.bench_of_name bench_name with
+    | Error msg -> `Error (false, msg)
+    | Ok bench ->
+      let profile = profile_for ~mode bench in
+      (* Hand-rolled run (not Runner.run_config): the auditor scans the
+         env's pages after the workload, so the env must stay in hand —
+         and a promotion re-run needs the quarantine table carried onto a
+         fresh image. *)
+      let run_once ~flight ~quarantine =
+        let env =
+          fail_on_error (Pkru_safe.Env.create ~profile (Pkru_safe.Config.make ?mitigation mode))
+        in
+        let pkalloc = Pkru_safe.Env.pkalloc env in
+        List.iter (Allocators.Pkalloc.quarantine_site pkalloc) quarantine;
+        Pkru_safe.Env.track_census env;
+        let browser = Browser.create ~engine_seed:bench.Workloads.Bench_def.engine_seed env in
+        let census = Telemetry.Census.create ~every:census_every () in
+        let sink = Telemetry.Sink.create () in
+        with_flight ~context:(Pkru_safe.Env.flight_context env) flight (fun () ->
+            Telemetry.Sink.with_sink sink (fun () ->
+                Telemetry.Census.with_census ~provider:(Pkru_safe.Env.census_snapshot env)
+                  census (fun () ->
+                    Browser.load_page browser bench.Workloads.Bench_def.page;
+                    ignore (Browser.exec_script browser bench.Workloads.Bench_def.script))));
+        let metadata = Option.get (Pkru_safe.Env.census_metadata env) in
+        (env, sink, census, Audit.scan ~metadata pkalloc)
+      in
+      let env, sink, census, report = run_once ~flight ~quarantine:[] in
+      let attribution =
+        Telemetry.Attribution.of_sink ~total_cycles:(Pkru_safe.Env.cycles env) sink
+      in
+      let promoted, rerun =
+        if promote && not (Audit.leak_free report) then begin
+          let pkalloc = Pkru_safe.Env.pkalloc env in
+          let promoted = Audit.promote pkalloc report in
+          (* Convergence check: a fresh image with the evidence-derived
+             quarantine carried over must come back leak-free — promoted
+             sites now allocate from MU. *)
+          let _, _, _, report2 =
+            run_once ~flight:None ~quarantine:(Allocators.Pkalloc.quarantined_sites pkalloc)
+          in
+          (promoted, Some report2)
+        end
+        else ([], None)
+      in
+      let rendered =
+        match format with
+        | `Table ->
+          let buf = Buffer.create 4096 in
+          Buffer.add_string buf (Audit.render ~attribution report);
+          (match Telemetry.Census.latest census with
+          | Some snap ->
+            Buffer.add_string buf
+              (Printf.sprintf "census: %d snapshot(s), 1 every %d cycles; last at cycle %d\n"
+                 (Telemetry.Census.taken_total census)
+                 (Telemetry.Census.every census) snap.Telemetry.Census.at_cycle)
+          | None -> ());
+          if promoted <> [] then
+            Buffer.add_string buf
+              (Printf.sprintf "promoted to MU for the next run: %s\n"
+                 (String.concat ", " promoted));
+          (match rerun with
+          | Some r ->
+            Buffer.add_string buf
+              (if Audit.leak_free r then "re-run after promotion: leak-free\n"
+               else
+                 Printf.sprintf "re-run after promotion: STILL LEAKING (%d finding(s))\n"
+                   (List.length r.Audit.findings))
+          | None -> ());
+          Buffer.contents buf
+        | `Json ->
+          Util.Json.to_string_pretty
+            (Util.Json.Obj
+               [
+                 ("bench", Util.Json.String bench_name);
+                 ("mode", Util.Json.String (Pkru_safe.Config.mode_to_string mode));
+                 ("cycles", Util.Json.Int (Pkru_safe.Env.cycles env));
+                 ("audit", Audit.to_json report);
+                 ("census", Telemetry.Census.digest_json census);
+                 ( "promoted_sites",
+                   Util.Json.List (List.map (fun s -> Util.Json.String s) promoted) );
+                 ( "rerun_leak_free",
+                   match rerun with
+                   | Some r -> Util.Json.Bool (Audit.leak_free r)
+                   | None -> Util.Json.Null );
+               ])
+          ^ "\n"
+        | `Prom ->
+          Audit.prometheus report ^ Telemetry.Export.prometheus ~attribution ~census sink
+      in
+      (match output with
+      | Some path -> (
+        match Out_channel.with_open_text path (fun oc -> output_string oc rendered) with
+        | () -> Printf.printf "audit written to %s\n" path
+        | exception Sys_error msg -> failwith ("cannot write audit: " ^ msg))
+      | None -> print_string rendered);
+      if Audit.leak_free report then `Ok ()
+      else begin
+        match rerun with
+        | Some r when Audit.leak_free r ->
+          (* Evidence consumed: the leak is quarantined and the converged
+             image is clean, so the exit code reports success. *)
+          `Ok ()
+        | _ ->
+          `Error
+            ( false,
+              Printf.sprintf "audit: %d MT object(s) reachable from U across %d site(s)"
+                (List.length report.Audit.findings)
+                (List.length report.Audit.sites) )
+      end
+
 (* --- doctor: render a flight-recorder dump as an incident report --- *)
 
 let run_doctor path =
@@ -801,6 +941,41 @@ let chaos_cmd =
         (const run_chaos $ scenario $ policy $ seed $ drop $ oom_at $ format $ output
         $ flight_flag))
 
+let audit_cmd =
+  let bench_arg =
+    Arg.(required & opt (some string) None
+         & info [ "b"; "bench" ] ~docv:"BENCH" ~doc:"Benchmark name (e.g. richards, dom-attr)")
+  in
+  let mode =
+    Arg.(value & opt mode_conv Pkru_safe.Config.Mpk & info [ "m"; "mode" ] ~doc:"Build mode")
+  in
+  let census_every =
+    Arg.(value & opt int 256
+         & info [ "census-every" ] ~docv:"CYCLES" ~doc:"Cycles between heap-census snapshots")
+  in
+  let promote =
+    Arg.(value & flag
+         & info [ "audit-promote" ]
+             ~doc:"Quarantine confirmed-leaking sites (future MT allocations routed to MU) and \
+                   re-run on a fresh image to verify the heap comes back leak-free")
+  in
+  let format =
+    Arg.(value & opt audit_format_conv `Table
+         & info [ "f"; "format" ] ~docv:"FORMAT" ~doc:"table, json, or prom")
+  in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file")
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:"Run one benchmark with the heap census on, then conservatively scan every \
+             U-readable resident page for pointers into live MT objects; exits non-zero when \
+             an unresolved leak is found")
+    Term.(
+      ret
+        (const run_audit $ bench_arg $ mode $ census_every $ promote $ format $ output
+        $ mitigation_flag $ flight_flag))
+
 let doctor_cmd =
   let path =
     Arg.(required & pos 0 (some file) None
@@ -818,4 +993,4 @@ let default =
 
 let () =
   let info = Cmd.info "pkru_safe_cli" ~doc:"PKRU-Safe reproduction driver" in
-  exit (Cmd.eval (Cmd.group ~default info [ pipeline_cmd; browse_cmd; exploit_cmd; micro_cmd; suite_cmd; trace_cmd; report_cmd; run_cmd; corpus_cmd; compare_cmd; chaos_cmd; doctor_cmd ]))
+  exit (Cmd.eval (Cmd.group ~default info [ pipeline_cmd; browse_cmd; exploit_cmd; micro_cmd; suite_cmd; trace_cmd; report_cmd; run_cmd; corpus_cmd; compare_cmd; chaos_cmd; audit_cmd; doctor_cmd ]))

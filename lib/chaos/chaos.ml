@@ -31,6 +31,8 @@ type report = {
   promoted_sites : string list;
   secret_intact : bool;
   gate_balanced : bool;
+  audit_leak_free : bool;
+  audit_findings : (string * int) list; (* leaking site -> referencing words *)
   invariant_failures : string list;
   details : string list;
   prometheus : string;
@@ -158,13 +160,33 @@ let mitigator_exn env =
    probe, which itself is adjudicated), then check invariants.  Any
    invariant failure records one more flight dump so a failing chaos run
    always leaves a machine-readable post-mortem behind. *)
-let finish ~scenario ~policy ~seed ~ending ~rerun_incidents ~details ~sink ~recorder env =
+let finish ~scenario ~policy ~seed ~ending ~rerun_incidents ~details ~sink ~recorder ~profile
+    env =
   let m = mitigator_exn env in
   let incidents = Runtime.Mitigator.incidents m in
   let incident_outcomes = Runtime.Mitigator.outcome_counts m in
   let promoted_sites = Runtime.Mitigator.promoted_sites m in
   let gate_balanced = gate_depth env = 0 in
   let secret_intact = secret_unreadable_from_u env in
+  (* The provenance audit, as a first-class chaos property: conservatively
+     scan every U-readable resident page for pointers into live MT
+     objects.  A profiled site allocates from MU by construction, so a
+     finding at an in-profile site is impossible-by-design and always an
+     invariant failure; dropped-site scenarios may legitimately leave
+     out-of-profile objects in MT (that gap is the scenario), but the
+     fully-profiled scenarios must come back leak-free. *)
+  let audit =
+    Audit.scan ~metadata:(Runtime.Mitigator.metadata m) (Pkru_safe.Env.pkalloc env)
+  in
+  let audit_leak_free = Audit.leak_free audit in
+  let audit_findings =
+    List.map (fun s -> (s.Audit.s_site, s.Audit.s_refs)) audit.Audit.sites
+  in
+  let in_profile site =
+    List.exists
+      (fun id -> String.equal (Runtime.Alloc_id.to_string id) site)
+      (Runtime.Profile.sites profile)
+  in
   let prometheus = Telemetry.Export.prometheus sink in
   let telemetry_incidents =
     List.fold_left
@@ -186,6 +208,22 @@ let finish ~scenario ~policy ~seed ~ending ~rerun_incidents ~details ~sink ~reco
   | Runtime.Mitigator.Abort when incidents <> 0 ->
     fail "Abort policy did accounting (must stay bit-identical to seed)"
   | _ -> ());
+  List.iter
+    (fun (site, refs) ->
+      if in_profile site then
+        fail
+          (Printf.sprintf
+             "audit: in-profile site %s has MT objects reachable from U (%d refs)" site refs))
+    audit_findings;
+  (match scenario with
+  | Pkalloc_oom | Gate_corruption ->
+    (* The full profile was supplied, so every boundary-crossing site
+       allocates from MU: nothing in MT may be reachable from U. *)
+    if not audit_leak_free then
+      fail
+        (Printf.sprintf "audit: fully-profiled run leaks MT objects to U (%d findings)"
+           (List.length audit.Audit.findings))
+  | Coverage_gap | Handler_tamper -> ());
   if !failures <> [] then
     ignore
       (Telemetry.Flight.record recorder ~reason:"chaos invariant failure"
@@ -208,6 +246,8 @@ let finish ~scenario ~policy ~seed ~ending ~rerun_incidents ~details ~sink ~reco
     promoted_sites;
     secret_intact;
     gate_balanced;
+    audit_leak_free;
+    audit_findings;
     invariant_failures = List.rev !failures;
     details;
     prometheus;
@@ -268,7 +308,7 @@ let coverage_gap ~drop ~policy ~seed =
     ]
   in
   finish ~scenario:Coverage_gap ~policy ~seed ~ending ~rerun_incidents ~details ~sink ~recorder
-    env
+    ~profile env
 
 let pkalloc_oom ~oom_at ~policy ~seed =
   let profile = profile_workload () in
@@ -311,7 +351,7 @@ let pkalloc_oom ~oom_at ~policy ~seed =
   in
   let report =
     finish ~scenario:Pkalloc_oom ~policy ~seed ~ending ~rerun_incidents:None ~details ~sink
-      ~recorder env
+      ~recorder ~profile env
   in
   let extra = ref [] in
   if not books_ok then extra := "alloc stats inconsistent after forced OOM" :: !extra;
@@ -350,7 +390,7 @@ let gate_corruption ~policy ~seed =
   let details = [ "corruption: " ^ variant ] in
   let report =
     finish ~scenario:Gate_corruption ~policy ~seed ~ending ~rerun_incidents:None ~details ~sink
-      ~recorder env
+      ~recorder ~profile env
   in
   (* Any value-changing corruption must be caught by the gate's own
      verifying RDPKRU — the run may never complete with a corrupted
@@ -406,7 +446,7 @@ let handler_tamper ~drop ~policy ~seed =
   in
   let report =
     finish ~scenario:Handler_tamper ~policy ~seed ~ending ~rerun_incidents:None ~details ~sink
-      ~recorder env
+      ~recorder ~profile env
   in
   let extra =
     if expect_fail_closed && report.completed then
@@ -449,6 +489,9 @@ let report_to_json r =
       ("promoted_sites", List (List.map (fun s -> String s) r.promoted_sites));
       ("secret_intact", Bool r.secret_intact);
       ("gate_balanced", Bool r.gate_balanced);
+      ("audit_leak_free", Bool r.audit_leak_free);
+      ( "audit_findings",
+        Obj (List.map (fun (site, refs) -> (site, Int refs)) r.audit_findings) );
       ("invariant_failures", List (List.map (fun s -> String s) r.invariant_failures));
       ("details", List (List.map (fun s -> String s) r.details));
       ("flight_dumps", List r.flight_dumps);
@@ -466,6 +509,9 @@ let pp_report fmt r =
   (match r.rerun_incidents with
   | Some n -> Format.fprintf fmt " rerun-incidents=%d" n
   | None -> ());
+  if not r.audit_leak_free then
+    Format.fprintf fmt " audit-findings=%d"
+      (List.fold_left (fun acc (_, refs) -> acc + refs) 0 r.audit_findings);
   if r.flight_dumps <> [] then
     Format.fprintf fmt " flight-dumps=%d" (List.length r.flight_dumps);
   if r.outcome <> "completed" then Format.fprintf fmt "@.    %s" r.outcome

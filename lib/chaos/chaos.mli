@@ -13,6 +13,13 @@
        design and are exempt);}
     {- mitigation incidents are visible in telemetry
        ([pkru_mitigation_total{policy,outcome}]);}
+    {- no MT-pool object is reachable from U — a conservative
+       {!Audit.scan} over every U-readable resident page after the run.
+       A finding at an {e in-profile} site is always a failure (profiled
+       sites allocate from MU by construction); fully-profiled scenarios
+       ([Pkalloc_oom], [Gate_corruption]) must come back entirely
+       leak-free, while the dropped-site scenarios may legitimately
+       surface out-of-profile objects (that gap {e is} the scenario);}
     {- [Abort]-policy runs die exactly as the seed does.}}
 
     All randomness flows from the scenario seed through {!Util.Rng}, so a
@@ -54,6 +61,11 @@ type report = {
   promoted_sites : string list;
   secret_intact : bool;
   gate_balanced : bool;
+  audit_leak_free : bool;
+      (** the post-run {!Audit.scan} found no MT object reachable from U *)
+  audit_findings : (string * int) list;
+      (** leaking sites with the number of U-visible words referencing
+          their objects; non-empty only when [audit_leak_free] is false *)
   invariant_failures : string list;  (** empty iff every invariant held *)
   details : string list;  (** what the injector actually did *)
   prometheus : string;

@@ -17,6 +17,11 @@ type t = {
   mutable sites_moved : int;
   mutable t_heap_bytes_mt : int; (* Env.alloc traffic kept in MT *)
   mutable t_heap_bytes_mu : int; (* Env.alloc traffic moved to MU *)
+  (* Census state: a live-object table over Env.alloc traffic (both
+     pools) plus per-object birth cycles, maintained only once
+     [track_census] has been called so untracked runs pay nothing. *)
+  mutable census_meta : Runtime.Metadata.t option;
+  census_births : (int, int) Hashtbl.t; (* addr -> birth cycle *)
 }
 
 let create ?profile config =
@@ -72,6 +77,8 @@ let create ?profile config =
         sites_moved = 0;
         t_heap_bytes_mt = 0;
         t_heap_bytes_mu = 0;
+        census_meta = None;
+        census_births = Hashtbl.create 64;
       }
 
 let config t = t.config
@@ -141,6 +148,11 @@ let alloc t ~site size =
     (match t.mitigator with
     | Some m -> Runtime.Mitigator.log_alloc m ~alloc_id:site ~addr ~size
     | None -> ());
+    (match t.census_meta with
+    | Some meta ->
+      Runtime.Metadata.on_alloc meta ~addr ~size ~alloc_id:site;
+      Hashtbl.replace t.census_births addr (Sim.Machine.cycles t.machine)
+    | None -> ());
     addr
 
 let dealloc t addr =
@@ -149,6 +161,11 @@ let dealloc t addr =
   | None -> ());
   (match t.mitigator with
   | Some m -> Runtime.Mitigator.log_dealloc m ~addr
+  | None -> ());
+  (match t.census_meta with
+  | Some meta ->
+    Runtime.Metadata.on_dealloc meta ~addr;
+    Hashtbl.remove t.census_births addr
   | None -> ());
   Allocators.Pkalloc.dealloc t.pkalloc addr
 
@@ -161,6 +178,16 @@ let realloc t addr new_size =
     | None -> ());
     (match t.mitigator with
     | Some m -> Runtime.Mitigator.log_realloc m ~old_addr:addr ~new_addr:fresh ~new_size
+    | None -> ());
+    (match t.census_meta with
+    | Some meta ->
+      Runtime.Metadata.on_realloc meta ~old_addr:addr ~new_addr:fresh ~new_size;
+      (* The object's identity — and so its birth — survives realloc. *)
+      (match Hashtbl.find_opt t.census_births addr with
+      | Some birth ->
+        Hashtbl.remove t.census_births addr;
+        Hashtbl.replace t.census_births fresh birth
+      | None -> ())
     | None -> ());
     fresh
 
@@ -204,6 +231,103 @@ let sites_moved t = t.sites_moved
 (* The sampling profiler's snapshot provider: the active thread's gate
    owns the compartment stack being executed right now. *)
 let stack_frames t = Runtime.Gate.stack_frames t.active.t_gate
+
+(* --- heap census --- *)
+
+(* Tracking is opt-in: the live-object table and birth cycles are only
+   maintained once this has been called, so a run that never asked for a
+   census (or an audit) does no extra bookkeeping. *)
+let track_census t =
+  match t.census_meta with
+  | Some _ -> ()
+  | None -> t.census_meta <- Some (Runtime.Metadata.create ())
+
+let census_metadata t = t.census_meta
+
+(* The census snapshot provider: per-pool allocator statistics plus the
+   per-site live view and object ages from the census metadata.  Pure
+   OCaml reads over pkalloc / pool / metadata state — charges no
+   simulated cycles, takes no checked accesses. *)
+let census_snapshot t () =
+  let pool_stats name stats pool =
+    let live = Allocators.Alloc_stats.live_bytes stats in
+    let pages = Allocators.Pool.pages_in_use pool in
+    let frag =
+      if pages = 0 then 0.0
+      else 1.0 -. (float_of_int live /. float_of_int (pages * Vmm.Layout.page_size))
+    in
+    {
+      Telemetry.Census.cp_pool = name;
+      cp_live_bytes = live;
+      cp_live_objects = Allocators.Alloc_stats.live_objects stats;
+      cp_allocs = stats.Allocators.Alloc_stats.allocs;
+      cp_frees = stats.Allocators.Alloc_stats.frees;
+      cp_bytes_allocated = stats.Allocators.Alloc_stats.bytes_allocated;
+      cp_bytes_freed = stats.Allocators.Alloc_stats.bytes_freed;
+      cp_peak_live_bytes = Allocators.Alloc_stats.peak_live_bytes stats;
+      cp_pages_in_use = pages;
+      cp_high_water_pages = Allocators.Pool.high_water_pages pool;
+      cp_fragmentation = frag;
+    }
+  in
+  let pools =
+    [
+      pool_stats "mt"
+        (Allocators.Pkalloc.trusted_stats t.pkalloc)
+        (Allocators.Pkalloc.trusted_pool t.pkalloc);
+      pool_stats "mu"
+        (Allocators.Pkalloc.untrusted_stats t.pkalloc)
+        (Allocators.Pkalloc.untrusted_pool t.pkalloc);
+    ]
+  in
+  let now = Sim.Machine.cycles t.machine in
+  let ages = Telemetry.Histogram.create () in
+  let sites =
+    match t.census_meta with
+    | None -> []
+    | Some meta ->
+      let per_site : (string * string, int ref * int ref) Hashtbl.t = Hashtbl.create 32 in
+      Runtime.Metadata.iter
+        (fun r ->
+          let site = Runtime.Alloc_id.to_string r.Runtime.Metadata.alloc_id in
+          let pool =
+            match Allocators.Pkalloc.pool_of_addr t.pkalloc r.Runtime.Metadata.addr with
+            | Some `Untrusted -> "mu"
+            | Some `Trusted | None -> "mt"
+          in
+          let bytes, objects =
+            match Hashtbl.find_opt per_site (site, pool) with
+            | Some cell -> cell
+            | None ->
+              let cell = (ref 0, ref 0) in
+              Hashtbl.add per_site (site, pool) cell;
+              cell
+          in
+          bytes := !bytes + r.Runtime.Metadata.size;
+          incr objects;
+          (* Births recorded before a counter reset postdate "now";
+             Histogram.observe clamps the negative age to 0. *)
+          let birth =
+            match Hashtbl.find_opt t.census_births r.Runtime.Metadata.addr with
+            | Some b -> b
+            | None -> now
+          in
+          Telemetry.Histogram.observe ages (now - birth))
+        meta;
+      Hashtbl.fold
+        (fun (site, pool) (bytes, objects) acc ->
+          {
+            Telemetry.Census.cs_site = site;
+            cs_pool = pool;
+            cs_live_bytes = !bytes;
+            cs_live_objects = !objects;
+          }
+          :: acc)
+        per_site []
+      |> List.sort (fun (a : Telemetry.Census.site_stats) b ->
+             compare (a.Telemetry.Census.cs_site, a.cs_pool) (b.Telemetry.Census.cs_site, b.cs_pool))
+  in
+  { Telemetry.Census.at_cycle = now; pools; sites; ages }
 
 (* The flight recorder's machine-context provider: everything a
    post-mortem wants that only the environment can see — simulated
@@ -252,6 +376,16 @@ let flight_context t () =
         ])
     | _ -> []
   in
+  (* When a census is live, the latest heap snapshot rides along so the
+     post-mortem shows what the heap looked like near death. *)
+  let census =
+    match !Telemetry.Census.current with
+    | None -> []
+    | Some c -> (
+      match Telemetry.Census.latest c with
+      | None -> []
+      | Some snap -> [ ("census", Telemetry.Census.snapshot_json snap) ])
+  in
   Obj
     ([
        ("cycles", Int (Sim.Machine.cycles t.machine));
@@ -260,4 +394,4 @@ let flight_context t () =
        ("gate_transitions", Int (transitions t));
        ("mode", String (Config.mode_to_string t.config.Config.mode));
      ]
-    @ last_fault @ suspect)
+    @ last_fault @ suspect @ census)

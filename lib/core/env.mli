@@ -112,10 +112,33 @@ val stack_frames : t -> string list
     as the {!Telemetry.Sampler} provider to attribute cycle samples to
     compartments.  Pure reads; charges no cycles. *)
 
+(* {2 Heap census and provenance audit} *)
+
+val track_census : t -> unit
+(** Start maintaining the census live-object table (address, size,
+    AllocId and birth cycle of every live {!alloc}/{!realloc} object,
+    both pools).  Opt-in and idempotent: a run that never calls this does
+    no census bookkeeping at all.  Required before {!census_snapshot}
+    reports per-site data, and before the provenance auditor can
+    attribute leaks. *)
+
+val census_metadata : t -> Runtime.Metadata.t option
+(** The census live-object table ([None] until {!track_census}) — pass
+    it to the auditor's scan as its attribution source. *)
+
+val census_snapshot : t -> unit -> Telemetry.Census.snapshot
+(** The {!Telemetry.Census} snapshot provider: per-pool (MT/MU) live
+    bytes / objects / fragmentation / high-water marks from pkalloc, plus
+    per-AllocId live bytes and the log₂ object-age histogram from the
+    census table (empty until {!track_census}).  Pure reads; charges no
+    cycles.  Install with
+    [Telemetry.Census.install ~provider:(Env.census_snapshot env) c]. *)
+
 val flight_context : t -> unit -> Util.Json.t
 (** The {!Telemetry.Flight} context provider: simulated cycles, each
     hart's live PKRU, the active gate's nesting depth, total transitions,
     the last fault delivered and — when a mitigator tracks metadata — the
-    allocation that fault landed in ([suspect_alloc]).  Pure reads;
-    charges no cycles.  Install with
+    allocation that fault landed in ([suspect_alloc]); when a census is
+    installed, its latest heap snapshot rides along as [census].  Pure
+    reads; charges no cycles.  Install with
     [Telemetry.Flight.set_context recorder (Env.flight_context env)]. *)

@@ -25,17 +25,20 @@ let create ?(cost = Cost.default) ?(id = 0) ?retired () =
   }
 
 (* Every retired cycle flows through here, so this is where the sampling
-   profiler ticks and where the machine-wide retired accumulator grows
-   (keeping [Machine.total_cycles] O(1) instead of a fold over harts).
-   The tick charges nothing back, so sampled and unsampled runs retire
-   identical cycle counts; disabled, the cost is one load and one branch,
-   same as the sink discipline. *)
+   profiler and the heap census tick and where the machine-wide retired
+   accumulator grows (keeping [Machine.total_cycles] O(1) instead of a
+   fold over harts).  The ticks charge nothing back, so sampled/censused
+   and plain runs retire identical cycle counts; disabled, the cost is
+   one load and one branch each, same as the sink discipline. *)
 let charge t n =
   t.cycles <- t.cycles + n;
   t.retired_acc := !(t.retired_acc) + n;
-  match !Telemetry.Sampler.current with
+  (match !Telemetry.Sampler.current with
   | None -> ()
-  | Some sampler -> Telemetry.Sampler.tick sampler n
+  | Some sampler -> Telemetry.Sampler.tick sampler n);
+  match !Telemetry.Census.current with
+  | None -> ()
+  | Some census -> Telemetry.Census.tick census ~cpu:t.id n
 
 (* All intentional PKRU updates come through here so the epoch advances
    and cached permission masks in the hart's TLB go stale.  (Direct

@@ -31,3 +31,8 @@ let lookup t a =
   | Some _ | None -> None
 
 let live_count t = Addr_map.cardinal t.by_base
+
+(* Census iteration: live records in ascending base-address order, so
+   any aggregation over the table is deterministic. *)
+let fold f t init = Addr_map.fold (fun _base record acc -> f record acc) t.by_base init
+let iter f t = Addr_map.iter (fun _base record -> f record) t.by_base

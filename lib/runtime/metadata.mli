@@ -31,3 +31,11 @@ val lookup : t -> int -> record option
     inside the object). *)
 
 val live_count : t -> int
+
+val fold : (record -> 'a -> 'a) -> t -> 'a -> 'a
+(** Folds over every live record in ascending base-address order
+    (deterministic) — the heap census aggregates per-site live bytes and
+    object counts this way. *)
+
+val iter : (record -> unit) -> t -> unit
+(** {!fold} without an accumulator. *)

@@ -138,7 +138,7 @@ let gate_latencies sink =
 
 (* Everything except the raw trace: what a results directory wants to keep
    per run without storing millions of event records. *)
-let summary_json sink =
+let summary_json ?census sink =
   let open Util.Json in
   let gate_percentiles =
     match gate_latencies sink with
@@ -161,6 +161,7 @@ let summary_json sink =
       ("counters", counters_json sink);
       ("histograms", histograms_json sink);
       ("spans", Span.digest_json (Sink.spans sink));
+      ("census", (match census with None -> Null | Some c -> Census.digest_json c));
     ]
 
 let summary sink =
@@ -260,7 +261,7 @@ let default_series_window events =
    pkru_events_<kind>_total, sink histograms are attached under their own
    names, attribution becomes labelled site/flow gauges, and the sampler
    becomes per-stack sample counters. *)
-let to_metrics ?attribution ?sampler ?series_window ?tlb sink =
+let to_metrics ?attribution ?sampler ?census ?series_window ?tlb sink =
   let reg = Metrics.create () in
   (* Software-TLB effectiveness: dedicated families, always exposed (a
      zero hit count on a TLB-off run is itself the datum).  Values come
@@ -385,7 +386,71 @@ let to_metrics ?attribution ?sampler ?series_window ?tlb sink =
           (Metrics.counter reg ~help:"Cycle samples per compartment stack"
              ~labels:[ ("stack", stack) ] "pkru_profile_samples_total"))
       (Sampler.stacks s));
+  (* Heap census: per-pool pkru_census_* / pkru_pool_* gauges and the
+     per-site live view, all from the latest snapshot, plus the running
+     snapshot count and the object-age histogram. *)
+  (match census with
+  | None -> ()
+  | Some c -> (
+    Metrics.incr ~by:(Census.taken_total c)
+      (Metrics.counter reg ~help:"Heap-census snapshots taken" "pkru_census_snapshots_total");
+    match Census.latest c with
+    | None -> ()
+    | Some snap ->
+      Metrics.set
+        (Metrics.gauge reg ~help:"Cycle of the latest census snapshot" "pkru_census_at_cycle")
+        (float_of_int snap.Census.at_cycle);
+      List.iter
+        (fun (p : Census.pool_stats) ->
+          let labels = [ ("pool", p.Census.cp_pool) ] in
+          Metrics.set
+            (Metrics.gauge reg ~help:"Live bytes per pool at the latest census" ~labels
+               "pkru_census_live_bytes")
+            (float_of_int p.Census.cp_live_bytes);
+          Metrics.set
+            (Metrics.gauge reg ~help:"Live objects per pool at the latest census" ~labels
+               "pkru_census_live_objects")
+            (float_of_int p.Census.cp_live_objects);
+          Metrics.set
+            (Metrics.gauge reg
+               ~help:"1 - live_bytes/(pages_in_use * page_size) at the latest census" ~labels
+               "pkru_census_fragmentation")
+            p.Census.cp_fragmentation;
+          Metrics.set
+            (Metrics.gauge reg ~help:"Pool pages currently handed to the allocator" ~labels
+               "pkru_pool_pages_in_use")
+            (float_of_int p.Census.cp_pages_in_use);
+          Metrics.set
+            (Metrics.gauge reg ~help:"Peak of pool pages in use" ~labels
+               "pkru_pool_high_water_pages")
+            (float_of_int p.Census.cp_high_water_pages);
+          Metrics.set
+            (Metrics.gauge reg ~help:"Live bytes per pool" ~labels "pkru_pool_live_bytes")
+            (float_of_int p.Census.cp_live_bytes);
+          Metrics.set
+            (Metrics.gauge reg ~help:"High-water mark of live bytes per pool" ~labels
+               "pkru_pool_peak_live_bytes")
+            (float_of_int p.Census.cp_peak_live_bytes);
+          Metrics.incr ~by:p.Census.cp_allocs
+            (Metrics.counter reg ~help:"Allocations per pool" ~labels "pkru_pool_allocs_total");
+          Metrics.incr ~by:p.Census.cp_frees
+            (Metrics.counter reg ~help:"Frees per pool" ~labels "pkru_pool_frees_total"))
+        snap.Census.pools;
+      List.iter
+        (fun (s : Census.site_stats) ->
+          let labels = [ ("site", s.Census.cs_site); ("pool", s.Census.cs_pool) ] in
+          Metrics.set
+            (Metrics.gauge reg ~help:"Live bytes per site at the latest census" ~labels
+               "pkru_census_site_live_bytes")
+            (float_of_int s.Census.cs_live_bytes);
+          Metrics.set
+            (Metrics.gauge reg ~help:"Live objects per site at the latest census" ~labels
+               "pkru_census_site_live_objects")
+            (float_of_int s.Census.cs_live_objects))
+        snap.Census.sites;
+      Metrics.attach_histogram reg ~help:"Live-object ages at the latest census (cycles)"
+        "pkru_census_object_age_cycles" snap.Census.ages));
   reg
 
-let prometheus ?attribution ?sampler ?series_window ?tlb sink =
-  Metrics.expose (to_metrics ?attribution ?sampler ?series_window ?tlb sink)
+let prometheus ?attribution ?sampler ?census ?series_window ?tlb sink =
+  Metrics.expose (to_metrics ?attribution ?sampler ?census ?series_window ?tlb sink)

@@ -20,9 +20,10 @@ val gate_latencies : Sink.t -> float list
 (** Gate round-trip times (cycles) recovered by pairing enter/exit records
     in the trace, per hart, in completion order. *)
 
-val summary_json : Sink.t -> Util.Json.t
-(** Counters, histogram summaries, exact gate round-trip percentiles and
-    the span digest — everything except the raw event trace. *)
+val summary_json : ?census:Census.t -> Sink.t -> Util.Json.t
+(** Counters, histogram summaries, exact gate round-trip percentiles,
+    the span digest and (when given) the heap-census digest — everything
+    except the raw event trace. *)
 
 val summary : Sink.t -> string
 (** Human-readable overview: event totals, counter table, histogram
@@ -32,6 +33,7 @@ val summary : Sink.t -> string
 val to_metrics :
   ?attribution:Attribution.t ->
   ?sampler:Sampler.t ->
+  ?census:Census.t ->
   ?series_window:int ->
   ?tlb:int * int * int ->
   Sink.t ->
@@ -40,8 +42,12 @@ val to_metrics :
     ([pkru_events_total{kind=...}]), the sink's histograms, windowed
     gate-crossing / allocation series ([series_window] cycles per bucket,
     default 1/50th of the trace span), plus labelled site-heat and
-    flow-matrix metrics when [attribution] is given and per-stack sample
-    counters when [sampler] is.
+    flow-matrix metrics when [attribution] is given, per-stack sample
+    counters when [sampler] is, and — when [census] is — the
+    [pkru_census_*] / [pkru_pool_*] families (per-pool live bytes /
+    objects / fragmentation / page high-water gauges, per-site live
+    views, snapshot totals and the object-age histogram, all from the
+    latest snapshot).
 
     Software-TLB effectiveness is always exposed as
     [pkru_tlb_hits_total] / [pkru_tlb_misses_total] /
@@ -53,6 +59,7 @@ val to_metrics :
 val prometheus :
   ?attribution:Attribution.t ->
   ?sampler:Sampler.t ->
+  ?census:Census.t ->
   ?series_window:int ->
   ?tlb:int * int * int ->
   Sink.t ->

@@ -184,6 +184,53 @@ let render json =
            (match get "alloc_id" a with String s -> s | _ -> "?")
            (Option.value ~default:0 (opt_int (get "base" a)))
            (Option.value ~default:0 (opt_int (get "size" a))))
+    | _ -> ());
+    (* Heap census at death: the last snapshot a live census took. *)
+    (match get "census" ctx with
+    | Obj _ as census ->
+      Buffer.add_string buf
+        (Printf.sprintf "heap census (snapshot at cycle %d):\n"
+           (Option.value ~default:0 (opt_int (get "at_cycle" census))));
+      (match get "pools" census with
+      | Obj pools ->
+        List.iter
+          (fun (pool, stats) ->
+            Buffer.add_string buf
+              (Printf.sprintf
+                 "  %-3s %d live bytes in %d objects, %d pages in use (peak %d), frag %.2f\n"
+                 pool
+                 (Option.value ~default:0 (opt_int (get "live_bytes" stats)))
+                 (Option.value ~default:0 (opt_int (get "live_objects" stats)))
+                 (Option.value ~default:0 (opt_int (get "pages_in_use" stats)))
+                 (Option.value ~default:0 (opt_int (get "high_water_pages" stats)))
+                 (match get "fragmentation" stats with
+                 | Float f -> f
+                 | Int i -> float_of_int i
+                 | _ -> 0.0)))
+          pools
+      | _ -> ());
+      (match get "sites" census with
+      | List (_ :: _ as sites) ->
+        Buffer.add_string buf (Printf.sprintf "  %d live site(s); hottest:\n" (List.length sites));
+        let by_bytes =
+          List.sort
+            (fun a b ->
+              compare
+                (Option.value ~default:0 (opt_int (get "live_bytes" b)))
+                (Option.value ~default:0 (opt_int (get "live_bytes" a))))
+            sites
+        in
+        List.iteri
+          (fun i site ->
+            if i < 5 then
+              Buffer.add_string buf
+                (Printf.sprintf "    %s [%s] %d bytes / %d objects\n"
+                   (match get "site" site with String s -> s | _ -> "?")
+                   (match get "pool" site with String s -> s | _ -> "?")
+                   (Option.value ~default:0 (opt_int (get "live_bytes" site)))
+                   (Option.value ~default:0 (opt_int (get "live_objects" site)))))
+          by_bytes
+      | _ -> ())
     | _ -> ())
   | _ -> ());
   (* Gate tail: the recent crossing history and its enter/exit balance. *)

@@ -13,18 +13,21 @@ type kind =
   | Incident
   | Chaos
   | Phase
+  | Census
 
 let kind_to_string = function
   | Gate -> "gate"
   | Incident -> "incident"
   | Chaos -> "chaos"
   | Phase -> "phase"
+  | Census -> "census"
 
 let kind_of_string = function
   | "gate" -> Some Gate
   | "incident" -> Some Incident
   | "chaos" -> Some Chaos
   | "phase" -> Some Phase
+  | "census" -> Some Census
   | _ -> None
 
 type record = {

@@ -163,4 +163,12 @@ let mprotect t ~base ~size prot =
 
 let resident_pages t = Hashtbl.length t.pages
 
+(* Deterministic enumeration of materialised pages, sorted by page
+   number.  The provenance auditor walks exactly what is resident, so a
+   scan never demand-materialises pages (and never perturbs the
+   demand-fault count). *)
+let resident_page_list t =
+  Hashtbl.fold (fun page_number page acc -> (page_number, page) :: acc) t.pages []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
 let demand_faults t = t.demand_faults

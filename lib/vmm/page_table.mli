@@ -40,6 +40,12 @@ val mprotect : t -> base:int -> size:int -> Prot.t -> (unit, string) result
 val resident_pages : t -> int
 (** Number of materialised pages (the simulated RSS, in pages). *)
 
+val resident_page_list : t -> (int * Page.t) list
+(** Every materialised page as [(page number, page)], sorted by page
+    number.  Pure read: never materialises, so iterating it cannot
+    perturb {!demand_faults} — the property the conservative pointer
+    scan of the provenance auditor relies on. *)
+
 val demand_faults : t -> int
 (** Number of pages materialised lazily, i.e. soft page faults taken. *)
 

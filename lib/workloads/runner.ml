@@ -7,6 +7,8 @@ type measurement = {
   output : string list;
   trace : Telemetry.Sink.t option;
   samples : Telemetry.Sampler.t option;
+  census : Telemetry.Census.t option;
+  quarantined_sites : string list;
 }
 
 type bench_result = {
@@ -46,11 +48,15 @@ let profile_suite (suite : Bench_def.suite) =
     (fun acc bench -> Runtime.Profile.merge acc (profile_bench bench))
     (Runtime.Profile.create ()) suite.Bench_def.benches
 
-let run_config ?(telemetry = false) ?sample_every ?tlb ?mitigation ~mode ~profile
-    (bench : Bench_def.bench) =
+let run_config ?(telemetry = false) ?sample_every ?census_every ?tlb ?mitigation ~mode
+    ~profile (bench : Bench_def.bench) =
   let env =
     fail_on_error (Pkru_safe.Env.create ~profile (Pkru_safe.Config.make ?tlb ?mitigation mode))
   in
+  (* Census tracking must cover page-load allocations too: objects built
+     during setup are still live — and ageing — when the timed script
+     runs. *)
+  if census_every <> None then Pkru_safe.Env.track_census env;
   let browser = Browser.create ~engine_seed:bench.Bench_def.engine_seed env in
   Browser.load_page browser bench.Bench_def.page;
   (* Page construction is setup; the script run is what the suites time. *)
@@ -64,6 +70,14 @@ let run_config ?(telemetry = false) ?sample_every ?tlb ?mitigation ~mode ~profil
       fun () ->
         Telemetry.Sampler.with_sampler ~provider:(fun () -> Pkru_safe.Env.stack_frames env) s
           exec
+  in
+  let census = Option.map (fun every -> Telemetry.Census.create ~every ()) census_every in
+  let exec =
+    match census with
+    | None -> exec
+    | Some c ->
+      fun () ->
+        Telemetry.Census.with_census ~provider:(Pkru_safe.Env.census_snapshot env) c exec
   in
   let trace =
     if telemetry then begin
@@ -95,6 +109,8 @@ let run_config ?(telemetry = false) ?sample_every ?tlb ?mitigation ~mode ~profil
     output = Browser.console browser;
     trace;
     samples = sampler;
+    census;
+    quarantined_sites = Allocators.Pkalloc.quarantined_sites (Pkru_safe.Env.pkalloc env);
   }
 
 let overhead ~base ~measured =

@@ -21,6 +21,12 @@ type measurement = {
   samples : Telemetry.Sampler.t option;
       (** cycle-sampled compartment stacks from the timed script run, when
           the run was made with [~sample_every] *)
+  census : Telemetry.Census.t option;
+      (** periodic heap-census snapshots from the timed script run, when
+          the run was made with [~census_every] *)
+  quarantined_sites : string list;
+      (** pkalloc's site-override table after the run (sorted) — sites the
+          mitigator's Promote policy or an audit promotion routed to MU *)
 }
 
 type bench_result = {
@@ -48,6 +54,7 @@ val profile_suite : Bench_def.suite -> Runtime.Profile.t
 val run_config :
   ?telemetry:bool ->
   ?sample_every:int ->
+  ?census_every:int ->
   ?tlb:bool ->
   ?mitigation:Runtime.Mitigator.policy ->
   mode:Pkru_safe.Config.mode ->
@@ -63,9 +70,12 @@ val run_config :
     finishes (never from the access path, so traces stay bit-identical
     TLB on or off).  With [~sample_every:n] a {!Telemetry.Sampler}
     snapshots the thread's compartment stack every [n] simulated cycles
-    and is returned in [samples].  Neither charges simulated cycles, so
-    traced/sampled and plain runs report identical [cycles].  [tlb]
-    forwards to {!Pkru_safe.Config.make} (default on), as does
+    and is returned in [samples].  With [~census_every:n] a
+    {!Telemetry.Census} walks the heap every [n] simulated cycles
+    (tracking covers page-load allocations too) and is returned in
+    [census].  None of the three charges simulated cycles, so
+    traced/sampled/censused and plain runs report identical [cycles].
+    [tlb] forwards to {!Pkru_safe.Config.make} (default on), as does
     [mitigation] (a fault-recovery policy for [Mpk] runs; default none). *)
 
 val run_bench :

@@ -34,11 +34,15 @@ type probe = {
   bench : Bench_def.bench;
   mode : Pkru_safe.Config.mode;
   mitigation : Runtime.Mitigator.policy option;
+  census_every : int option;
 }
 
-(* Five probes spanning the perf-relevant axes: gate-bound DOM traffic,
+(* Six probes spanning the perf-relevant axes: gate-bound DOM traffic,
    DOM construction, a compute kernel where gates are rare, an engine-
-   heavy benchmark, and the mitigator's interposition cost. *)
+   heavy benchmark, the mitigator's interposition cost, and the heap
+   census (whose cycles must stay exactly equal to the uncensused
+   dom-attr probe — the baseline pins the census's architectural
+   invisibility). *)
 let probes =
   [
     {
@@ -46,30 +50,42 @@ let probes =
       bench = bench "dom-attr" (Dom_scripts.dom_attr ~iters:40);
       mode = Pkru_safe.Config.Mpk;
       mitigation = None;
+      census_every = None;
     };
     {
       name = "dom-create:mpk";
       bench = bench "dom-create" (Dom_scripts.dom_create ~iters:24);
       mode = Pkru_safe.Config.Mpk;
       mitigation = None;
+      census_every = None;
     };
     {
       name = "fft:base";
       bench = bench "fft" (Kernels.fft ~n:64);
       mode = Pkru_safe.Config.Base;
       mitigation = None;
+      census_every = None;
     };
     {
       name = "richards:mpk";
       bench = bench "richards" (Kernels.richards ~iterations:12);
       mode = Pkru_safe.Config.Mpk;
       mitigation = None;
+      census_every = None;
     };
     {
       name = "dom-attr:mpk:emulate";
       bench = bench "dom-attr-mitigated" (Dom_scripts.dom_attr ~iters:40);
       mode = Pkru_safe.Config.Mpk;
       mitigation = Some Runtime.Mitigator.Emulate;
+      census_every = None;
+    };
+    {
+      name = "dom-attr:mpk:census";
+      bench = bench "dom-attr-censused" (Dom_scripts.dom_attr ~iters:40);
+      mode = Pkru_safe.Config.Mpk;
+      mitigation = None;
+      census_every = Some 64;
     };
   ]
 
@@ -80,7 +96,10 @@ let run_probe p =
     Runner.profile_suite { Bench_def.suite_name = "sentinel"; benches = [ p.bench ] }
   in
   let t0 = Unix.gettimeofday () in
-  let m = Runner.run_config ?mitigation:p.mitigation ~mode:p.mode ~profile p.bench in
+  let m =
+    Runner.run_config ?mitigation:p.mitigation ?census_every:p.census_every ~mode:p.mode
+      ~profile p.bench
+  in
   let wall = Unix.gettimeofday () -. t0 in
   {
     p_name = p.name;

@@ -28,6 +28,8 @@ let () =
       ("workloads", Test_workloads.suite);
       ("sentinel", Test_sentinel.suite);
       ("chaos", Test_chaos.suite);
+      ("census", Test_census.suite);
+      ("audit", Test_audit.suite);
       ("fuzz-substrates", Test_fuzz_substrates.suite);
       ("edge-cases", Test_edge_cases.suite);
     ]
