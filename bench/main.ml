@@ -604,6 +604,176 @@ let run_census () =
   if not (Audit.leak_free audit_report) then
     failwith "provenance audit found MT objects reachable from U on a seed workload"
 
+(* --- Dispatch: execution-tier equivalence + host speedup --- *)
+
+type dispatch_row = {
+  dr_label : string;
+  dr_benches : int;
+  dr_cycles : int;  (* summed over the suite; identical across bytecode tiers *)
+  dr_wall_ast : float;
+  dr_wall_ref : float;
+  dr_wall_thr : float;
+  dr_var_hits : int;
+  dr_var_misses : int;
+  dr_prop_hits : int;
+  dr_prop_misses : int;
+  dr_super_execs : int;
+}
+
+(* The engine-bound suites the fast tier targets.  Every bench runs under
+   all three tiers; any simulated divergence between the two bytecode
+   tiers is a hard failure (the threaded tier is supposed to be
+   architecturally invisible), and outputs must agree with the AST tier.
+   IC counters are read from the engine's process-wide stats right after
+   each threaded run (the runner resets them per run). *)
+let dispatch_suites =
+  [ ("dromaeo-v8", Workloads.Dromaeo.v8); ("octane", Workloads.Octane.all) ]
+
+let run_dispatch_suite (label, (suite : Workloads.Bench_def.suite)) =
+  let profile = Runtime.Profile.create () in
+  let mode = Pkru_safe.Config.Base in
+  let row =
+    ref
+      {
+        dr_label = label;
+        dr_benches = List.length suite.Workloads.Bench_def.benches;
+        dr_cycles = 0;
+        dr_wall_ast = 0.0;
+        dr_wall_ref = 0.0;
+        dr_wall_thr = 0.0;
+        dr_var_hits = 0;
+        dr_var_misses = 0;
+        dr_prop_hits = 0;
+        dr_prop_misses = 0;
+        dr_super_execs = 0;
+      }
+  in
+  (* Setup (machine, browser, page) is untimed — only the script run is
+     the engine's work; cycles/transitions are the post-setup deltas,
+     exactly as [Runner.run_config] measures them. *)
+  let timed_run tier (bench : Workloads.Bench_def.bench) =
+    let env =
+      match Pkru_safe.Env.create ~profile (Pkru_safe.Config.make mode) with
+      | Ok env -> env
+      | Error msg -> failwith msg
+    in
+    let browser = Browser.create ~engine_seed:bench.Workloads.Bench_def.engine_seed env in
+    Browser.load_page browser bench.Workloads.Bench_def.page;
+    Pkru_safe.Env.reset_counters env;
+    Engine.Eval.reset_ic_stats ();
+    Engine.Threaded.reset_stats ();
+    let t0 = Unix.gettimeofday () in
+    ignore (Browser.exec_script ~tier browser bench.Workloads.Bench_def.script);
+    let wall = Unix.gettimeofday () -. t0 in
+    ( wall,
+      Pkru_safe.Env.cycles env,
+      Pkru_safe.Env.transitions env,
+      Browser.console browser )
+  in
+  List.iter
+    (fun (bench : Workloads.Bench_def.bench) ->
+      let name = bench.Workloads.Bench_def.name in
+      let t_ast, _, _, out_ast = timed_run Engine.Ast_tier bench in
+      let t_ref, cyc_ref, trans_ref, out_ref = timed_run Engine.Bytecode_tier bench in
+      let t_thr, cyc_thr, trans_thr, out_thr = timed_run Engine.Threaded_tier bench in
+      if out_ast <> out_ref || out_ref <> out_thr then
+        failwith (Printf.sprintf "dispatch: %s outputs disagree across tiers" name);
+      if cyc_ref <> cyc_thr || trans_ref <> trans_thr then
+        failwith
+          (Printf.sprintf
+             "dispatch: %s simulated divergence — reference %d cycles/%d transitions vs \
+              threaded %d/%d"
+             name cyc_ref trans_ref cyc_thr trans_thr);
+      let ic = Engine.Eval.ic_stats in
+      let ts = Engine.Threaded.stats in
+      row :=
+        {
+          !row with
+          dr_cycles = !row.dr_cycles + cyc_ref;
+          dr_wall_ast = !row.dr_wall_ast +. t_ast;
+          dr_wall_ref = !row.dr_wall_ref +. t_ref;
+          dr_wall_thr = !row.dr_wall_thr +. t_thr;
+          dr_var_hits = !row.dr_var_hits + ic.Engine.Eval.var_hits;
+          dr_var_misses = !row.dr_var_misses + ic.Engine.Eval.var_misses;
+          dr_prop_hits = !row.dr_prop_hits + ts.Engine.Threaded.prop_hits;
+          dr_prop_misses = !row.dr_prop_misses + ts.Engine.Threaded.prop_misses;
+          dr_super_execs = !row.dr_super_execs + ts.Engine.Threaded.super_execs;
+        })
+    suite.Workloads.Bench_def.benches;
+  !row
+
+let dispatch_rows = lazy (List.map run_dispatch_suite dispatch_suites)
+
+let hit_rate hits misses =
+  let total = hits + misses in
+  if total = 0 then 0.0 else 100.0 *. float_of_int hits /. float_of_int total
+
+let run_dispatch () =
+  header "Execution tiers: threaded dispatch + superinstructions + inline caches";
+  let rows = Lazy.force dispatch_rows in
+  Util.Table.print
+    ~header:
+      [ "suite"; "sim cycles"; "ast wall"; "bytecode wall"; "threaded wall"; "vs bytecode";
+        "vs ast" ]
+    (List.map
+       (fun r ->
+         [
+           Printf.sprintf "%s (%d benches)" r.dr_label r.dr_benches;
+           string_of_int r.dr_cycles;
+           Printf.sprintf "%.1fms" (1000.0 *. r.dr_wall_ast);
+           Printf.sprintf "%.1fms" (1000.0 *. r.dr_wall_ref);
+           Printf.sprintf "%.1fms" (1000.0 *. r.dr_wall_thr);
+           ratio (r.dr_wall_ref /. r.dr_wall_thr);
+           ratio (r.dr_wall_ast /. r.dr_wall_thr);
+         ])
+       rows);
+  List.iter
+    (fun r ->
+      Printf.printf
+        "%s ICs: var %d/%d hits (%.1f%%), prop %d/%d hits (%.1f%%), %d superinstruction \
+         executions\n"
+        r.dr_label r.dr_var_hits
+        (r.dr_var_hits + r.dr_var_misses)
+        (hit_rate r.dr_var_hits r.dr_var_misses)
+        r.dr_prop_hits
+        (r.dr_prop_hits + r.dr_prop_misses)
+        (hit_rate r.dr_prop_hits r.dr_prop_misses)
+        r.dr_super_execs)
+    rows;
+  print_endline
+    "(simulated cycles are identical across the bytecode tiers by construction — the \n\
+    \ section hard-fails on any divergence; walls are host-side only)"
+
+let dispatch_json () =
+  Util.Json.Obj
+    (List.map
+       (fun r ->
+         ( r.dr_label,
+           Util.Json.Obj
+             [
+               ("benches", Util.Json.Int r.dr_benches);
+               ("sim_cycles", Util.Json.Int r.dr_cycles);
+               ("cycles_identical", Util.Json.Bool true);
+               ("ast_wall_s", Util.Json.Float r.dr_wall_ast);
+               ("bytecode_wall_s", Util.Json.Float r.dr_wall_ref);
+               ("threaded_wall_s", Util.Json.Float r.dr_wall_thr);
+               ("speedup_vs_bytecode", Util.Json.Float (r.dr_wall_ref /. r.dr_wall_thr));
+               ("speedup_vs_ast", Util.Json.Float (r.dr_wall_ast /. r.dr_wall_thr));
+               ( "inline_caches",
+                 Util.Json.Obj
+                   [
+                     ("var_hits", Util.Json.Int r.dr_var_hits);
+                     ("var_misses", Util.Json.Int r.dr_var_misses);
+                     ("var_hit_rate_pct", Util.Json.Float (hit_rate r.dr_var_hits r.dr_var_misses));
+                     ("prop_hits", Util.Json.Int r.dr_prop_hits);
+                     ("prop_misses", Util.Json.Int r.dr_prop_misses);
+                     ( "prop_hit_rate_pct",
+                       Util.Json.Float (hit_rate r.dr_prop_hits r.dr_prop_misses) );
+                     ("super_execs", Util.Json.Int r.dr_super_execs);
+                   ] );
+             ] ))
+       (Lazy.force dispatch_rows))
+
 (* --- Bechamel --- *)
 
 let run_bechamel () =
@@ -865,10 +1035,12 @@ let write_json_results dir =
             | None -> Util.Json.Null );
           ("audit", Audit.to_json audit_report);
         ]));
+  write "dispatch.json" (dispatch_json ());
   (* Host-side timing: per-section wall clock for whatever ran this
      invocation, plus the TLB microbench digest (reusing the tlb
-     section's result, or running a scaled-down one here).  Format is
-     documented in EXPERIMENTS.md. *)
+     section's result, or running a scaled-down one here) and the
+     execution-tier wall comparison.  Format is documented in
+     EXPERIMENTS.md. *)
   let tlb = tlb_result ~pages:8 ~iters:20_000 () in
   write "host.json"
     (Util.Json.Obj
@@ -876,6 +1048,21 @@ let write_json_results dir =
          ( "section_wall_seconds",
            Util.Json.Obj
              (List.map (fun (name, s) -> (name, Util.Json.Float s)) !section_walls) );
+         ( "dispatch",
+           Util.Json.Obj
+             (List.map
+                (fun r ->
+                  ( r.dr_label,
+                    Util.Json.Obj
+                      [
+                        ("ast_wall_s", Util.Json.Float r.dr_wall_ast);
+                        ("bytecode_wall_s", Util.Json.Float r.dr_wall_ref);
+                        ("threaded_wall_s", Util.Json.Float r.dr_wall_thr);
+                        ( "speedup_vs_bytecode",
+                          Util.Json.Float (r.dr_wall_ref /. r.dr_wall_thr) );
+                        ("speedup_vs_ast", Util.Json.Float (r.dr_wall_ast /. r.dr_wall_thr));
+                      ] ))
+                (Lazy.force dispatch_rows)) );
          ( "tlb",
            Util.Json.Obj
              [
@@ -921,6 +1108,17 @@ let run_sentinel () =
            Printf.sprintf "%.3fs" r.Workloads.Sentinel.p_wall_s;
          ])
        results);
+  (* Twin probes express an optimisation's architectural invisibility as
+     data; any divergence is a hard failure regardless of the baseline. *)
+  (match Workloads.Sentinel.twin_mismatches results with
+  | [] ->
+    Printf.printf "twin probes cycle-equal: %s\n"
+      (String.concat ", "
+         (List.map (fun (a, b) -> Printf.sprintf "%s = %s" a b) Workloads.Sentinel.twin_pairs))
+  | pairs ->
+    failwith
+      (Printf.sprintf "sentinel twin probes diverged: %s"
+         (String.concat ", " (List.map (fun (a, b) -> a ^ " vs " ^ b) pairs))));
   (match !baseline_out with
   | Some path ->
     Out_channel.with_open_text path (fun oc ->
@@ -967,6 +1165,7 @@ let () =
   if section "tlb" then timed "tlb" run_tlb;
   if section "mitigation" then timed "mitigation" run_mitigation;
   if section "census" then timed "census" run_census;
+  if section "dispatch" then timed "dispatch" run_dispatch;
   if (not !skip_bechamel) && section "bechamel" then timed "bechamel" run_bechamel;
   let sentinel_ok =
     if sentinel_requested () then begin

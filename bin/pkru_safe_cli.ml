@@ -44,6 +44,64 @@ let fail_on_error = function
   | Ok v -> v
   | Error msg -> failwith msg
 
+(* Execution-tier selection and fast-tier layer toggles, shared by
+   `browse` and `report`.  Every tier simulates the same machine: the
+   bytecode tiers are bit-identical to each other by construction, so
+   these flags change host wall-clock only (plus the AST tier's different
+   — but still deterministic — cycle accounting). *)
+let tier_conv =
+  let parse = function
+    | "ast" -> Ok Engine.Ast_tier
+    | "bytecode" -> Ok Engine.Bytecode_tier
+    | "threaded" -> Ok Engine.Threaded_tier
+    | s -> Error (`Msg (Printf.sprintf "unknown tier %S (ast|bytecode|threaded)" s))
+  in
+  Arg.conv
+    ( parse,
+      fun fmt t ->
+        Format.pp_print_string fmt
+          (match t with
+          | Engine.Ast_tier -> "ast"
+          | Engine.Bytecode_tier -> "bytecode"
+          | Engine.Threaded_tier -> "threaded") )
+
+let tier_flag =
+  Arg.(value & opt tier_conv Engine.Ast_tier
+       & info [ "tier" ] ~docv:"TIER"
+           ~doc:"Engine execution tier: ast (default), bytecode (the reference interpreter) \
+                 or threaded (fast tier: closure-compiled dispatch, superinstructions, \
+                 inline caches — simulates bit-identically to bytecode)")
+
+let engine_opts_term =
+  let off names doc = Arg.(value & flag & info names ~doc) in
+  let make no_super no_var no_prop no_batch =
+    {
+      Engine.Threaded.superinstructions = not no_super;
+      var_ic = not no_var;
+      prop_ic = not no_prop;
+      batched_slots = not no_batch;
+    }
+  in
+  Term.(
+    const make
+    $ off [ "no-superinstructions" ] "Disable superinstruction fusion (threaded tier only)"
+    $ off [ "no-var-ic" ] "Disable variable inline caches (threaded tier only)"
+    $ off [ "no-prop-ic" ] "Disable property (shape) inline caches (threaded tier only)"
+    $ off [ "no-batched-slots" ] "Disable the batched-TLB slot fast path (threaded tier only)")
+
+let engine_tier_digest tier =
+  (* Only the fast tier has ICs / superinstructions to report on. *)
+  if tier = Engine.Threaded_tier then begin
+    let v = Engine.Eval.ic_stats and s = Engine.Threaded.stats in
+    Printf.printf
+      "engine[threaded]: var IC %d/%d hits, prop IC %d/%d hits, %d superinstruction exec(s)\n"
+      v.Engine.Eval.var_hits
+      (v.Engine.Eval.var_hits + v.Engine.Eval.var_misses)
+      s.Engine.Threaded.prop_hits
+      (s.Engine.Threaded.prop_hits + s.Engine.Threaded.prop_misses)
+      s.Engine.Threaded.super_execs
+  end
+
 (* --flight FILE: arm the black-box recorder for the duration of a run;
    any post-mortem dump lands in FILE, ready for `doctor`. *)
 let flight_flag =
@@ -127,7 +185,7 @@ print("data = " + d);
 print("innerHTML = " + domGetInnerHTML(app));
 print("children = " + domChildCount(app));|}
 
-let run_browse mode page script mitigation flight =
+let run_browse mode page script mitigation flight tier engine_opts =
   let profile =
     match mode with
     | Pkru_safe.Config.Alloc | Pkru_safe.Config.Mpk ->
@@ -145,15 +203,18 @@ let run_browse mode page script mitigation flight =
     fail_on_error (Pkru_safe.Env.create ~profile (Pkru_safe.Config.make ?mitigation mode))
   in
   let browser = Browser.create env in
-  with_flight ~context:(Pkru_safe.Env.flight_context env) flight (fun () ->
-      Browser.load_page browser page;
-      match Browser.exec_script browser script with
-      | _ -> ()
-      | exception Vmm.Fault.Unhandled fault ->
-        Printf.printf "script killed: %s\n" (Vmm.Fault.to_string fault)
-      | exception Sim.Signals.Process_killed msg -> Printf.printf "process killed: %s\n" msg
-      | exception Runtime.Mitigator.Degraded fault ->
-        Printf.printf "request degraded: %s\n" (Vmm.Fault.to_string fault));
+  Engine.Eval.reset_ic_stats ();
+  Engine.Threaded.reset_stats ();
+  Engine.Threaded.with_opts engine_opts (fun () ->
+      with_flight ~context:(Pkru_safe.Env.flight_context env) flight (fun () ->
+          Browser.load_page browser page;
+          match Browser.exec_script ~tier browser script with
+          | _ -> ()
+          | exception Vmm.Fault.Unhandled fault ->
+            Printf.printf "script killed: %s\n" (Vmm.Fault.to_string fault)
+          | exception Sim.Signals.Process_killed msg -> Printf.printf "process killed: %s\n" msg
+          | exception Runtime.Mitigator.Degraded fault ->
+            Printf.printf "request degraded: %s\n" (Vmm.Fault.to_string fault)));
   List.iter print_endline (Browser.console browser);
   (match Pkru_safe.Env.mitigator env with
   | Some m when Runtime.Mitigator.incidents m > 0 ->
@@ -173,6 +234,7 @@ let run_browse mode page script mitigation flight =
     (Pkru_safe.Env.cycles env) (Pkru_safe.Env.transitions env)
     (Pkru_safe.Env.percent_untrusted_bytes env)
     (Pkru_safe.Env.sites_moved env) (Pkru_safe.Env.sites_used env);
+  engine_tier_digest tier;
   `Ok ()
 
 (* --- exploit (E3) --- *)
@@ -354,8 +416,54 @@ let report_format_conv =
           (match f with `Table -> "table" | `Json -> "json" | `Prom -> "prom" | `Folded -> "folded")
     )
 
-let run_report bench_name mode sample_every format output mitigation flight =
-  if sample_every <= 0 then `Error (false, "--sample-every must be positive")
+(* report --opcodes: opcode / adjacent-pair frequency profile of the
+   reference bytecode interpreter over one benchmark.  This is the data
+   the fast tier's superinstruction set is chosen from (EXPERIMENTS.md
+   records the suite-wide ranking); collection is host-side only, so the
+   profiled run is bit-identical to an unprofiled one. *)
+let run_opcode_report bench_name mode format output =
+  match Workloads.Registry.bench_of_name bench_name with
+  | Error msg -> `Error (false, msg)
+  | Ok bench -> (
+    let profile = profile_for ~mode bench in
+    let st, m =
+      Engine.Opstats.collect (fun () ->
+          Workloads.Runner.run_config ~engine_tier:Engine.Bytecode_tier ~mode ~profile bench)
+    in
+    match
+      match format with
+      | `Table ->
+        Ok
+          (Printf.sprintf "opcode profile: %s [%s] (reference bytecode tier, %d cycles)\n\n"
+             bench_name
+             (Pkru_safe.Config.mode_to_string mode)
+             m.Workloads.Runner.cycles
+          ^ Engine.Opstats.render st)
+      | `Json ->
+        Ok
+          (Util.Json.to_string_pretty
+             (Util.Json.Obj
+                [
+                  ("bench", Util.Json.String bench_name);
+                  ("mode", Util.Json.String (Pkru_safe.Config.mode_to_string mode));
+                  ("cycles", Util.Json.Int m.Workloads.Runner.cycles);
+                  ("opcodes", Engine.Opstats.to_json st);
+                ])
+          ^ "\n")
+      | `Prom | `Folded -> Error "--opcodes supports only table or json output"
+    with
+    | Error msg -> `Error (false, msg)
+    | Ok rendered -> (
+      match output with
+      | Some path -> (
+        match Out_channel.with_open_text path (fun oc -> output_string oc rendered) with
+        | () -> `Ok (Printf.printf "opcode profile written to %s\n" path)
+        | exception Sys_error msg -> `Error (false, "cannot write opcode profile: " ^ msg))
+      | None -> `Ok (print_string rendered)))
+
+let run_report bench_name mode sample_every format output mitigation flight opcodes tier =
+  if opcodes then run_opcode_report bench_name mode format output
+  else if sample_every <= 0 then `Error (false, "--sample-every must be positive")
   else
     match Workloads.Registry.bench_of_name bench_name with
     | Error msg -> `Error (false, msg)
@@ -364,7 +472,7 @@ let run_report bench_name mode sample_every format output mitigation flight =
       let m =
         with_flight flight (fun () ->
             Workloads.Runner.run_config ~telemetry:true ~sample_every ?mitigation ~mode ~profile
-              bench)
+              ~engine_tier:tier bench)
       in
       let sink = Option.get m.Workloads.Runner.trace in
       let sampler = Option.get m.Workloads.Runner.samples in
@@ -807,7 +915,10 @@ let browse_cmd =
     Arg.(value & opt string default_script & info [ "s"; "script" ] ~doc:"Script to execute")
   in
   Cmd.v (Cmd.info "browse" ~doc:"Run a page + script under a configuration (E2-style)")
-    Term.(ret (const run_browse $ mode $ page $ script $ mitigation_flag $ flight_flag))
+    Term.(
+      ret
+        (const run_browse $ mode $ page $ script $ mitigation_flag $ flight_flag $ tier_flag
+        $ engine_opts_term))
 
 let exploit_cmd =
   Cmd.v (Cmd.info "exploit" ~doc:"Run the E3 security experiment")
@@ -872,13 +983,20 @@ let report_cmd =
   let output =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file")
   in
+  let opcodes =
+    Arg.(value & flag
+         & info [ "opcodes" ]
+             ~doc:"Profile opcode and adjacent-pair frequencies on the reference bytecode \
+                   tier instead of the attribution report (the data behind the fast tier's \
+                   superinstruction set; table or json format)")
+  in
   Cmd.v
     (Cmd.info "report"
        ~doc:"Run one benchmark with telemetry + cycle sampling and print the attribution report")
     Term.(
       ret
         (const run_report $ bench_arg $ mode $ sample_every $ format $ output $ mitigation_flag
-        $ flight_flag))
+        $ flight_flag $ opcodes $ tier_flag))
 
 let compare_cmd =
   let dir n doc = Arg.(required & pos n (some dir) None & info [] ~docv:"DIR" ~doc) in

@@ -5,6 +5,11 @@ module Style = Style
 module Layout = Layout
 module Selector = Selector
 
+type selector_stats = {
+  mutable sel_hits : int;
+  mutable sel_misses : int;
+}
+
 type t = {
   env : Pkru_safe.Env.t;
   machine : Sim.Machine.t;
@@ -15,7 +20,17 @@ type t = {
   mutable last_layout : Layout.t option;
   listeners : (Dom.node * string, Engine.Value.t list) Hashtbl.t;
     (* (node, event) -> engine callbacks, innermost-first registration *)
+  selectors : (string, Selector.compiled) Hashtbl.t;
+    (* parse/compile cache keyed by selector source text; compiled
+       matching performs identical charged DOM reads (see Selector), so
+       the cache only saves host-side parsing and name resolution *)
+  sel_stats : selector_stats;
 }
+
+(* Selector parse/compile caching is on by default; the differential
+   tests toggle it off to assert cached and uncached queries simulate
+   bit-identically. *)
+let selector_cache_enabled = ref true
 
 let secret_value = 42
 
@@ -115,11 +130,34 @@ let rec install_bindings t =
   bind "domQuery" (fun args ->
       match args with
       | [ selector_text ] ->
-        let selector =
-          try Selector.parse (arg_string t selector_text)
-          with Selector.Parse_error msg -> fail "domQuery: %s" msg
+        let text = arg_string t selector_text in
+        let nodes =
+          if !selector_cache_enabled then begin
+            let compiled =
+              match Hashtbl.find_opt t.selectors text with
+              | Some c ->
+                t.sel_stats.sel_hits <- t.sel_stats.sel_hits + 1;
+                c
+              | None ->
+                t.sel_stats.sel_misses <- t.sel_stats.sel_misses + 1;
+                let parsed =
+                  try Selector.parse text
+                  with Selector.Parse_error msg -> fail "domQuery: %s" msg
+                in
+                let c = Selector.compile parsed in
+                Hashtbl.replace t.selectors text c;
+                c
+            in
+            Selector.query_all_compiled t.dom compiled
+          end
+          else begin
+            let selector =
+              try Selector.parse text
+              with Selector.Parse_error msg -> fail "domQuery: %s" msg
+            in
+            Selector.query_all t.dom selector
+          end
         in
-        let nodes = Selector.query_all t.dom selector in
         let arr = Engine.Value.arr_make (heap t) 0 in
         (match arr with
         | Engine.Value.Arr a ->
@@ -279,6 +317,8 @@ let create ?engine_seed ?engine_fuel env =
       scripts_run = 0;
       last_layout = None;
       listeners = Hashtbl.create 32;
+      selectors = Hashtbl.create 16;
+      sel_stats = { sel_hits = 0; sel_misses = 0 };
     }
   in
   (* Plant the security experiment's secret at the paper's fixed address
@@ -319,7 +359,7 @@ let load_page t html =
   with_phase t "phase:load-page" (fun () ->
       build_trees t (Dom.root t.dom) (Html.parse html))
 
-let exec_script_body t src =
+let exec_script_body ?tier t src =
   t.scripts_run <- t.scripts_run + 1;
   let len = String.length src in
   (* The script text is trusted-side data handed to the engine by pointer:
@@ -331,9 +371,10 @@ let exec_script_body t src =
     | Engine.Value.Str s -> s
     | _ -> assert false
   in
-  Pkru_safe.Env.ffi_call t.env (fun () -> Engine.eval_source t.engine source)
+  Pkru_safe.Env.ffi_call t.env (fun () -> Engine.eval_source ?tier t.engine source)
 
-let exec_script t src = with_phase t "phase:exec-script" (fun () -> exec_script_body t src)
+let exec_script ?tier t src =
+  with_phase t "phase:exec-script" (fun () -> exec_script_body ?tier t src)
 
 let console t = Engine.take_output t.engine
 
@@ -342,3 +383,9 @@ let collect t = Engine.collect t.engine
 let read_secret t = Sim.Machine.priv_read_u64 t.machine Vmm.Layout.secret_addr
 
 let scripts_run t = t.scripts_run
+
+let selector_stats t = t.sel_stats
+
+let reset_selector_stats t =
+  t.sel_stats.sel_hits <- 0;
+  t.sel_stats.sel_misses <- 0

@@ -38,8 +38,10 @@ val load_page : t -> string -> unit
 (** Parses HTML (trusted-side work) and builds the DOM under the root.
     @raise Html.Html_error on bad markup. *)
 
-val exec_script : t -> string -> Engine.Value.t
+val exec_script : ?tier:Engine.tier -> t -> string -> Engine.Value.t
 (** Runs a script in the untrusted compartment against this page.
+    [tier] selects the execution tier (default [Ast_tier]); every tier is
+    observationally equivalent.
     @raise Engine.Eval.Script_error and the engine's parse errors;
     @raise Vmm.Fault.Unhandled when enforcement kills an access. *)
 
@@ -57,3 +59,22 @@ val read_secret : t -> int
 (** Reads the secret back (trusted-side, as the program-exit log). *)
 
 val scripts_run : t -> int
+
+(* {2 Selector cache observability}
+
+   [domQuery] compiles selectors once per source text and caches them for
+   the page's lifetime (see {!Selector}: compiled matching performs the
+   identical charged DOM reads, so caching is architecturally invisible —
+   it saves host-side parsing/name-resolution only). *)
+
+type selector_stats = {
+  mutable sel_hits : int;  (** [domQuery] calls served from the cache *)
+  mutable sel_misses : int;  (** calls that parsed + compiled *)
+}
+
+val selector_stats : t -> selector_stats
+val reset_selector_stats : t -> unit
+
+val selector_cache_enabled : bool ref
+(** Default [true]; the differential tests toggle it off to assert
+    cached and uncached querying simulate bit-identically. *)

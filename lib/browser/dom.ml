@@ -122,6 +122,13 @@ let tag_code t node = read32 t (addr t node) off_tag
 
 let tag_name t node = t.tag_names.(tag_code t node)
 
+(* Host-side intern-table introspection (no machine reads, no charges):
+   compiled selectors resolve names to codes once and revalidate against
+   [tag_count], which only ever grows. *)
+let tag_count t = t.ntags
+
+let find_code t name = Hashtbl.find_opt t.tag_codes name
+
 let is_text t node = tag_code t node = text_code
 
 let parent t node =
@@ -189,16 +196,18 @@ let set_attribute t node name value =
     write t rec_addr 24 (read t a off_attrs);
     write t a off_attrs rec_addr
 
+let attribute_by_code t node code =
+  match find_attr t (addr t node) code with
+  | None -> None
+  | Some rec_addr ->
+    let buf = read t rec_addr 8 in
+    let len = read t rec_addr 16 in
+    Some (if len = 0 then "" else Bytes.to_string (Sim.Machine.read_bytes t.machine buf len))
+
 let get_attribute t node name =
   match Hashtbl.find_opt t.tag_codes name with
   | None -> None
-  | Some code ->
-    (match find_attr t (addr t node) code with
-    | None -> None
-    | Some rec_addr ->
-      let buf = read t rec_addr 8 in
-      let len = read t rec_addr 16 in
-      Some (if len = 0 then "" else Bytes.to_string (Sim.Machine.read_bytes t.machine buf len)))
+  | Some code -> attribute_by_code t node code
 
 let attribute_count t node =
   let rec walk rec_addr n = if rec_addr = 0 then n else walk (read t rec_addr 24) (n + 1) in

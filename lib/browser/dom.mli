@@ -57,6 +57,27 @@ val set_attribute : t -> node -> string -> string -> unit
 val get_attribute : t -> node -> string -> string option
 val attribute_count : t -> node -> int
 
+(* {2 Interned-code access}
+
+   Tag and attribute names share one monotonic intern table.  Compiled
+   selectors ({!Selector.compile}) resolve names to codes host-side once
+   and revalidate against {!tag_count}; the charged machine reads of a
+   code-keyed probe are exactly those of the name-keyed one. *)
+
+val tag_code : t -> node -> int
+(** The node's interned tag code (one charged header read, like
+    {!tag_name}). *)
+
+val tag_count : t -> int
+(** Names interned so far (monotonic; host-side, no charge). *)
+
+val find_code : t -> string -> int option
+(** Code for an already-interned name (host-side, no charge). *)
+
+val attribute_by_code : t -> node -> int -> string option
+(** {!get_attribute} given a pre-resolved name code: identical charged
+    reads (attribute-chain walk + value bytes). *)
+
 val set_text : t -> node -> string -> unit
 (** Replaces a text node's payload. @raise Invalid_argument on elements. *)
 

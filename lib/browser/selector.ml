@@ -129,3 +129,126 @@ let query_first dom t =
   match query_all dom t with
   | [] -> None
   | node :: _ -> Some node
+
+(* --- Compiled matching ---
+
+   The interpreted matcher above re-resolves selector names against the
+   DOM's intern table and re-splits class attribute values on every
+   candidate node.  A compiled selector does that host-side work once,
+   while performing the exact same *charged* DOM reads in the same order,
+   so simulated cycles, faults and traces are bit-identical:
+
+   - tag tests read the node's tag code (one charged header read, same as
+     [tag_name]) and compare integers instead of strings;
+   - attribute tests use a pre-resolved name code.  A name the DOM has
+     never interned matches nothing *without any charged reads* — exactly
+     like [get_attribute]'s name-miss path — and codes are revalidated
+     against the (monotonic) intern count, since a later
+     [createElement]/[setAttribute] can intern a name that compiled as
+     unknown;
+   - class-attribute values are split through a content-keyed memo
+     (splitting is a pure function of the value string, so the memo needs
+     no invalidation; it is capped to bound memory). *)
+
+type nref = {
+  n_name : string;
+  mutable n_code : int; (* -1 = not interned *)
+  mutable n_snap : int; (* intern count when last resolved *)
+}
+
+type csimple =
+  | Ctag of nref
+  | Cattr of nref * string (* resolved attribute name, wanted value *)
+  | Cclass of nref * string (* resolved "class", wanted class *)
+  | Cuniversal
+
+type compiled = {
+  source : t;
+  cpaths : csimple list list list; (* mirrors [t]'s structure *)
+}
+
+let nref name = { n_name = name; n_code = -1; n_snap = -1 }
+
+let code_of dom r =
+  let snap = Dom.tag_count dom in
+  if r.n_snap <> snap then begin
+    r.n_snap <- snap;
+    r.n_code <- (match Dom.find_code dom r.n_name with Some c -> c | None -> -1)
+  end;
+  r.n_code
+
+let compile (sel : t) : compiled =
+  let compile_simple = function
+    | Tag tag -> Ctag (nref tag)
+    | Id id -> Cattr (nref "id", id)
+    | Class cls -> Cclass (nref "class", cls)
+    | Universal -> Cuniversal
+  in
+  {
+    source = sel;
+    cpaths = List.map (List.map (List.map compile_simple)) sel;
+  }
+
+let source c = c.source
+
+(* Content-keyed class-split memo: sound with no invalidation (pure
+   function of the value string); cleared when oversized. *)
+let split_memo : (string, string list) Hashtbl.t = Hashtbl.create 64
+let split_memo_cap = 4096
+
+let split_classes value =
+  match Hashtbl.find_opt split_memo value with
+  | Some parts -> parts
+  | None ->
+    let parts = split_on_whitespace value in
+    if Hashtbl.length split_memo >= split_memo_cap then Hashtbl.reset split_memo;
+    Hashtbl.replace split_memo value parts;
+    parts
+
+let matches_csimple dom node = function
+  | Cuniversal -> true
+  | Ctag r ->
+    let code = code_of dom r in
+    (* The header read is charged whether or not the tag is known, just
+       like the interpreted [tag_name] comparison. *)
+    Dom.tag_code dom node = code && code >= 0
+  | Cattr (r, wanted) ->
+    let code = code_of dom r in
+    if code < 0 then false (* uninterned name: no charged reads, like get_attribute *)
+    else Dom.attribute_by_code dom node code = Some wanted
+  | Cclass (r, cls) ->
+    let code = code_of dom r in
+    if code < 0 then false
+    else (
+      match Dom.attribute_by_code dom node code with
+      | None -> false
+      | Some value -> List.mem cls (split_classes value))
+
+let matches_ccompound dom node compound =
+  (not (Dom.is_text dom node)) && List.for_all (matches_csimple dom node) compound
+
+let rec matches_rev_cpath dom node = function
+  | [] -> true
+  | compound :: rest ->
+    matches_ccompound dom node compound
+    &&
+    let rec some_ancestor current =
+      match Dom.parent dom current with
+      | None -> rest = []
+      | Some parent -> matches_rev_cpath dom parent rest || some_ancestor parent
+    in
+    (match rest with
+    | [] -> true
+    | _ -> some_ancestor node)
+
+let matches_compiled dom node c =
+  List.exists (fun path -> matches_rev_cpath dom node (List.rev path)) c.cpaths
+
+let query_all_compiled dom c =
+  let acc = ref [] in
+  let rec walk node =
+    if node <> Dom.root dom && matches_compiled dom node c then acc := node :: !acc;
+    List.iter walk (Dom.children dom node)
+  in
+  walk (Dom.root dom);
+  List.rev !acc

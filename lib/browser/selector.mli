@@ -30,3 +30,24 @@ val query_all : Dom.t -> t -> Dom.node list
     returned; text nodes never match). *)
 
 val query_first : Dom.t -> t -> Dom.node option
+
+(* {2 Compiled selectors}
+
+   One-time host-side preparation of a parsed selector: names resolve to
+   interned codes (revalidated against the DOM's monotonic intern count,
+   so names interned after compilation are picked up) and class-value
+   splitting is memoized by content.  Matching performs the exact same
+   charged DOM reads as the interpreted matcher — simulated cycles,
+   faults and traces are bit-identical; only host wall-clock drops.
+   The browser's per-page selector cache ({!Browser.selector_stats})
+   keys compiled selectors by source text. *)
+
+type compiled
+
+val compile : t -> compiled
+
+val source : compiled -> t
+(** The parsed selector this was compiled from. *)
+
+val matches_compiled : Dom.t -> Dom.node -> compiled -> bool
+val query_all_compiled : Dom.t -> compiled -> Dom.node list

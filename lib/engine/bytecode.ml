@@ -57,13 +57,25 @@ type emitted =
   | Jmp_if_true_peek of int
 
 type ectx = {
-  mutable code : emitted list; (* reversed *)
+  mutable ebuf : emitted array; (* growable, in emission order *)
+  mutable elen : int;
   mutable labels : int;
   mutable eloops : (int * int * int) list; (* (break_lbl, continue_lbl, depth) *)
   mutable edepth : int;
 }
 
-let emit c e = c.code <- e :: c.code
+(* Append into a growable buffer.  (This used to prepend to a list that
+   [assemble] then reversed twice; a doubling array keeps emission O(1)
+   amortised and lets assembly run a single forward pass.) *)
+let emit c e =
+  let cap = Array.length c.ebuf in
+  if c.elen >= cap then begin
+    let bigger = Array.make (max 32 (2 * cap)) e in
+    Array.blit c.ebuf 0 bigger 0 c.elen;
+    c.ebuf <- bigger
+  end;
+  c.ebuf.(c.elen) <- e;
+  c.elen <- c.elen + 1
 
 let fresh_label c =
   c.labels <- c.labels + 1;
@@ -257,37 +269,40 @@ and compile_stmt c (s : Ast.stmt) =
     emit c (Ins Pop_scope);
     c.edepth <- c.edepth - 1
 
-(* Resolve labels to absolute indices. *)
-let assemble (emitted : emitted list) : instr array =
-  let emitted = List.rev emitted in
+(* Resolve labels to absolute indices: one forward pass to place labels,
+   one to write instructions straight into a pre-sized array. *)
+let assemble c : instr array =
   let positions = Hashtbl.create 16 in
   let pc = ref 0 in
-  List.iter
-    (fun e ->
-      match e with
-      | Label l -> Hashtbl.replace positions l !pc
-      | Ins _ | Jmp _ | Jmp_if_false _ | Jmp_if_false_peek _ | Jmp_if_true_peek _ -> incr pc)
-    emitted;
+  for i = 0 to c.elen - 1 do
+    match c.ebuf.(i) with
+    | Label l -> Hashtbl.replace positions l !pc
+    | Ins _ | Jmp _ | Jmp_if_false _ | Jmp_if_false_peek _ | Jmp_if_true_peek _ -> incr pc
+  done;
   let target l =
     match Hashtbl.find_opt positions l with
     | Some p -> p
     | None -> Eval.fail "unresolved label %d" l
   in
-  let out = ref [] in
-  List.iter
-    (fun e ->
-      match e with
-      | Label _ -> ()
-      | Ins i -> out := i :: !out
-      | Jmp l -> out := Jump (target l) :: !out
-      | Jmp_if_false l -> out := Jump_if_false (target l) :: !out
-      | Jmp_if_false_peek l -> out := Jump_if_false_peek (target l) :: !out
-      | Jmp_if_true_peek l -> out := Jump_if_true_peek (target l) :: !out)
-    emitted;
-  Array.of_list (List.rev !out)
+  let out = Array.make !pc Ret_null in
+  let j = ref 0 in
+  let put i =
+    out.(!j) <- i;
+    incr j
+  in
+  for i = 0 to c.elen - 1 do
+    match c.ebuf.(i) with
+    | Label _ -> ()
+    | Ins i -> put i
+    | Jmp l -> put (Jump (target l))
+    | Jmp_if_false l -> put (Jump_if_false (target l))
+    | Jmp_if_false_peek l -> put (Jump_if_false_peek (target l))
+    | Jmp_if_true_peek l -> put (Jump_if_true_peek (target l))
+  done;
+  out
 
 let compile_body (stmts : Ast.stmt list) ~toplevel =
-  let c = { code = []; labels = 0; eloops = []; edepth = 0 } in
+  let c = { ebuf = [||]; elen = 0; labels = 0; eloops = []; edepth = 0 } in
   (* Top level: the value of the last expression statement is the result. *)
   let rec walk = function
     | [] -> emit c (Ins Ret_null)
@@ -299,7 +314,7 @@ let compile_body (stmts : Ast.stmt list) ~toplevel =
       walk rest
   in
   walk stmts;
-  assemble c.code
+  assemble c
 
 let compile (prog : Ast.program) : program = { top = compile_body prog ~toplevel:true }
 
@@ -337,6 +352,43 @@ let instr_to_string = function
   | Push_scope -> "push_scope"
   | Pop_scope -> "pop_scope"
   | Pop_scopes n -> Printf.sprintf "pop_scopes %d" n
+  | Ret -> "ret"
+  | Ret_null -> "ret_null"
+
+(* Operand-free opcode name, the unit of opcode-frequency profiling (and
+   the granularity at which superinstructions are selected). *)
+let mnemonic = function
+  | Push_num _ -> "push_num"
+  | Push_bool _ -> "push_bool"
+  | Push_null -> "push_null"
+  | Push_str _ -> "push_str"
+  | Load_var _ -> "load"
+  | Store_var _ -> "store"
+  | Decl_var _ -> "decl"
+  | Pop -> "pop"
+  | Dup -> "dup"
+  | Dup2 -> "dup2"
+  | Bin_op _ -> "binop"
+  | Un_op _ -> "unop"
+  | Jump _ -> "jump"
+  | Jump_if_false _ -> "jump_if_false"
+  | Jump_if_false_peek _ -> "jump_if_false_peek"
+  | Jump_if_true_peek _ -> "jump_if_true_peek"
+  | Load_index -> "load_index"
+  | Store_index_keep -> "store_index"
+  | Load_member _ -> "load_member"
+  | Store_member_keep _ -> "store_member"
+  | Call_top _ -> "call"
+  | Method_call _ -> "method_call"
+  | Ns_call _ -> "ns_call"
+  | Print_op _ -> "print"
+  | New_array_op -> "new_array"
+  | Make_array _ -> "make_array"
+  | Make_object _ -> "make_object"
+  | Make_closure _ -> "make_closure"
+  | Push_scope -> "push_scope"
+  | Pop_scope -> "pop_scope"
+  | Pop_scopes _ -> "pop_scopes"
   | Ret -> "ret"
   | Ret_null -> "ret_null"
 
@@ -394,9 +446,23 @@ let rec exec vm (code : instr array) scope0 =
   let current_scope () = List.hd !scopes in
   let pc = ref 0 in
   let n = Array.length code in
+  (* Opcode profiling (host-side only; see Opstats).  Pairs count only
+     fall-through adjacency inside this frame — the shapes a fused
+     superinstruction could cover. *)
+  let last_pc = ref (-2) in
+  let last_m = ref "" in
   (try
      while !pc < n do
-       let instr = code.(!pc) in
+       let pc0 = !pc in
+       let instr = code.(pc0) in
+       (match !Opstats.current with
+       | Some st ->
+         let m = mnemonic instr in
+         if pc0 = !last_pc + 1 then Opstats.record st ~prev:!last_m m
+         else Opstats.record st m;
+         last_pc := pc0;
+         last_m := m
+       | None -> ());
        incr pc;
        Eval.tick t 1;
        match instr with
@@ -452,7 +518,7 @@ let rec exec vm (code : instr array) scope0 =
        | Method_call (name, argc) ->
          let args = popn argc in
          let recv = pop () in
-         push (Eval.method_call t recv name args)
+         push (method_call vm recv name args)
        | Ns_call (ns, name, argc) -> push (Eval.ns_call t ns name (popn argc))
        | Print_op argc ->
          Eval.print_values t (popn argc);
@@ -479,7 +545,7 @@ let rec exec vm (code : instr array) scope0 =
          | Value.Fun id -> Hashtbl.replace vm.vm_closures id (params, body)
          | _ -> assert false);
          push closure
-       | Push_scope -> scopes := Eval.new_scope ~parent:(current_scope ()) :: !scopes
+       | Push_scope -> scopes := Eval.new_scope ~parent:(current_scope ()) () :: !scopes
        | Pop_scope -> scopes := List.tl !scopes
        | Pop_scopes k ->
          for _ = 1 to k do
@@ -494,12 +560,25 @@ let rec exec vm (code : instr array) scope0 =
 (* Calls from VM code: VM-made closures re-enter the VM through their
    cached proto; anything else (AST-tier closures, hosts) goes through the
    shared call path. *)
+(* Method calls: a function-valued property of an object receiver is
+   fetched (same charges as the shared path) and called through the VM's
+   own call path, so methods the VM minted execute as bytecode like any
+   other VM closure.  Every non-object receiver — array/string builtins —
+   takes the shared AST-tier method path unchanged. *)
+and method_call vm recv name args =
+  match recv with
+  | Value.Obj o ->
+    (match Value.obj_get (Eval.heap vm.eval) o name with
+    | Value.Null -> Eval.fail "object has no method %s" name
+    | f -> call_value vm f args)
+  | recv -> Eval.method_call vm.eval recv name args
+
 and call_value vm callee args =
   match callee with
   | Value.Fun id when Hashtbl.mem vm.vm_closures id ->
     let params, body = Hashtbl.find vm.vm_closures id in
     let _, _, captured = Eval.closure_parts vm.eval id in
-    let scope = Eval.new_scope ~parent:captured in
+    let scope = Eval.new_scope ~parent:captured () in
     List.iteri
       (fun i p ->
         let v =

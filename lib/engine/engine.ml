@@ -4,10 +4,13 @@ module Parser = Parser
 module Ast = Ast
 module Eval = Eval
 module Bytecode = Bytecode
+module Threaded = Threaded
+module Opstats = Opstats
 
 type tier =
   | Ast_tier
   | Bytecode_tier
+  | Threaded_tier
 
 type t = {
   env : Pkru_safe.Env.t;
@@ -57,6 +60,8 @@ let eval_source ?(tier = Ast_tier) t src =
   | Ast_tier -> with_phase t "engine:eval" (fun () -> Eval.run_program t.eval program)
   | Bytecode_tier ->
     with_phase t "engine:bytecode" (fun () -> Bytecode.run t.eval (Bytecode.compile program))
+  | Threaded_tier ->
+    with_phase t "engine:bytecode" (fun () -> Threaded.run t.eval (Bytecode.compile program))
 
 let eval_string ?tier t text =
   match Value.str_of_string t.heap text with

@@ -12,10 +12,16 @@ module Parser = Parser
 module Ast = Ast
 module Eval = Eval
 module Bytecode = Bytecode
+module Threaded = Threaded
+module Opstats = Opstats
 
 type tier =
   | Ast_tier      (** tree-walking evaluator (default) *)
-  | Bytecode_tier (** compile to stack bytecode, then interpret *)
+  | Bytecode_tier (** compile to stack bytecode, then interpret (reference) *)
+  | Threaded_tier
+      (** closure-compiled dispatch + superinstructions + inline caches
+          (layers per [!Threaded.config]); simulates bit-identically to
+          [Bytecode_tier] *)
 
 type t
 

@@ -8,9 +8,24 @@ let () =
 type host = Value.t list -> Value.t
 
 type scope = {
-  vars : (string, Value.t) Hashtbl.t;
+  vars : (string, Value.t ref) Hashtbl.t;
+  mutable decls : int;
+      (* bumped only when a NEW name is declared in this scope; re-declaring
+         an existing name updates its ref in place.  Variable inline caches
+         validate against this epoch: an unchanged [decls] on every scope a
+         cached walk skipped proves no new shadowing binding appeared. *)
   parent : scope option;
+  origin : int;
+      (* shared by every scope minted at one closure-call site (0 = not
+         tracked).  Declarations at such a site form a fixed sequence —
+         params first, then the body's own-scope [var]s in body order —
+         so (origin, decls) determines the name of every slot below
+         [decls], which is what the slot-resolved variable IC validates
+         against. *)
+  mutable slots : Value.t ref array; (* i-th newly declared binding, origin scopes only *)
 }
+
+let no_slots : Value.t ref array = [||]
 
 type closure = {
   c_params : string list;
@@ -41,9 +56,9 @@ let create ?(seed = 1) ?(fuel = 200_000_000) heap =
   {
     heap;
     machine = Pkru_safe.Env.machine (Value.env heap);
-    globals = { vars = Hashtbl.create 64; parent = None };
+    globals = { vars = Hashtbl.create 64; decls = 0; parent = None; origin = 0; slots = no_slots };
     hosts = Hashtbl.create 32;
-    closures = Array.make 16 { c_params = []; c_body = []; c_scope = { vars = Hashtbl.create 1; parent = None } };
+    closures = Array.make 16 { c_params = []; c_body = []; c_scope = { vars = Hashtbl.create 1; decls = 0; parent = None; origin = 0; slots = no_slots } };
     nclosures = 0;
     rng = Util.Rng.create seed;
     output = [];
@@ -56,9 +71,33 @@ let heap t = t.heap
 
 let register_host t name fn = Hashtbl.replace t.hosts name fn
 
-let set_global t name v = Hashtbl.replace t.globals.vars name v
+(* Origins for call-site-minted scopes (see [scope]); 0 means untracked. *)
+let origin_counter = ref 0
 
-let get_global t name = Hashtbl.find_opt t.globals.vars name
+let fresh_origin () =
+  incr origin_counter;
+  !origin_counter
+
+let declare scope name v =
+  match Hashtbl.find_opt scope.vars name with
+  | Some r -> r := v
+  | None ->
+    let r = ref v in
+    Hashtbl.replace scope.vars name r;
+    if scope.origin > 0 then begin
+      let n = scope.decls in
+      if n >= Array.length scope.slots then begin
+        let bigger = Array.make (max 4 (2 * Array.length scope.slots)) r in
+        Array.blit scope.slots 0 bigger 0 n;
+        scope.slots <- bigger
+      end;
+      scope.slots.(n) <- r
+    end;
+    scope.decls <- scope.decls + 1
+
+let set_global t name v = declare t.globals name v
+
+let get_global t name = Option.map ( ! ) (Hashtbl.find_opt t.globals.vars name)
 
 let take_output t =
   let lines = List.rev t.output in
@@ -90,7 +129,7 @@ let add_closure t c =
 let rec lookup t scope name =
   charge t 2;
   match Hashtbl.find_opt scope.vars name with
-  | Some v -> Some v
+  | Some r -> Some !r
   | None ->
     (match scope.parent with
     | Some p -> lookup t p name
@@ -98,13 +137,231 @@ let rec lookup t scope name =
 
 let rec assign_existing t scope name v =
   match Hashtbl.find_opt scope.vars name with
-  | Some _ ->
-    Hashtbl.replace scope.vars name v;
+  | Some r ->
+    r := v;
     true
   | None ->
     (match scope.parent with
     | Some p -> assign_existing t p name v
     | None -> false)
+
+(* --- Variable inline caches ---
+
+   A call site that resolves the same name repeatedly can skip the
+   host-side hash lookups of the scope walk while charging exactly the
+   cycles the walk would have charged.  Two cache levels:
+
+   - The {e full-walk} cache is anchored on the innermost scope itself.
+     While [cur] is physically the same scope (loop bodies, block and
+     global scopes survive across iterations) and no scope the walk
+     probed has declared a new name since ([decls] epoch — nothing can
+     shadow the cached binding), a hit needs zero hash probes.  It
+     charges 2 cycles per level the uncached walk would have probed
+     (misses below the holder plus the holder itself), so cycle counts
+     are bit-identical.
+
+   - Per-call scopes are fresh hash tables, so the full-walk anchor
+     never validates inside function bodies.  The fallback performs (and
+     charges) the real level-0 probe, then consults the {e walk-above}
+     cache anchored on [cur.parent] — the captured scope chain, which IS
+     stable across calls to the same closure.
+
+   Sites whose anchors never stabilise (every access lands in a freshly
+   minted scope, e.g. locals of a block re-entered each iteration) stop
+   paying the cache-refill overhead: after [streak_limit] consecutive
+   misses without a hit the site disables itself and reverts to the
+   plain charged walk. *)
+
+type ic_stats = {
+  mutable var_hits : int;
+  mutable var_misses : int;
+}
+
+let ic_stats = { var_hits = 0; var_misses = 0 }
+
+let reset_ic_stats () =
+  ic_stats.var_hits <- 0;
+  ic_stats.var_misses <- 0
+
+type var_site = {
+  vsite_name : string;
+  (* slot cache, keyed on the scope's call-site origin: valid for every
+     scope minted at that site while its declaration epoch matches *)
+  mutable vslot_origin : int; (* 0 = empty *)
+  mutable vslot_decls : int;
+  mutable vslot_idx : int;
+  (* full-walk cache, anchored on [cur] at fill time *)
+  mutable vfull_anchor : scope option;
+  mutable vfull_ref : Value.t ref;
+  mutable vfull_path : (scope * int) array; (* probed-and-missed scopes + decls snapshots *)
+  (* walk-above-cur cache, anchored on [cur.parent] at fill time *)
+  mutable vsite_anchor : scope option;
+  mutable vsite_ref : Value.t ref;
+  mutable vsite_levels : int; (* scopes the walk probed below [cur], holder included *)
+  mutable vsite_path : (scope * int) array; (* skipped scopes + decls snapshots *)
+  mutable vsite_streak : int; (* consecutive misses; negative = site disabled *)
+}
+
+let streak_limit = 32
+
+let var_site name =
+  { vsite_name = name;
+    vslot_origin = 0; vslot_decls = 0; vslot_idx = 0;
+    vfull_anchor = None; vfull_ref = ref Value.Null; vfull_path = [||];
+    vsite_anchor = None; vsite_ref = ref Value.Null;
+    vsite_levels = 0; vsite_path = [||]; vsite_streak = 0 }
+
+(* A level-0 find in an origin-tracked scope can be slot-cached: the ref
+   sits in [cur.slots] at a fixed index for every scope of this origin at
+   this declaration epoch. *)
+let vslot_learn site cur r =
+  if cur.origin > 0 then begin
+    let n = cur.decls in
+    let rec idx i = if i >= n then -1 else if cur.slots.(i) == r then i else idx (i + 1) in
+    match idx 0 with
+    | -1 -> ()
+    | i ->
+      site.vslot_origin <- cur.origin;
+      site.vslot_decls <- n;
+      site.vslot_idx <- i
+  end
+
+let vfull_valid site cur =
+  (match site.vfull_anchor with Some a -> a == cur | None -> false)
+  && Array.for_all (fun (s, d) -> s.decls = d) site.vfull_path
+
+let vsite_valid site parent =
+  match site.vsite_anchor with
+  | Some a when a == parent ->
+    Array.for_all (fun (s, d) -> s.decls = d) site.vsite_path
+  | _ -> false
+
+(* Walk from [start] (= cur.parent) resolving [site.vsite_name], charging 2
+   per level when [charged] (lookup semantics; assignment charges nothing),
+   and refill both cache levels on success. *)
+let vsite_fill t ~charged site cur start =
+  let missed = ref [] in
+  let rec go depth s =
+    if charged then charge t 2;
+    match Hashtbl.find_opt s.vars site.vsite_name with
+    | Some r ->
+      let path = Array.of_list (List.rev_map (fun sc -> (sc, sc.decls)) !missed) in
+      site.vsite_anchor <- Some start;
+      site.vsite_ref <- r;
+      site.vsite_levels <- depth + 1;
+      site.vsite_path <- path;
+      site.vfull_anchor <- Some cur;
+      site.vfull_ref <- r;
+      site.vfull_path <- Array.append [| (cur, cur.decls) |] path;
+      Some r
+    | None ->
+      missed := s :: !missed;
+      (match s.parent with
+      | Some p -> go (depth + 1) p
+      | None -> None)
+  in
+  go 0 start
+
+let vsite_miss site =
+  ic_stats.var_misses <- ic_stats.var_misses + 1;
+  if site.vsite_streak >= 0 then begin
+    site.vsite_streak <- site.vsite_streak + 1;
+    if site.vsite_streak > streak_limit then site.vsite_streak <- -1
+  end
+
+let cached_lookup t cur site =
+  if site.vsite_streak < 0 then begin
+    ic_stats.var_misses <- ic_stats.var_misses + 1;
+    lookup t cur site.vsite_name
+  end
+  else if
+    cur.origin > 0 && cur.origin = site.vslot_origin && cur.decls = site.vslot_decls
+  then begin
+    ic_stats.var_hits <- ic_stats.var_hits + 1;
+    site.vsite_streak <- 0;
+    charge t 2;
+    Some !(cur.slots.(site.vslot_idx))
+  end
+  else if vfull_valid site cur then begin
+    ic_stats.var_hits <- ic_stats.var_hits + 1;
+    site.vsite_streak <- 0;
+    charge t (2 * (Array.length site.vfull_path + 1));
+    Some !(site.vfull_ref)
+  end
+  else begin
+    charge t 2;
+    match Hashtbl.find_opt cur.vars site.vsite_name with
+    | Some r ->
+      (* found in the innermost scope: re-anchor the full-walk cache *)
+      site.vsite_streak <- 0;
+      site.vfull_anchor <- Some cur;
+      site.vfull_ref <- r;
+      site.vfull_path <- [||];
+      vslot_learn site cur r;
+      Some !r
+    | None ->
+      (match cur.parent with
+      | None -> None
+      | Some p ->
+        if vsite_valid site p then begin
+          ic_stats.var_hits <- ic_stats.var_hits + 1;
+          site.vsite_streak <- 0;
+          charge t (2 * site.vsite_levels);
+          Some !(site.vsite_ref)
+        end
+        else begin
+          vsite_miss site;
+          Option.map ( ! ) (vsite_fill t ~charged:true site cur p)
+        end)
+  end
+
+let cached_assign t cur site v =
+  if site.vsite_streak < 0 then begin
+    ic_stats.var_misses <- ic_stats.var_misses + 1;
+    assign_existing t cur site.vsite_name v
+  end
+  else if
+    cur.origin > 0 && cur.origin = site.vslot_origin && cur.decls = site.vslot_decls
+  then begin
+    ic_stats.var_hits <- ic_stats.var_hits + 1;
+    site.vsite_streak <- 0;
+    cur.slots.(site.vslot_idx) := v;
+    true
+  end
+  else if vfull_valid site cur then begin
+    ic_stats.var_hits <- ic_stats.var_hits + 1;
+    site.vsite_streak <- 0;
+    site.vfull_ref := v;
+    true
+  end
+  else
+    match Hashtbl.find_opt cur.vars site.vsite_name with
+    | Some r ->
+      site.vsite_streak <- 0;
+      site.vfull_anchor <- Some cur;
+      site.vfull_ref <- r;
+      site.vfull_path <- [||];
+      vslot_learn site cur r;
+      r := v;
+      true
+    | None ->
+      (match cur.parent with
+      | None -> false
+      | Some p ->
+        if vsite_valid site p then begin
+          ic_stats.var_hits <- ic_stats.var_hits + 1;
+          site.vsite_streak <- 0;
+          site.vsite_ref := v;
+          true
+        end
+        else begin
+          vsite_miss site;
+          match vsite_fill t ~charged:false site cur p with
+          | Some r ->
+            r := v;
+            true
+          | None -> false
+        end)
 
 let to_num t v =
   match v with
@@ -175,14 +432,14 @@ let rec json_stringify t buf v =
   | Value.Obj o ->
     Buffer.add_char buf '{';
     let first = ref true in
-    Hashtbl.iter
+    Value.obj_iter
       (fun k v ->
         if not !first then Buffer.add_char buf ',';
         first := false;
         Buffer.add_string buf (Printf.sprintf "%S" k);
         Buffer.add_char buf ':';
         json_stringify t buf v)
-      o.Value.o_props;
+      o;
     Buffer.add_char buf '}'
   | Value.Fun _ | Value.Host _ | Value.Handle _ -> Buffer.add_string buf "null"
 
@@ -422,7 +679,7 @@ and call_value t callee args =
   match callee with
   | Value.Fun id ->
     let c = t.closures.(id) in
-    let scope = { vars = Hashtbl.create 8; parent = Some c.c_scope } in
+    let scope = { vars = Hashtbl.create 8; decls = 0; parent = Some c.c_scope; origin = 0; slots = no_slots } in
     List.iteri
       (fun i p ->
         let v =
@@ -430,7 +687,7 @@ and call_value t callee args =
           | Some v -> v
           | None -> Value.Null
         in
-        Hashtbl.replace scope.vars p v)
+        declare scope p v)
       c.c_params;
     (try
        exec_stmts t scope c.c_body;
@@ -565,7 +822,7 @@ and binary t op a b =
 and store t scope lhs v =
   match lhs with
   | Ast.Ident name ->
-    if not (assign_existing t scope name v) then Hashtbl.replace t.globals.vars name v
+    if not (assign_existing t scope name v) then declare t.globals name v
   | Ast.Index (a, i) ->
     (match eval t scope a with
     | Value.Arr arr ->
@@ -588,10 +845,10 @@ and exec_stmt t scope (s : Ast.stmt) =
   | Ast.Expr e -> ignore (eval t scope e)
   | Ast.Var (name, init) ->
     let v = eval t scope init in
-    Hashtbl.replace scope.vars name v
+    declare scope name v
   | Ast.Func_decl (name, params, body) ->
     let id = add_closure t { c_params = params; c_body = body; c_scope = scope } in
-    Hashtbl.replace scope.vars name (Value.Fun id)
+    declare scope name (Value.Fun id)
   | Ast.If (cond, then_, else_) ->
     if Value.truthy (eval t scope cond) then exec_stmts t scope then_
     else exec_stmts t scope else_
@@ -602,7 +859,7 @@ and exec_stmt t scope (s : Ast.stmt) =
        done
      with Break_exc -> ())
   | Ast.For (init, cond, step, body) ->
-    let loop_scope = { vars = Hashtbl.create 4; parent = Some scope } in
+    let loop_scope = { vars = Hashtbl.create 4; decls = 0; parent = Some scope; origin = 0; slots = no_slots } in
     (match init with
     | Some s -> exec_stmt t loop_scope s
     | None -> ());
@@ -628,7 +885,7 @@ and exec_stmt t scope (s : Ast.stmt) =
   | Ast.Break -> raise Break_exc
   | Ast.Continue -> raise Continue_exc
   | Ast.Block body ->
-    exec_stmts t { vars = Hashtbl.create 4; parent = Some scope } body
+    exec_stmts t { vars = Hashtbl.create 4; decls = 0; parent = Some scope; origin = 0; slots = no_slots } body
 
 and exec_stmts t scope stmts = List.iter (exec_stmt t scope) stmts
 
@@ -652,7 +909,7 @@ let gc t =
     | Value.Obj o ->
       if not (Hashtbl.mem live o.Value.o_addr) then begin
         Hashtbl.replace live o.Value.o_addr ();
-        Hashtbl.iter (fun _ v -> mark_value v) o.Value.o_props
+        Value.obj_iter (fun _ v -> mark_value v) o
       end
     | Value.Fun id ->
       if not (Hashtbl.mem seen_closures id) then begin
@@ -662,7 +919,7 @@ let gc t =
   and mark_scope scope =
     if not (List.memq scope !seen_scopes) then begin
       seen_scopes := scope :: !seen_scopes;
-      Hashtbl.iter (fun _ v -> mark_value v) scope.vars;
+      Hashtbl.iter (fun _ r -> mark_value !r) scope.vars;
       match scope.parent with
       | Some parent -> mark_scope parent
       | None -> ()
@@ -689,18 +946,99 @@ let call_function t f args = call_value t f args
 
 let globals_scope t = t.globals
 
-let new_scope ~parent = { vars = Hashtbl.create 8; parent = Some parent }
+let new_scope ?(origin = 0) ~parent () =
+  { vars = Hashtbl.create 8; decls = 0; parent = Some parent; origin; slots = no_slots }
 
-let scope_declare scope name v = Hashtbl.replace scope.vars name v
+let scope_declare scope name v = declare scope name v
 
 let scope_lookup t scope name = lookup t scope name
 
 let scope_assign t scope name v =
-  if not (assign_existing t scope name v) then Hashtbl.replace t.globals.vars name v
+  if not (assign_existing t scope name v) then declare t.globals name v
 
 let host_exists t name = Hashtbl.mem t.hosts name
 
 let binary_op t op a b = binary t op a b
+
+(* Compile-time specialisation of {!binary_op}: the operator string is
+   matched once, when the site is compiled, not on every execution.  Each
+   returned closure performs exactly the reference sequence — charge 1,
+   then the operation — and an unknown operator yields a closure that
+   still charges 1 before failing, preserving the reference's
+   charge-before-fail order. *)
+let binary_fn op : t -> Value.t -> Value.t -> Value.t =
+  match op with
+  | "+" ->
+    fun t a b ->
+      charge t 1;
+      (match (a, b) with
+      | Value.Str _, _ | _, Value.Str _ ->
+        Value.str_concat t.heap (as_str (to_str t a)) (as_str (to_str t b))
+      | _ -> Value.Num (to_num t a +. to_num t b))
+  | "-" ->
+    fun t a b ->
+      charge t 1;
+      Value.Num (to_num t a -. to_num t b)
+  | "*" ->
+    fun t a b ->
+      charge t 1;
+      Value.Num (to_num t a *. to_num t b)
+  | "/" ->
+    fun t a b ->
+      charge t 1;
+      Value.Num (to_num t a /. to_num t b)
+  | "%" ->
+    fun t a b ->
+      charge t 1;
+      Value.Num (Float.rem (to_num t a) (to_num t b))
+  | "&" ->
+    fun t a b ->
+      charge t 1;
+      Value.Num (of_i32 (to_i32 t a land to_i32 t b))
+  | "|" ->
+    fun t a b ->
+      charge t 1;
+      Value.Num (of_i32 (to_i32 t a lor to_i32 t b))
+  | "^" ->
+    fun t a b ->
+      charge t 1;
+      Value.Num (of_i32 (to_i32 t a lxor to_i32 t b))
+  | "<<" ->
+    fun t a b ->
+      charge t 1;
+      Value.Num (of_i32 (to_i32 t a lsl (to_i32 t b land 31)))
+  | ">>" ->
+    fun t a b ->
+      charge t 1;
+      Value.Num (of_i32 (to_i32 t a asr (to_i32 t b land 31)))
+  | "==" ->
+    fun t a b ->
+      charge t 1;
+      Value.Bool (Value.equals t.heap a b)
+  | "!=" ->
+    fun t a b ->
+      charge t 1;
+      Value.Bool (not (Value.equals t.heap a b))
+  | "<" ->
+    fun t a b ->
+      charge t 1;
+      Value.Bool (to_num t a < to_num t b)
+  | "<=" ->
+    fun t a b ->
+      charge t 1;
+      Value.Bool (to_num t a <= to_num t b)
+  | ">" ->
+    fun t a b ->
+      charge t 1;
+      Value.Bool (to_num t a > to_num t b)
+  | ">=" ->
+    fun t a b ->
+      charge t 1;
+      Value.Bool (to_num t a >= to_num t b)
+  | op ->
+    fun t _ _ ->
+      charge t 1;
+      fail "unknown operator %s" op
 
 let truthy_value = Value.truthy
 

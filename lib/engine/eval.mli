@@ -51,7 +51,14 @@ val steps : t -> int
 type scope
 
 val globals_scope : t -> scope
-val new_scope : parent:scope -> scope
+val new_scope : ?origin:int -> parent:scope -> unit -> scope
+(** [origin] (from {!fresh_origin}) marks every scope minted at one
+    closure-call site as sharing a deterministic declaration layout,
+    enabling the slot-resolved variable IC; omit it for scopes with no
+    such guarantee. *)
+
+val fresh_origin : unit -> int
+(** A process-unique id for one closure-call site's scopes. *)
 
 val scope_declare : scope -> string -> Value.t -> unit
 (** [var name = v] in this scope. *)
@@ -65,10 +72,55 @@ val scope_assign : t -> scope -> string -> Value.t -> unit
 
 val host_exists : t -> string -> bool
 
+(* {2 Variable inline caches}
+
+   A bytecode load/store site that resolves the same name repeatedly can
+   cache the binding it found and skip the host-side hash probes of the
+   scope walk — while charging exactly what the walk would have charged,
+   so simulated cycles stay bit-identical.  Two cache levels: a full-walk
+   cache anchored on the innermost scope itself (zero probes while that
+   scope is physically stable, as loop and global scopes are), and a
+   walk-above fallback anchored on the current scope's parent — the
+   captured chain, stable across calls to the same closure — behind a
+   genuinely probed (and charged) innermost level.  Both validate that no
+   scope they skip has declared a new (possibly shadowing) name since the
+   fill; sites whose anchors never stabilise disable themselves and
+   revert to the plain charged walk. *)
+
+type var_site
+
+val var_site : string -> var_site
+(** A fresh (empty) per-call-site cache for [name]. *)
+
+val cached_lookup : t -> scope -> var_site -> Value.t option
+(** Same observable behaviour and charges as {!scope_lookup}. *)
+
+val cached_assign : t -> scope -> var_site -> Value.t -> bool
+(** Updates the innermost existing binding ([false] if none exists
+    anywhere — the caller applies the global-declaration fallback).
+    Charges nothing, like the uncached assignment walk. *)
+
+type ic_stats = {
+  mutable var_hits : int;
+  mutable var_misses : int;
+}
+
+val ic_stats : ic_stats
+(** Process-wide variable-IC counters (host-side observability only). *)
+
+val reset_ic_stats : unit -> unit
+
 val call_value : t -> Value.t -> Value.t list -> Value.t
 (** Call a [Fun] (AST-interpreted) or [Host] value. *)
 
 val binary_op : t -> string -> Value.t -> Value.t -> Value.t
+
+val binary_fn : string -> t -> Value.t -> Value.t -> Value.t
+(** [binary_fn op] resolves the operator string once, at site-compile
+    time, returning a closure with the exact observable behaviour of
+    [binary_op _ op] — including charging 1 cycle before failing on an
+    unknown operator. *)
+
 val truthy_value : Value.t -> bool
 val unary_op : t -> string -> Value.t -> Value.t
 val method_call : t -> Value.t -> string -> Value.t list -> Value.t

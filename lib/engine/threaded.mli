@@ -1,0 +1,52 @@
+(** The fast bytecode tier: direct-threaded (closure-compiled) dispatch,
+    profiler-selected superinstructions, and inline caches.
+
+    Architecturally invisible by construction: every layer elides only
+    host-side OCaml work (decode, operand-stack traffic, hash probes)
+    while performing the identical sequence of simulated charges, machine
+    accesses and fault checks as the reference interpreter
+    ({!Bytecode.run}).  Differential tests assert bit-identical cycles,
+    compartment transitions and telemetry traces on every workload
+    kernel, per layer.  Only host wall-clock — and TLB hit counts, when
+    batched slot access is on — may differ. *)
+
+type opts = {
+  superinstructions : bool;  (** fuse measured-hot adjacent opcode pairs *)
+  var_ic : bool;  (** scope-walk inline caches (see {!Eval.cached_lookup}) *)
+  prop_ic : bool;  (** (shape, slot) property caches over hidden classes *)
+  batched_slots : bool;
+      (** one TLB probe per in-page 8-byte slot access
+          ({!Sim.Machine.read_f64_batched}) *)
+}
+
+val all_on : opts
+val all_off : opts
+
+val config : opts ref
+(** Layers used when {!run} is not given explicit [opts] (e.g. via
+    [Engine.Threaded_tier]).  Defaults to {!all_on}. *)
+
+val with_opts : opts -> (unit -> 'a) -> 'a
+(** Runs [f] with {!config} temporarily replaced. *)
+
+type stats = {
+  mutable prop_hits : int;
+  mutable prop_misses : int;
+  mutable super_execs : int;  (** fused-pair executions *)
+  mutable fused_sites : int;  (** fused sites emitted at compile time *)
+}
+
+val stats : stats
+(** Process-wide counters (host-side observability only; variable-IC
+    counters live in {!Eval.ic_stats}). *)
+
+val reset_stats : unit -> unit
+
+val fused_pairs : (string * string) list
+(** The enabled superinstruction set, as mnemonic pairs — chosen from
+    [report --opcodes] measurements on dromaeo/octane (see
+    EXPERIMENTS.md). *)
+
+val run : ?opts:opts -> Eval.t -> Bytecode.program -> Value.t
+(** Same contract as {!Bytecode.run}, same observable simulation;
+    [opts] defaults to [!config]. *)

@@ -24,7 +24,21 @@ and arr = {
 and obj = {
   o_id : int;
   o_addr : int;
-  o_props : (string, t) Hashtbl.t;
+  mutable o_shape : shape;
+  mutable o_slots : t array;
+}
+
+(* Hidden classes: objects built by adding the same properties in the same
+   order share one shape, so a property access is (shape, slot index)
+   instead of a per-object string map — the structure inline caches key
+   on.  Shapes form a transition tree from the per-heap root; adding a
+   property either follows a recorded transition or mints a new shape. *)
+and shape = {
+  sh_id : int;
+  sh_fields : (string, int) Hashtbl.t; (* name -> slot index *)
+  sh_names : string array; (* slot index -> name, insertion order *)
+  sh_count : int;
+  mutable sh_transitions : (string * shape) list;
 }
 
 type heap = {
@@ -33,6 +47,8 @@ type heap = {
   mutable boxed : t array; (* host-side table for NaN-boxed references *)
   mutable nboxed : int;
   mutable objects : int;
+  mutable shapes : int;
+  root_shape : shape;
   owned : (int, unit) Hashtbl.t; (* engine-owned machine buffers *)
 }
 
@@ -43,6 +59,15 @@ let create_heap env =
     boxed = Array.make 64 Null;
     nboxed = 0;
     objects = 0;
+    shapes = 1;
+    root_shape =
+      {
+        sh_id = 0;
+        sh_fields = Hashtbl.create 1;
+        sh_names = [||];
+        sh_count = 0;
+        sh_transitions = [];
+      };
     owned = Hashtbl.create 256;
   }
 
@@ -101,9 +126,21 @@ let unbox_bits h bits =
 let box = box_bits
 let unbox = unbox_bits
 
-let write_slot h addr v = Sim.Machine.write_f64 h.machine addr (Int64.float_of_bits (box_bits h v))
+(* When enabled (the fast engine tier turns it on for the duration of a
+   run), slot traffic goes through the machine's batched accessors: same
+   cycles, faults and events, one TLB probe instead of two. *)
+let batched_slots = ref false
 
-let read_slot h addr = unbox_bits h (Int64.bits_of_float (Sim.Machine.read_f64 h.machine addr))
+let write_slot h addr v =
+  let f = Int64.float_of_bits (box_bits h v) in
+  if !batched_slots then Sim.Machine.write_f64_batched h.machine addr f
+  else Sim.Machine.write_f64 h.machine addr f
+
+let read_slot h addr =
+  unbox_bits h
+    (Int64.bits_of_float
+       (if !batched_slots then Sim.Machine.read_f64_batched h.machine addr
+        else Sim.Machine.read_f64 h.machine addr))
 
 (* --- Strings --- *)
 
@@ -218,25 +255,80 @@ let obj_make h =
   h.objects <- h.objects + 1;
   let addr = malloc h 16 in
   Sim.Machine.write_u64 h.machine addr h.objects;
-  Obj { o_id = h.objects; o_addr = addr; o_props = Hashtbl.create 8 }
+  Obj { o_id = h.objects; o_addr = addr; o_shape = h.root_shape; o_slots = [||] }
 
 (* Property maps live host-side; charge a representative cost per access
    (hash + probe) so object-heavy workloads still cost cycles. *)
 let prop_cost = 6
 
+let shape_add h (sh : shape) name =
+  match List.assoc_opt name sh.sh_transitions with
+  | Some next -> next
+  | None ->
+    let fields = Hashtbl.copy sh.sh_fields in
+    Hashtbl.replace fields name sh.sh_count;
+    let names = Array.make (sh.sh_count + 1) name in
+    Array.blit sh.sh_names 0 names 0 sh.sh_count;
+    let next =
+      {
+        sh_id = h.shapes;
+        sh_fields = fields;
+        sh_names = names;
+        sh_count = sh.sh_count + 1;
+        sh_transitions = [];
+      }
+    in
+    h.shapes <- h.shapes + 1;
+    sh.sh_transitions <- (name, next) :: sh.sh_transitions;
+    next
+
 let obj_get h (o : obj) name =
   Sim.Machine.charge h.machine prop_cost;
-  match Hashtbl.find_opt o.o_props name with
-  | Some v -> v
+  match Hashtbl.find_opt o.o_shape.sh_fields name with
+  | Some i -> o.o_slots.(i)
   | None -> Null
 
 let obj_set h (o : obj) name v =
   Sim.Machine.charge h.machine prop_cost;
-  Hashtbl.replace o.o_props name v
+  match Hashtbl.find_opt o.o_shape.sh_fields name with
+  | Some i -> o.o_slots.(i) <- v
+  | None ->
+    let next = shape_add h o.o_shape name in
+    let i = next.sh_count - 1 in
+    if i >= Array.length o.o_slots then begin
+      let bigger = Array.make (max 4 (2 * Array.length o.o_slots)) Null in
+      Array.blit o.o_slots 0 bigger 0 (Array.length o.o_slots);
+      o.o_slots <- bigger
+    end;
+    o.o_slots.(i) <- v;
+    o.o_shape <- next
 
 let obj_has h (o : obj) name =
   Sim.Machine.charge h.machine prop_cost;
-  Hashtbl.mem o.o_props name
+  Hashtbl.mem o.o_shape.sh_fields name
+
+(* {2 Shape/slot access for inline caches}
+
+   An IC that has validated the receiver's shape may address the slot
+   directly; the charged variants charge exactly what the name-keyed path
+   charges, so a cache hit is architecturally invisible. *)
+
+let obj_shape_id (o : obj) = o.o_shape.sh_id
+let obj_slot_index (o : obj) name = Hashtbl.find_opt o.o_shape.sh_fields name
+
+let obj_get_slot h (o : obj) i =
+  Sim.Machine.charge h.machine prop_cost;
+  o.o_slots.(i)
+
+let obj_set_slot h (o : obj) i v =
+  Sim.Machine.charge h.machine prop_cost;
+  o.o_slots.(i) <- v
+
+let obj_iter f (o : obj) =
+  let names = o.o_shape.sh_names in
+  for i = 0 to o.o_shape.sh_count - 1 do
+    f names.(i) o.o_slots.(i)
+  done
 
 (* --- Misc --- *)
 

@@ -43,8 +43,22 @@ and arr = {
 and obj = {
   o_id : int;
   o_addr : int; (* machine-resident header *)
-  o_props : (string, t) Hashtbl.t;
+  mutable o_shape : shape;
+  mutable o_slots : t array;
 }
+
+and shape = {
+  sh_id : int;
+  sh_fields : (string, int) Hashtbl.t; (* name -> slot index *)
+  sh_names : string array; (* slot index -> name, insertion order *)
+  sh_count : int;
+  mutable sh_transitions : (string * shape) list;
+}
+(** Hidden classes: objects that add the same properties in the same order
+    share a shape, so a property is a (shape id, slot index) pair — the
+    structure inline caches key on.  Adding a new property follows (or
+    mints) a transition to a successor shape; in-place updates never
+    change the shape. *)
 
 type heap
 
@@ -92,6 +106,29 @@ val obj_get : heap -> obj -> string -> t
 
 val obj_set : heap -> obj -> string -> t -> unit
 val obj_has : heap -> obj -> string -> bool
+
+(* {2 Shape/slot access for inline caches}
+
+   A caller that has validated the receiver's shape id may address slots
+   directly.  The charged variants charge exactly [prop_cost], like the
+   name-keyed path, so an IC hit is architecturally invisible. *)
+
+val obj_shape_id : obj -> int
+val obj_slot_index : obj -> string -> int option
+(** Host-side lookup in the shape's field table; charges nothing. *)
+
+val obj_get_slot : heap -> obj -> int -> t
+val obj_set_slot : heap -> obj -> int -> t -> unit
+(** Slot store for an {e existing} property (never transitions). *)
+
+val obj_iter : (string -> t -> unit) -> obj -> unit
+(** Iterate properties in insertion (slot) order. *)
+
+val batched_slots : bool ref
+(** When set, array/slot traffic uses {!Sim.Machine.read_f64_batched} /
+    [write_f64_batched] — bit-identical cycles and traces, fewer host-side
+    TLB probes.  The fast dispatch tier enables it for the duration of a
+    run; default off. *)
 
 (* {2 NaN boxing (exposed for tests)} *)
 

@@ -34,13 +34,13 @@ let fail_on_error = function
   | Ok v -> v
   | Error msg -> failwith ("Workloads.Runner: " ^ msg)
 
-let profile_bench (bench : Bench_def.bench) =
+let profile_bench ?engine_tier (bench : Bench_def.bench) =
   let env =
     fail_on_error (Pkru_safe.Env.create (Pkru_safe.Config.make Pkru_safe.Config.Profiling))
   in
   let browser = Browser.create ~engine_seed:bench.Bench_def.engine_seed env in
   Browser.load_page browser bench.Bench_def.page;
-  ignore (Browser.exec_script browser bench.Bench_def.script);
+  ignore (Browser.exec_script ?tier:engine_tier browser bench.Bench_def.script);
   Pkru_safe.Env.recorded_profile env
 
 let profile_suite (suite : Bench_def.suite) =
@@ -48,8 +48,8 @@ let profile_suite (suite : Bench_def.suite) =
     (fun acc bench -> Runtime.Profile.merge acc (profile_bench bench))
     (Runtime.Profile.create ()) suite.Bench_def.benches
 
-let run_config ?(telemetry = false) ?sample_every ?census_every ?tlb ?mitigation ~mode
-    ~profile (bench : Bench_def.bench) =
+let run_config ?(telemetry = false) ?sample_every ?census_every ?tlb ?mitigation ?engine_tier
+    ~mode ~profile (bench : Bench_def.bench) =
   let env =
     fail_on_error (Pkru_safe.Env.create ~profile (Pkru_safe.Config.make ?tlb ?mitigation mode))
   in
@@ -61,7 +61,12 @@ let run_config ?(telemetry = false) ?sample_every ?census_every ?tlb ?mitigation
   Browser.load_page browser bench.Bench_def.page;
   (* Page construction is setup; the script run is what the suites time. *)
   Pkru_safe.Env.reset_counters env;
-  let exec () = ignore (Browser.exec_script browser bench.Bench_def.script) in
+  (* Engine IC / superinstruction counters are process-wide; reset so the
+     deltas injected below describe this timed run only. *)
+  Engine.Eval.reset_ic_stats ();
+  Engine.Threaded.reset_stats ();
+  Browser.reset_selector_stats browser;
+  let exec () = ignore (Browser.exec_script ?tier:engine_tier browser bench.Bench_def.script) in
   let sampler = Option.map (fun every -> Telemetry.Sampler.create ~every) sample_every in
   let exec =
     match sampler with
@@ -92,6 +97,22 @@ let run_config ?(telemetry = false) ?sample_every ?census_every ?tlb ?mitigation
       Telemetry.Sink.incr sink ~by:(after.Sim.Tlb.hits - before.Sim.Tlb.hits) "tlb_hit";
       Telemetry.Sink.incr sink ~by:(after.Sim.Tlb.misses - before.Sim.Tlb.misses) "tlb_miss";
       Telemetry.Sink.incr sink ~by:(after.Sim.Tlb.flushes - before.Sim.Tlb.flushes) "tlb_flush";
+      (* Engine fast-tier counters, injected the same way (post-run, never
+         from the execution path): inline-cache hit/miss digests and
+         superinstruction executions.  All zero on the AST and reference
+         bytecode tiers. *)
+      Telemetry.Sink.incr sink ~by:Engine.Eval.ic_stats.Engine.Eval.var_hits "engine_var_ic_hit";
+      Telemetry.Sink.incr sink ~by:Engine.Eval.ic_stats.Engine.Eval.var_misses
+        "engine_var_ic_miss";
+      Telemetry.Sink.incr sink ~by:Engine.Threaded.stats.Engine.Threaded.prop_hits
+        "engine_prop_ic_hit";
+      Telemetry.Sink.incr sink ~by:Engine.Threaded.stats.Engine.Threaded.prop_misses
+        "engine_prop_ic_miss";
+      Telemetry.Sink.incr sink ~by:Engine.Threaded.stats.Engine.Threaded.super_execs
+        "engine_super_exec";
+      let sel = Browser.selector_stats browser in
+      Telemetry.Sink.incr sink ~by:sel.Browser.sel_hits "engine_selector_hit";
+      Telemetry.Sink.incr sink ~by:sel.Browser.sel_misses "engine_selector_miss";
       Some sink
     end
     else begin

@@ -51,12 +51,17 @@ type suite_result = {
 val profile_suite : Bench_def.suite -> Runtime.Profile.t
 (** Runs every benchmark once on a profiling build and merges the results. *)
 
+val profile_bench : ?engine_tier:Engine.tier -> Bench_def.bench -> Runtime.Profile.t
+(** One profiling run (used by the dispatch-equivalence tests to exercise
+    the fault + single-step path under a chosen tier). *)
+
 val run_config :
   ?telemetry:bool ->
   ?sample_every:int ->
   ?census_every:int ->
   ?tlb:bool ->
   ?mitigation:Runtime.Mitigator.policy ->
+  ?engine_tier:Engine.tier ->
   mode:Pkru_safe.Config.mode ->
   profile:Runtime.Profile.t ->
   Bench_def.bench ->
@@ -76,7 +81,13 @@ val run_config :
     [census].  None of the three charges simulated cycles, so
     traced/sampled/censused and plain runs report identical [cycles].
     [tlb] forwards to {!Pkru_safe.Config.make} (default on), as does
-    [mitigation] (a fault-recovery policy for [Mpk] runs; default none). *)
+    [mitigation] (a fault-recovery policy for [Mpk] runs; default none).
+    [engine_tier] selects the engine execution tier for the timed script
+    (default AST); with telemetry on, engine IC hit/miss and
+    superinstruction counters are injected post-run as
+    ["engine_var_ic_hit"/"engine_var_ic_miss"/"engine_prop_ic_hit"/
+    "engine_prop_ic_miss"/"engine_super_exec"/"engine_selector_hit"/
+    "engine_selector_miss"] — all zero outside the fast tier. *)
 
 val run_bench :
   ?telemetry:bool ->

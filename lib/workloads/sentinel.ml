@@ -18,6 +18,7 @@ let schema_version = "pkru-safe.bench-baseline/1"
 
 type probe_result = {
   p_name : string;
+  p_tier : string;
   p_cycles : int;
   p_transitions : int;
   p_wall_s : float;
@@ -35,14 +36,22 @@ type probe = {
   mode : Pkru_safe.Config.mode;
   mitigation : Runtime.Mitigator.policy option;
   census_every : int option;
+  tier : Engine.tier;
 }
 
-(* Six probes spanning the perf-relevant axes: gate-bound DOM traffic,
+let tier_name = function
+  | Engine.Ast_tier -> "ast"
+  | Engine.Bytecode_tier -> "bytecode"
+  | Engine.Threaded_tier -> "threaded"
+
+(* Eight probes spanning the perf-relevant axes: gate-bound DOM traffic,
    DOM construction, a compute kernel where gates are rare, an engine-
-   heavy benchmark, the mitigator's interposition cost, and the heap
-   census (whose cycles must stay exactly equal to the uncensused
-   dom-attr probe — the baseline pins the census's architectural
-   invisibility). *)
+   heavy benchmark, the mitigator's interposition cost, the heap census
+   (whose cycles must stay exactly equal to the uncensused dom-attr
+   probe — the baseline pins the census's architectural invisibility),
+   and the two bytecode dispatch tiers (whose cycles must stay exactly
+   equal to each other — the baseline pins the fast tier's architectural
+   invisibility the same way). *)
 let probes =
   [
     {
@@ -51,6 +60,7 @@ let probes =
       mode = Pkru_safe.Config.Mpk;
       mitigation = None;
       census_every = None;
+      tier = Engine.Ast_tier;
     };
     {
       name = "dom-create:mpk";
@@ -58,6 +68,7 @@ let probes =
       mode = Pkru_safe.Config.Mpk;
       mitigation = None;
       census_every = None;
+      tier = Engine.Ast_tier;
     };
     {
       name = "fft:base";
@@ -65,6 +76,7 @@ let probes =
       mode = Pkru_safe.Config.Base;
       mitigation = None;
       census_every = None;
+      tier = Engine.Ast_tier;
     };
     {
       name = "richards:mpk";
@@ -72,6 +84,7 @@ let probes =
       mode = Pkru_safe.Config.Mpk;
       mitigation = None;
       census_every = None;
+      tier = Engine.Ast_tier;
     };
     {
       name = "dom-attr:mpk:emulate";
@@ -79,6 +92,7 @@ let probes =
       mode = Pkru_safe.Config.Mpk;
       mitigation = Some Runtime.Mitigator.Emulate;
       census_every = None;
+      tier = Engine.Ast_tier;
     };
     {
       name = "dom-attr:mpk:census";
@@ -86,10 +100,48 @@ let probes =
       mode = Pkru_safe.Config.Mpk;
       mitigation = None;
       census_every = Some 64;
+      tier = Engine.Ast_tier;
+    };
+    {
+      name = "richards:bc-ref";
+      bench = bench "richards-bc-ref" (Kernels.richards ~iterations:12);
+      mode = Pkru_safe.Config.Mpk;
+      mitigation = None;
+      census_every = None;
+      tier = Engine.Bytecode_tier;
+    };
+    {
+      name = "richards:bc-threaded";
+      bench = bench "richards-bc-threaded" (Kernels.richards ~iterations:12);
+      mode = Pkru_safe.Config.Mpk;
+      mitigation = None;
+      census_every = None;
+      tier = Engine.Threaded_tier;
     };
   ]
 
 let probe_names = List.map (fun p -> p.name) probes
+
+(* Probe pairs the baseline pins cycle-equal: each optimisation's
+   architectural invisibility, expressed as data.  Checked by
+   [twin_mismatches] on every fresh run too, so a divergence is caught
+   even before a baseline comparison. *)
+let twin_pairs =
+  [
+    ("dom-attr:mpk", "dom-attr:mpk:emulate");
+    ("dom-attr:mpk", "dom-attr:mpk:census");
+    ("richards:bc-ref", "richards:bc-threaded");
+  ]
+
+let twin_mismatches results =
+  let find n = List.find_opt (fun r -> r.p_name = n) results in
+  List.filter
+    (fun (a, b) ->
+      match (find a, find b) with
+      | Some ra, Some rb ->
+        ra.p_cycles <> rb.p_cycles || ra.p_transitions <> rb.p_transitions
+      | _ -> false)
+    twin_pairs
 
 let run_probe p =
   let profile =
@@ -97,12 +149,13 @@ let run_probe p =
   in
   let t0 = Unix.gettimeofday () in
   let m =
-    Runner.run_config ?mitigation:p.mitigation ?census_every:p.census_every ~mode:p.mode
-      ~profile p.bench
+    Runner.run_config ?mitigation:p.mitigation ?census_every:p.census_every
+      ~engine_tier:p.tier ~mode:p.mode ~profile p.bench
   in
   let wall = Unix.gettimeofday () -. t0 in
   {
     p_name = p.name;
+    p_tier = tier_name p.tier;
     p_cycles = m.Runner.cycles;
     p_transitions = m.Runner.transitions;
     p_wall_s = wall;
@@ -130,6 +183,7 @@ let result_to_json r =
   Obj
     [
       ("name", String r.p_name);
+      ("tier", String r.p_tier);
       ("cycles", Int r.p_cycles);
       ("transitions", Int r.p_transitions);
       ("wall_s", Float r.p_wall_s);
@@ -139,6 +193,10 @@ let result_of_json j =
   let open Util.Json in
   {
     p_name = to_str (member "name" j);
+    p_tier =
+      (match member "tier" j with
+      | String s -> s
+      | _ | (exception Not_found) -> "ast" (* pre-tier baselines *));
     p_cycles = to_int (member "cycles" j);
     p_transitions = to_int (member "transitions" j);
     p_wall_s = to_float (member "wall_s" j);

@@ -14,6 +14,7 @@ val schema_version : string
 
 type probe_result = {
   p_name : string;
+  p_tier : string;  (** engine execution tier: ["ast"], ["bytecode"] or ["threaded"] *)
   p_cycles : int;  (** simulated cycles — deterministic, compared exactly *)
   p_transitions : int;  (** gate transitions — deterministic, compared exactly *)
   p_wall_s : float;  (** host wall time — machine-dependent, warn-only *)
@@ -21,6 +22,16 @@ type probe_result = {
 
 val probe_names : string list
 (** Names of the probes [run_probes] produces, in order. *)
+
+val twin_pairs : (string * string) list
+(** Probe pairs the baseline pins cycle-equal: the mitigator's, the
+    census's and the threaded dispatch tier's architectural invisibility,
+    each expressed as a pair of probes that must report identical cycles
+    and transitions. *)
+
+val twin_mismatches : probe_result list -> (string * string) list
+(** The {!twin_pairs} whose two probes diverged in this run (pairs with a
+    missing member are skipped — [compare_results] flags those). *)
 
 val run_probes : unit -> probe_result list
 (** Profile and run every probe (fresh machine per probe, same pipeline as

@@ -1,0 +1,425 @@
+(* Differential tests for the fast engine tier: the threaded
+   (closure-compiled) dispatcher with superinstructions and inline caches
+   must simulate bit-identically to the reference bytecode interpreter —
+   same cycles, same transitions, same telemetry event trace — on every
+   workload kernel, with each optimisation layer on or off.  Also covers
+   IC invalidation (object shape changes, DOM mutation between selector
+   matches), the growable-buffer emitter's label targets, and the engine
+   counter plumbing. *)
+
+let ok = function
+  | Ok v -> v
+  | Error msg -> Alcotest.fail msg
+
+let trace_json sink =
+  Util.Json.to_string
+    (Util.Json.List (List.map Telemetry.Event.record_to_json (Telemetry.Sink.events sink)))
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec scan i = i + nn <= nh && (String.sub haystack i nn = needle || scan (i + 1)) in
+  nn = 0 || scan 0
+
+(* The kernel corpus: small instances of the dromaeo / octane / sunspider
+   kernels (engine-bound) plus DOM-bound scripts further down. *)
+let kernels =
+  [
+    ("fft", Workloads.Kernels.fft ~n:32);
+    ("dft", Workloads.Kernels.dft ~n:16);
+    ("oscillator", Workloads.Kernels.oscillator ~n:40 ~steps:3);
+    ("blur", Workloads.Kernels.gaussian_blur ~w:8 ~h:6 ~passes:2);
+    ("desaturate", Workloads.Kernels.desaturate ~pixels:150);
+    ("jsonparse", Workloads.Kernels.json_parse_kernel ~rows:8);
+    ("jsonstringify", Workloads.Kernels.json_stringify_kernel ~rows:8);
+    ("aes", Workloads.Kernels.crypto_aes ~blocks:3 ~rounds:2);
+    ("sha", Workloads.Kernels.crypto_sha ~iters:60);
+    ("astar", Workloads.Kernels.astar ~w:9 ~h:7);
+    ("richards", Workloads.Kernels.richards ~iterations:4);
+    ("deltablue", Workloads.Kernels.deltablue ~chain:6 ~iters:4);
+    ("splay", Workloads.Kernels.splay ~nodes:40 ~lookups:60);
+    ("raytrace", Workloads.Kernels.raytrace ~w:8 ~h:6);
+    ("navier", Workloads.Kernels.navier_stokes ~n:8 ~steps:2);
+    ("codec", Workloads.Kernels.byte_codec ~name:"codec" ~bytes:200 ~rounds:3);
+    ("regexp", Workloads.Kernels.regexp_scan ~copies:4);
+    ("strings", Workloads.Kernels.string_kernel ~iters:30);
+    ("earley", Workloads.Kernels.earley_boyer ~depth:4 ~iters:3);
+    ("tokenizer", Workloads.Kernels.tokenizer ~copies:4);
+  ]
+
+type run_digest = {
+  d_cycles : int;
+  d_transitions : int;
+  d_output : string list;
+  d_trace : string;
+  d_sink : Telemetry.Sink.t;
+}
+
+(* One measured run of [bench] under [mode] at the given engine tier,
+   with the threaded layers configured by [opts]. *)
+let measure ?opts ?(mode = Pkru_safe.Config.Base) ?profile ~tier bench =
+  let profile = match profile with Some p -> p | None -> Runtime.Profile.create () in
+  let go () =
+    Workloads.Runner.run_config ~telemetry:true ~engine_tier:tier ~mode ~profile bench
+  in
+  let m = match opts with Some o -> Engine.Threaded.with_opts o go | None -> go () in
+  match m.Workloads.Runner.trace with
+  | None -> Alcotest.fail "expected a trace"
+  | Some sink ->
+    {
+      d_cycles = m.Workloads.Runner.cycles;
+      d_transitions = m.Workloads.Runner.transitions;
+      d_output = m.Workloads.Runner.output;
+      d_trace = trace_json sink;
+      d_sink = sink;
+    }
+
+let check_bit_identical name (reference : run_digest) (candidate : run_digest) =
+  Alcotest.(check (list string)) (name ^ ": output identical") reference.d_output
+    candidate.d_output;
+  Alcotest.(check int) (name ^ ": cycles identical") reference.d_cycles candidate.d_cycles;
+  Alcotest.(check int)
+    (name ^ ": transitions identical")
+    reference.d_transitions candidate.d_transitions;
+  Alcotest.(check string) (name ^ ": trace bit-identical") reference.d_trace candidate.d_trace
+
+(* The headline differential: every kernel, four ways.  The AST tier must
+   agree on results; the three bytecode variants (reference interpreter,
+   threaded with every layer on, threaded with every layer off) must be
+   bit-identical in cycles, transitions and event traces. *)
+let test_kernel_equivalence () =
+  List.iter
+    (fun (name, src) ->
+      let bench = Workloads.Bench_def.bench ("dispatch-" ^ name) src in
+      let ast = measure ~tier:Engine.Ast_tier bench in
+      let reference = measure ~tier:Engine.Bytecode_tier bench in
+      let thr_on = measure ~tier:Engine.Threaded_tier ~opts:Engine.Threaded.all_on bench in
+      let thr_off = measure ~tier:Engine.Threaded_tier ~opts:Engine.Threaded.all_off bench in
+      Alcotest.(check (list string)) (name ^ ": ast output agrees") ast.d_output
+        reference.d_output;
+      check_bit_identical (name ^ " threaded/on") reference thr_on;
+      check_bit_identical (name ^ " threaded/off") reference thr_off)
+    kernels
+
+(* Each IC layer alone must also be invisible (catches a layer whose
+   charges only balance when another layer is active). *)
+let test_single_layer_equivalence () =
+  let bench =
+    Workloads.Bench_def.bench "dispatch-layers" (Workloads.Kernels.richards ~iterations:4)
+  in
+  let reference = measure ~tier:Engine.Bytecode_tier bench in
+  List.iter
+    (fun (label, opts) ->
+      let d = measure ~tier:Engine.Threaded_tier ~opts bench in
+      check_bit_identical label reference d)
+    [
+      ("super only", { Engine.Threaded.all_off with superinstructions = true });
+      ("var-ic only", { Engine.Threaded.all_off with var_ic = true });
+      ("prop-ic only", { Engine.Threaded.all_off with prop_ic = true });
+      ("batched only", { Engine.Threaded.all_off with batched_slots = true });
+    ]
+
+(* DOM-bound equivalence under enforcement: gate transitions and fault
+   checks interleave with engine work; Mpk mode must stay bit-identical
+   across dispatch variants, selector cache on or off. *)
+let test_dom_equivalence () =
+  let bench =
+    Workloads.Bench_def.bench
+      ~page:(Workloads.Dom_scripts.page ~rows:5)
+      "dispatch-dom" (Workloads.Dom_scripts.jslib_select ~iters:8)
+  in
+  let suite = { Workloads.Bench_def.suite_name = "dispatch-dom"; benches = [ bench ] } in
+  let profile = Workloads.Runner.profile_suite suite in
+  let mode = Pkru_safe.Config.Mpk in
+  let reference = measure ~tier:Engine.Bytecode_tier ~mode ~profile bench in
+  let thr_on = measure ~tier:Engine.Threaded_tier ~opts:Engine.Threaded.all_on ~mode ~profile bench in
+  check_bit_identical "dom mpk threaded" reference thr_on;
+  Alcotest.(check bool) "selector cache hit during run" true
+    (Telemetry.Sink.count thr_on.d_sink "engine_selector_hit" > 0);
+  let uncached =
+    Fun.protect
+      ~finally:(fun () -> Browser.selector_cache_enabled := true)
+      (fun () ->
+        Browser.selector_cache_enabled := false;
+        measure ~tier:Engine.Threaded_tier ~opts:Engine.Threaded.all_on ~mode ~profile bench)
+  in
+  check_bit_identical "selector cache off" reference uncached;
+  Alcotest.(check int) "no cache hits when disabled" 0
+    (Telemetry.Sink.count uncached.d_sink "engine_selector_hit")
+
+(* Profiling mode exercises the fault + single-step path (every access
+   faults and is single-stepped); the dispatch variants must not perturb
+   it, and the profiles they produce must discover the same sites. *)
+let test_profiling_equivalence () =
+  let bench =
+    Workloads.Bench_def.bench
+      ~page:(Workloads.Dom_scripts.page ~rows:4)
+      "dispatch-prof" (Workloads.Dom_scripts.dom_attr ~iters:6)
+  in
+  let suite = { Workloads.Bench_def.suite_name = "dispatch-prof"; benches = [ bench ] } in
+  let profile = Workloads.Runner.profile_suite suite in
+  let mode = Pkru_safe.Config.Profiling in
+  let reference = measure ~tier:Engine.Bytecode_tier ~mode ~profile bench in
+  let thr_on = measure ~tier:Engine.Threaded_tier ~opts:Engine.Threaded.all_on ~mode ~profile bench in
+  check_bit_identical "profiling mode" reference thr_on;
+  let sites tier =
+    let p = Workloads.Runner.profile_bench ~engine_tier:tier bench in
+    List.sort compare (List.map Runtime.Alloc_id.to_string (Runtime.Profile.sites p))
+  in
+  Alcotest.(check (list string)) "profiler discovers identical sites"
+    (sites Engine.Bytecode_tier) (sites Engine.Threaded_tier)
+
+(* --- IC invalidation --- *)
+
+let fresh_engine ?(seed = 7) () =
+  let env = ok (Pkru_safe.Env.create (Pkru_safe.Config.make Pkru_safe.Config.Base)) in
+  Engine.create ~seed env
+
+let eval_tier tier src =
+  let e = fresh_engine () in
+  let v = Engine.eval_string ~tier e src in
+  (Engine.Value.to_display_string (Engine.heap e) v, Engine.take_output e)
+
+let check_threaded_agrees name src =
+  let ast_v, ast_out = eval_tier Engine.Ast_tier src in
+  let thr_v, thr_out = eval_tier Engine.Threaded_tier src in
+  Alcotest.(check string) (name ^ ": result") ast_v thr_v;
+  Alcotest.(check (list string)) (name ^ ": output") ast_out thr_out
+
+(* A property IC caches (shape, slot); adding a new property transitions
+   the shape, so a stale cache entry must stop hitting. *)
+let test_prop_ic_shape_invalidation () =
+  check_threaded_agrees "shape transition mid-loop"
+    "function get(o) { return o.x; }\n\
+     var a = {x: 1};\n\
+     var s = 0;\n\
+     for (var i = 0; i < 20; i = i + 1) { s = s + get(a); }\n\
+     a.y = 100;\n\
+     s = s + get(a);\n\
+     var b = {y: 2, x: 7};\n\
+     s = s + get(b);\n\
+     print(s); s;";
+  (* Polymorphic then megamorphic: more shapes than pic entries. *)
+  check_threaded_agrees "megamorphic site"
+    "function get(o) { return o.v; }\n\
+     var os = [{v:1},{a:0,v:2},{a:0,b:0,v:3},{a:0,b:0,c:0,v:4},{a:0,b:0,c:0,d:0,v:5},{e:0,v:6}];\n\
+     var s = 0;\n\
+     for (var i = 0; i < 30; i = i + 1) { s = s + get(os[i % 6]); }\n\
+     print(s); s;";
+  (* Writes through a cached store site after a transition. *)
+  check_threaded_agrees "store after transition"
+    "function set(o, v) { o.x = v; return o.x; }\n\
+     var a = {x: 0};\n\
+     var s = 0;\n\
+     for (var i = 0; i < 10; i = i + 1) { s = s + set(a, i); }\n\
+     a.z = 1;\n\
+     s = s + set(a, 50);\n\
+     print(s); s;"
+
+(* The variable IC anchors on the parent scope chain and validates
+   against per-scope declaration epochs: a declaration appearing between
+   cached lookups must redirect the site. *)
+let test_var_ic_decl_invalidation () =
+  check_threaded_agrees "inner declaration shadows cached lookup"
+    "var x = 1;\n\
+     function probe() { return x; }\n\
+     var s = probe();\n\
+     x = 5;\n\
+     s = s + probe();\n\
+     print(s); s;";
+  check_threaded_agrees "closure chains with distinct depths"
+    "function mk(n) { return function(d) { return n + d; }; }\n\
+     var f = mk(10); var g = mk(20);\n\
+     var s = 0;\n\
+     for (var i = 0; i < 12; i = i + 1) { s = s + f(i) + g(i); }\n\
+     print(s); s;"
+
+(* DOM mutation between selector matches: a compiled (cached) selector
+   whose names were not interned at compile time must pick them up after
+   createElement / setAttribute interns them. *)
+let test_selector_dom_mutation () =
+  let script =
+    "var before = domQuery(\"widget\").length;\n\
+     var beforeCls = domQuery(\".fresh\").length;\n\
+     var el = domCreateElement(\"widget\");\n\
+     domSetAttribute(el, \"class\", \"fresh\");\n\
+     domAppendChild(domRoot(), el);\n\
+     var after = domQuery(\"widget\").length;\n\
+     var afterCls = domQuery(\".fresh\").length;\n\
+     print(before + \":\" + beforeCls + \":\" + after + \":\" + afterCls);\n"
+  in
+  let run tier ~cache =
+    Fun.protect
+      ~finally:(fun () -> Browser.selector_cache_enabled := true)
+      (fun () ->
+        Browser.selector_cache_enabled := cache;
+        let env = ok (Pkru_safe.Env.create (Pkru_safe.Config.make Pkru_safe.Config.Base)) in
+        let b = Browser.create ~engine_seed:7 env in
+        Browser.load_page b "<html><body><div id=\"main\">hi</div></body></html>";
+        ignore (Browser.exec_script ~tier b script);
+        Browser.console b)
+  in
+  let expected = [ "0:0:1:1" ] in
+  Alcotest.(check (list string)) "ast, cached" expected (run Engine.Ast_tier ~cache:true);
+  Alcotest.(check (list string)) "threaded, cached" expected
+    (run Engine.Threaded_tier ~cache:true);
+  Alcotest.(check (list string)) "threaded, uncached" expected
+    (run Engine.Threaded_tier ~cache:false)
+
+(* --- The growable-buffer emitter --- *)
+
+(* Every jump in every kernel's compiled code (including lazily-compiled
+   function bodies) must land inside its code object — the regression the
+   old emit/assemble rewrite guards against — and compilation must be
+   deterministic so the disassembly is stable. *)
+let test_emitter_label_targets () =
+  let parse src =
+    let e = fresh_engine () in
+    match Engine.Value.str_of_string (Engine.heap e) src with
+    | Engine.Value.Str s -> Engine.Parser.parse (Engine.Lexer.tokenize (Engine.heap e) s)
+    | _ -> assert false
+  in
+  let rec check_code name (code : Engine.Bytecode.instr array) =
+    let n = Array.length code in
+    Array.iter
+      (fun instr ->
+        let target =
+          match instr with
+          | Engine.Bytecode.Jump t
+          | Engine.Bytecode.Jump_if_false t
+          | Engine.Bytecode.Jump_if_false_peek t
+          | Engine.Bytecode.Jump_if_true_peek t -> Some t
+          | _ -> None
+        in
+        (match target with
+        | Some t ->
+          if t < 0 || t > n then
+            Alcotest.failf "%s: jump target %d outside [0,%d]" name t n
+        | None -> ());
+        match instr with
+        | Engine.Bytecode.Make_closure (_, body) ->
+          check_code (name ^ "/closure") (Engine.Bytecode.compile_body body ~toplevel:false)
+        | _ -> ())
+      code
+  in
+  List.iter
+    (fun (name, src) ->
+      let ast = parse src in
+      let p1 = Engine.Bytecode.compile ast in
+      let p2 = Engine.Bytecode.compile ast in
+      check_code name p1.Engine.Bytecode.top;
+      Alcotest.(check string) (name ^ ": disassembly deterministic")
+        (Engine.Bytecode.disassemble p1) (Engine.Bytecode.disassemble p2))
+    kernels
+
+(* Forward and backward jumps across a growth boundary: enough straight-
+   line code to force several buffer doublings inside one loop body. *)
+let test_emitter_growth_boundary () =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "var s = 0;\nfor (var i = 0; i < 3; i = i + 1) {\n";
+  for k = 1 to 120 do
+    Buffer.add_string buf (Printf.sprintf "  s = s + %d;\n" k)
+  done;
+  Buffer.add_string buf "  if (s > 100000) { break; }\n}\ns;";
+  let src = Buffer.contents buf in
+  let ast_v, _ = eval_tier Engine.Ast_tier src in
+  let bc_v, _ = eval_tier Engine.Bytecode_tier src in
+  let thr_v, _ = eval_tier Engine.Threaded_tier src in
+  Alcotest.(check string) "bytecode survives buffer growth" ast_v bc_v;
+  Alcotest.(check string) "threaded survives buffer growth" ast_v thr_v
+
+(* --- Counters --- *)
+
+(* The runner injects IC / superinstruction / selector counters post-run;
+   they must be live under the threaded tier and zero elsewhere. *)
+let test_counters_injected () =
+  let bench =
+    Workloads.Bench_def.bench "dispatch-cnt" (Workloads.Kernels.richards ~iterations:4)
+  in
+  let thr = measure ~tier:Engine.Threaded_tier ~opts:Engine.Threaded.all_on bench in
+  let count name = Telemetry.Sink.count thr.d_sink name in
+  Alcotest.(check bool) "var IC hits" true (count "engine_var_ic_hit" > 0);
+  Alcotest.(check bool) "prop IC hits" true (count "engine_prop_ic_hit" > 0);
+  Alcotest.(check bool) "superinstructions executed" true (count "engine_super_exec" > 0);
+  let reference = measure ~tier:Engine.Bytecode_tier bench in
+  List.iter
+    (fun name ->
+      Alcotest.(check int) (name ^ " zero on reference tier") 0
+        (Telemetry.Sink.count reference.d_sink name))
+    [
+      "engine_var_ic_hit"; "engine_var_ic_miss"; "engine_prop_ic_hit";
+      "engine_prop_ic_miss"; "engine_super_exec"; "engine_selector_hit";
+      "engine_selector_miss";
+    ];
+  (* The summary JSON digest (bench --json) carries the IC counters. *)
+  Alcotest.(check bool) "summary_json carries IC digests" true
+    (contains
+       (Util.Json.to_string (Telemetry.Export.summary_json thr.d_sink))
+       "engine_var_ic_hit")
+
+(* The pkru_engine_* Prometheus families: always exposed (zero cells
+   outside the fast tier), populated from the runner-injected sink
+   counters. *)
+let test_prometheus_engine_families () =
+  let empty = Telemetry.Export.prometheus (Telemetry.Sink.create ()) in
+  List.iter
+    (fun family ->
+      Alcotest.(check bool) (family ^ " exposed at zero") true
+        (contains empty (family ^ " 0")))
+    [
+      "pkru_engine_var_ic_hits_total"; "pkru_engine_var_ic_misses_total";
+      "pkru_engine_prop_ic_hits_total"; "pkru_engine_prop_ic_misses_total";
+      "pkru_engine_superinstructions_total"; "pkru_engine_selector_hits_total";
+      "pkru_engine_selector_misses_total";
+    ];
+  let bench =
+    Workloads.Bench_def.bench "dispatch-prom" (Workloads.Kernels.richards ~iterations:4)
+  in
+  let thr = measure ~tier:Engine.Threaded_tier ~opts:Engine.Threaded.all_on bench in
+  let text = Telemetry.Export.prometheus thr.d_sink in
+  let expect family sink_counter =
+    Alcotest.(check bool) (family ^ " populated from sink") true
+      (contains text
+         (Printf.sprintf "%s %d" family (Telemetry.Sink.count thr.d_sink sink_counter)))
+  in
+  expect "pkru_engine_var_ic_hits_total" "engine_var_ic_hit";
+  expect "pkru_engine_prop_ic_hits_total" "engine_prop_ic_hit";
+  expect "pkru_engine_superinstructions_total" "engine_super_exec"
+
+(* Opcode profiling: adjacent-pair counts cover the fused pairs that the
+   superinstruction set is built from. *)
+let test_opstats_pairs () =
+  let e = fresh_engine () in
+  let st, _ =
+    Engine.Opstats.collect (fun () ->
+        Engine.eval_string ~tier:Engine.Bytecode_tier e
+          "var s = 0; var t = 0;\n\
+           for (var i = 0; i < 50; i = i + 1) { s = s + i; t = t + s; }\n\
+           s + t;")
+  in
+  Alcotest.(check bool) "instructions counted" true (Engine.Opstats.total st > 0);
+  let singles = Engine.Opstats.singles st in
+  Alcotest.(check bool) "load counted" true (List.mem_assoc "load" singles);
+  let pairs = Engine.Opstats.pairs st in
+  Alcotest.(check bool) "load,load pair seen" true
+    (List.exists (fun ((a, b), _) -> a = "load" && b = "load") pairs);
+  let rendered = Engine.Opstats.render st in
+  Alcotest.(check bool) "render names opcodes" true (contains rendered "load");
+  Alcotest.(check bool) "json has pairs" true
+    (contains (Util.Json.to_string (Engine.Opstats.to_json st)) "\"pairs\"")
+
+let suite =
+  [
+    Alcotest.test_case "kernels: 4-way equivalence" `Quick test_kernel_equivalence;
+    Alcotest.test_case "single-layer equivalence" `Quick test_single_layer_equivalence;
+    Alcotest.test_case "dom equivalence (mpk + selector cache)" `Quick test_dom_equivalence;
+    Alcotest.test_case "profiling-mode equivalence" `Quick test_profiling_equivalence;
+    Alcotest.test_case "prop IC shape invalidation" `Quick test_prop_ic_shape_invalidation;
+    Alcotest.test_case "var IC declaration invalidation" `Quick test_var_ic_decl_invalidation;
+    Alcotest.test_case "selector IC after DOM mutation" `Quick test_selector_dom_mutation;
+    Alcotest.test_case "emitter: label targets in bounds" `Quick test_emitter_label_targets;
+    Alcotest.test_case "emitter: growth boundary" `Quick test_emitter_growth_boundary;
+    Alcotest.test_case "counters injected + digests" `Quick test_counters_injected;
+    Alcotest.test_case "prometheus pkru_engine_* families" `Quick
+      test_prometheus_engine_families;
+    Alcotest.test_case "opcode pair profiling" `Quick test_opstats_pairs;
+  ]

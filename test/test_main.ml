@@ -21,6 +21,7 @@ let () =
       ("stack-extension", Test_stack_extension.suite);
       ("engine", Test_engine.suite);
       ("bytecode", Test_bytecode.suite);
+      ("dispatch", Test_dispatch.suite);
       ("browser", Test_browser.suite);
       ("layout", Test_layout.suite);
       ("selector", Test_selector.suite);
