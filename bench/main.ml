@@ -624,8 +624,8 @@ type dispatch_row = {
    all three tiers; any simulated divergence between the two bytecode
    tiers is a hard failure (the threaded tier is supposed to be
    architecturally invisible), and outputs must agree with the AST tier.
-   IC counters are read from the engine's process-wide stats right after
-   each threaded run (the runner resets them per run). *)
+   IC counters are read from each run's own engine instance (they are
+   per-instance, reset at browser creation). *)
 let dispatch_suites =
   [ ("dromaeo-v8", Workloads.Dromaeo.v8); ("octane", Workloads.Octane.all) ]
 
@@ -660,22 +660,23 @@ let run_dispatch_suite (label, (suite : Workloads.Bench_def.suite)) =
     let browser = Browser.create ~engine_seed:bench.Workloads.Bench_def.engine_seed env in
     Browser.load_page browser bench.Workloads.Bench_def.page;
     Pkru_safe.Env.reset_counters env;
-    Engine.Eval.reset_ic_stats ();
-    Engine.Threaded.reset_stats ();
+    Engine.reset_stats (Browser.engine browser);
     let t0 = Unix.gettimeofday () in
     ignore (Browser.exec_script ~tier browser bench.Workloads.Bench_def.script);
     let wall = Unix.gettimeofday () -. t0 in
     ( wall,
       Pkru_safe.Env.cycles env,
       Pkru_safe.Env.transitions env,
-      Browser.console browser )
+      Browser.console browser,
+      Engine.Eval.ic_stats (Engine.evaluator (Browser.engine browser)),
+      Engine.threaded_stats (Browser.engine browser) )
   in
   List.iter
     (fun (bench : Workloads.Bench_def.bench) ->
       let name = bench.Workloads.Bench_def.name in
-      let t_ast, _, _, out_ast = timed_run Engine.Ast_tier bench in
-      let t_ref, cyc_ref, trans_ref, out_ref = timed_run Engine.Bytecode_tier bench in
-      let t_thr, cyc_thr, trans_thr, out_thr = timed_run Engine.Threaded_tier bench in
+      let t_ast, _, _, out_ast, _, _ = timed_run Engine.Ast_tier bench in
+      let t_ref, cyc_ref, trans_ref, out_ref, _, _ = timed_run Engine.Bytecode_tier bench in
+      let t_thr, cyc_thr, trans_thr, out_thr, ic, ts = timed_run Engine.Threaded_tier bench in
       if out_ast <> out_ref || out_ref <> out_thr then
         failwith (Printf.sprintf "dispatch: %s outputs disagree across tiers" name);
       if cyc_ref <> cyc_thr || trans_ref <> trans_thr then
@@ -684,8 +685,6 @@ let run_dispatch_suite (label, (suite : Workloads.Bench_def.suite)) =
              "dispatch: %s simulated divergence — reference %d cycles/%d transitions vs \
               threaded %d/%d"
              name cyc_ref trans_ref cyc_thr trans_thr);
-      let ic = Engine.Eval.ic_stats in
-      let ts = Engine.Threaded.stats in
       row :=
         {
           !row with
@@ -773,6 +772,170 @@ let dispatch_json () =
                    ] );
              ] ))
        (Lazy.force dispatch_rows))
+
+(* --- Fleet: multi-session scheduling throughput (per-CPU run queues) --- *)
+
+(* Mixed-weight jobs so the latency percentiles actually spread: a light
+   FFT and a heavier SHA kernel, interleaved round-robin. *)
+let fleet_mixed_jobs =
+  [
+    Fleet.job_of_bench
+      (Workloads.Bench_def.bench "fleet-light" (Workloads.Kernels.fft ~n:16));
+    Fleet.job_of_bench
+      (Workloads.Bench_def.bench "fleet-heavy" (Workloads.Kernels.crypto_sha ~iters:20));
+  ]
+
+let fleet_tiny_job =
+  Fleet.job_of_bench (Workloads.Bench_def.bench "fleet-tiny" "var x = 1;")
+
+let fleet_ident_bench =
+  Workloads.Bench_def.bench ~page:(Workloads.Dom_scripts.page ~rows:8) "fleet-ident"
+    (Workloads.Dom_scripts.dom_attr ~iters:12)
+
+let fleet_point ~sessions ~cpus jobs =
+  let t0 = Unix.gettimeofday () in
+  let r = Fleet.run ~cpus ~timeslice:500 ~max_live:64 ~sessions jobs in
+  let wall = Unix.gettimeofday () -. t0 in
+  if r.Fleet.r_completed <> sessions then
+    failwith
+      (Printf.sprintf "fleet: %d of %d session(s) did not complete (%d oom, %d failed)"
+         (sessions - r.Fleet.r_completed)
+         sessions r.Fleet.r_oom r.Fleet.r_failed);
+  (r, wall)
+
+(* The scaling table (1k at 1/2/4 CPUs, 10k at 4) plus the 100k smoke.
+   Shared by the printed section and fleet.json. *)
+let fleet_runs =
+  lazy
+    (let scale =
+       List.map
+         (fun (sessions, cpus) -> fleet_point ~sessions ~cpus fleet_mixed_jobs)
+         [ (1_000, 1); (1_000, 2); (1_000, 4); (10_000, 4) ]
+     in
+     let smoke = fleet_point ~sessions:100_000 ~cpus:4 [ fleet_tiny_job ] in
+     (scale, smoke))
+
+let fleet_trace_json sink =
+  Util.Json.to_string
+    (Util.Json.List (List.map Telemetry.Event.record_to_json (Telemetry.Sink.events sink)))
+
+(* Single-session bit-identity vs the plain runner: same cycles, same
+   transitions, same event trace — with a timeslice small enough that the
+   fleet run yields mid-script, proving the yield hook is architecturally
+   invisible.  Returns (cycles, yields) for the report. *)
+let fleet_identity =
+  lazy
+    (let profile = Runtime.Profile.create () in
+     let runner =
+       Workloads.Runner.run_config ~telemetry:true ~mode:Pkru_safe.Config.Base ~profile
+         fleet_ident_bench
+     in
+     let fleet =
+       Fleet.run ~telemetry:true ~timeslice:200 ~sessions:1
+         [ Fleet.job_of_bench fleet_ident_bench ]
+     in
+     let sr = List.hd fleet.Fleet.r_results in
+     if sr.Fleet.sr_cycles <> runner.Workloads.Runner.cycles then
+       failwith
+         (Printf.sprintf "fleet: single-session cycles diverge from runner — %d vs %d"
+            sr.Fleet.sr_cycles runner.Workloads.Runner.cycles);
+     if sr.Fleet.sr_transitions <> runner.Workloads.Runner.transitions then
+       failwith
+         (Printf.sprintf "fleet: single-session transitions diverge from runner — %d vs %d"
+            sr.Fleet.sr_transitions runner.Workloads.Runner.transitions);
+     (match (fleet.Fleet.r_trace, runner.Workloads.Runner.trace) with
+     | Some ft, Some rt ->
+       if fleet_trace_json ft <> fleet_trace_json rt then
+         failwith "fleet: single-session event trace diverges from runner";
+       List.iter
+         (fun counter ->
+           if Telemetry.Sink.count ft counter <> Telemetry.Sink.count rt counter then
+             failwith
+               (Printf.sprintf "fleet: single-session counter %S diverges from runner" counter))
+         [ "tlb_hit"; "tlb_miss"; "tlb_flush"; "engine_var_ic_hit"; "engine_var_ic_miss";
+           "engine_prop_ic_hit"; "engine_prop_ic_miss"; "engine_super_exec";
+           "engine_selector_hit"; "engine_selector_miss" ]
+     | _ -> failwith "fleet: missing trace on one side of the identity check");
+     (sr.Fleet.sr_cycles, fleet.Fleet.r_yields))
+
+let run_fleet () =
+  header "Fleet: N concurrent sessions, per-CPU run queues, cooperative scheduling";
+  let scale, (smoke, smoke_wall) = Lazy.force fleet_runs in
+  Util.Table.print
+    ~header:
+      [ "sessions"; "cpus"; "sessions/sec"; "p50 latency"; "p99 latency"; "yields"; "steals";
+        "host wall" ]
+    (List.map
+       (fun ((r : Fleet.result), wall) ->
+         [
+           string_of_int r.Fleet.r_sessions;
+           string_of_int r.Fleet.r_cpus;
+           Printf.sprintf "%.0f" r.Fleet.r_sessions_per_sec;
+           Printf.sprintf "%.0fns" r.Fleet.r_p50_latency_ns;
+           Printf.sprintf "%.0fns" r.Fleet.r_p99_latency_ns;
+           string_of_int r.Fleet.r_yields;
+           string_of_int r.Fleet.r_steals;
+           Printf.sprintf "%.2fs" wall;
+         ])
+       (scale @ [ (smoke, smoke_wall) ]));
+  (* Throughput must scale: 4 CPUs at least 2x 1 CPU on the same 1k
+     workload (a hard gate — the simulated scheduler has no contention
+     excuse for less). *)
+  let sps ~sessions ~cpus =
+    let r, _ =
+      List.find
+        (fun ((r : Fleet.result), _) ->
+          r.Fleet.r_sessions = sessions && r.Fleet.r_cpus = cpus)
+        scale
+    in
+    r.Fleet.r_sessions_per_sec
+  in
+  let s1 = sps ~sessions:1_000 ~cpus:1 and s4 = sps ~sessions:1_000 ~cpus:4 in
+  if s4 < 2.0 *. s1 then
+    failwith
+      (Printf.sprintf "fleet: poor scaling — %.0f sessions/sec at 4 CPUs vs %.0f at 1" s4 s1);
+  Printf.printf "scaling 1 -> 4 CPUs: %.2fx sessions/sec\n" (s4 /. s1);
+  (* Per-session results must not depend on the CPU count: each session
+     owns its machine, so cycles and checksums are structural. *)
+  let digest ~cpus =
+    let r, _ =
+      List.find
+        (fun ((r : Fleet.result), _) -> r.Fleet.r_sessions = 1_000 && r.Fleet.r_cpus = cpus)
+        scale
+    in
+    List.map
+      (fun (sr : Fleet.session_result) -> (sr.Fleet.sr_name, sr.Fleet.sr_cycles, sr.Fleet.sr_checksum))
+      r.Fleet.r_results
+  in
+  if digest ~cpus:1 <> digest ~cpus:4 then
+    failwith "fleet: per-session results changed with the CPU count";
+  print_endline "per-session cycles/checksums identical at 1, 2 and 4 CPUs";
+  let ident_cycles, ident_yields = Lazy.force fleet_identity in
+  Printf.printf
+    "single-session fleet run bit-identical to the runner (%d cycles, %d mid-script \
+     yield(s); cycles, transitions, event trace and all injected counters compared)\n"
+    ident_cycles ident_yields
+
+let fleet_json () =
+  let scale, (smoke, smoke_wall) = Lazy.force fleet_runs in
+  let ident_cycles, ident_yields = Lazy.force fleet_identity in
+  let point ((r : Fleet.result), wall) =
+    match Fleet.to_json r with
+    | Util.Json.Obj fields -> Util.Json.Obj (fields @ [ ("host_wall_s", Util.Json.Float wall) ])
+    | other -> other
+  in
+  Util.Json.Obj
+    [
+      ("scaling", Util.Json.List (List.map point scale));
+      ("smoke_100k", point (smoke, smoke_wall));
+      ( "single_session_identity",
+        Util.Json.Obj
+          [
+            ("bit_identical", Util.Json.Bool true);
+            ("cycles", Util.Json.Int ident_cycles);
+            ("mid_script_yields", Util.Json.Int ident_yields);
+          ] );
+    ]
 
 (* --- Bechamel --- *)
 
@@ -1036,6 +1199,7 @@ let write_json_results dir =
           ("audit", Audit.to_json audit_report);
         ]));
   write "dispatch.json" (dispatch_json ());
+  write "fleet.json" (fleet_json ());
   (* Host-side timing: per-section wall clock for whatever ran this
      invocation, plus the TLB microbench digest (reusing the tlb
      section's result, or running a scaled-down one here) and the
@@ -1166,6 +1330,7 @@ let () =
   if section "mitigation" then timed "mitigation" run_mitigation;
   if section "census" then timed "census" run_census;
   if section "dispatch" then timed "dispatch" run_dispatch;
+  if section "fleet" then timed "fleet" run_fleet;
   if (not !skip_bechamel) && section "bechamel" then timed "bechamel" run_bechamel;
   let sentinel_ok =
     if sentinel_requested () then begin

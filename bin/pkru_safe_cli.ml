@@ -89,10 +89,12 @@ let engine_opts_term =
     $ off [ "no-prop-ic" ] "Disable property (shape) inline caches (threaded tier only)"
     $ off [ "no-batched-slots" ] "Disable the batched-TLB slot fast path (threaded tier only)")
 
-let engine_tier_digest tier =
+let engine_tier_digest tier browser =
   (* Only the fast tier has ICs / superinstructions to report on. *)
   if tier = Engine.Threaded_tier then begin
-    let v = Engine.Eval.ic_stats and s = Engine.Threaded.stats in
+    let engine = Browser.engine browser in
+    let v = Engine.Eval.ic_stats (Engine.evaluator engine)
+    and s = Engine.threaded_stats engine in
     Printf.printf
       "engine[threaded]: var IC %d/%d hits, prop IC %d/%d hits, %d superinstruction exec(s)\n"
       v.Engine.Eval.var_hits
@@ -203,8 +205,7 @@ let run_browse mode page script mitigation flight tier engine_opts =
     fail_on_error (Pkru_safe.Env.create ~profile (Pkru_safe.Config.make ?mitigation mode))
   in
   let browser = Browser.create env in
-  Engine.Eval.reset_ic_stats ();
-  Engine.Threaded.reset_stats ();
+  Engine.reset_stats (Browser.engine browser);
   Engine.Threaded.with_opts engine_opts (fun () ->
       with_flight ~context:(Pkru_safe.Env.flight_context env) flight (fun () ->
           Browser.load_page browser page;
@@ -234,7 +235,7 @@ let run_browse mode page script mitigation flight tier engine_opts =
     (Pkru_safe.Env.cycles env) (Pkru_safe.Env.transitions env)
     (Pkru_safe.Env.percent_untrusted_bytes env)
     (Pkru_safe.Env.sites_moved env) (Pkru_safe.Env.sites_used env);
-  engine_tier_digest tier;
+  engine_tier_digest tier browser;
   `Ok ()
 
 (* --- exploit (E3) --- *)
@@ -874,6 +875,75 @@ let run_audit bench_name mode census_every promote format output mitigation flig
                 (List.length report.Audit.sites) )
       end
 
+(* --- fleet: N concurrent sessions over per-CPU run queues --- *)
+
+let fleet_format_conv =
+  let parse = function
+    | "table" -> Ok `Table
+    | "json" -> Ok `Json
+    | "prom" -> Ok `Prom
+    | s -> Error (`Msg (Printf.sprintf "unknown format %S (table|json|prom)" s))
+  in
+  Arg.conv
+    ( parse,
+      fun fmt f ->
+        Format.pp_print_string fmt
+          (match f with `Table -> "table" | `Json -> "json" | `Prom -> "prom") )
+
+let fleet_table (r : Fleet.result) =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "fleet: %d session(s) over %d CPU(s), timeslice %d ticks\n" r.Fleet.r_sessions
+    r.Fleet.r_cpus r.Fleet.r_timeslice;
+  add "  makespan        %d cycles\n" r.Fleet.r_makespan_cycles;
+  add "  throughput      %.1f sessions/sec\n" r.Fleet.r_sessions_per_sec;
+  add "  latency         p50 %.0f ns, p99 %.0f ns\n" r.Fleet.r_p50_latency_ns
+    r.Fleet.r_p99_latency_ns;
+  add "  work            %d cycles across sessions, %d yield(s), %d steal(s)\n"
+    r.Fleet.r_total_cycles r.Fleet.r_yields r.Fleet.r_steals;
+  add "  outcomes        %d completed, %d oom, %d failed\n" r.Fleet.r_completed r.Fleet.r_oom
+    r.Fleet.r_failed;
+  (match r.Fleet.r_backing with
+  | None -> ()
+  | Some b ->
+    add "  page budget     %d pages, low-water %d, %d denial(s)\n" b.Fleet.bk_total_pages
+      b.Fleet.bk_min_available b.Fleet.bk_denials);
+  Buffer.contents buf
+
+let run_fleet bench_name sessions cpus timeslice max_live page_budget mode tier format output
+    per_session =
+  if sessions <= 0 then `Error (false, "--sessions must be positive")
+  else if cpus <= 0 then `Error (false, "--cpus must be positive")
+  else if timeslice <= 0 then `Error (false, "--timeslice must be positive")
+  else if max_live <= 0 then `Error (false, "--max-live must be positive")
+  else
+    match Workloads.Registry.bench_of_name bench_name with
+    | Error msg -> `Error (false, msg)
+    | Ok bench ->
+      (* Enforcement modes need a profile; collect it from the same
+         workload first, exactly as `browse` does. *)
+      let profile = profile_for ~mode bench in
+      let r =
+        Fleet.run ~mode ~profile ~cpus ~timeslice ~max_live ?page_budget ~tier ~sessions
+          [ Fleet.job_of_bench bench ]
+      in
+      let rendered =
+        match format with
+        | `Table -> fleet_table r
+        | `Json -> Util.Json.to_string_pretty (Fleet.to_json ~per_session r) ^ "\n"
+        | `Prom -> Telemetry.Metrics.expose (Fleet.metrics r)
+      in
+      (match output with
+      | Some path -> (
+        match Out_channel.with_open_text path (fun oc -> output_string oc rendered) with
+        | () -> Printf.printf "fleet report written to %s\n" path
+        | exception Sys_error msg -> failwith ("cannot write fleet report: " ^ msg))
+      | None -> print_string rendered);
+      if r.Fleet.r_failed > 0 then
+        `Error
+          (false, Printf.sprintf "fleet: %d of %d session(s) failed" r.Fleet.r_failed sessions)
+      else `Ok ()
+
 (* --- doctor: render a flight-recorder dump as an incident report --- *)
 
 let run_doctor path =
@@ -1094,6 +1164,58 @@ let audit_cmd =
         (const run_audit $ bench_arg $ mode $ census_every $ promote $ format $ output
         $ mitigation_flag $ flight_flag))
 
+let fleet_cmd =
+  let bench_arg =
+    Arg.(value & opt string "dom-query"
+         & info [ "b"; "bench" ] ~docv:"BENCH"
+             ~doc:"Benchmark each session runs (e.g. dom-query, richards)")
+  in
+  let sessions =
+    Arg.(value & opt int 100
+         & info [ "n"; "sessions" ] ~docv:"N" ~doc:"Number of sessions to run")
+  in
+  let cpus =
+    Arg.(value & opt int 4 & info [ "cpus" ] ~docv:"CPUS" ~doc:"Scheduler CPUs (run queues)")
+  in
+  let timeslice =
+    Arg.(value & opt int 4000
+         & info [ "timeslice" ] ~docv:"TICKS"
+             ~doc:"Cooperative yield budget in evaluator ticks")
+  in
+  let max_live =
+    Arg.(value & opt int 128
+         & info [ "max-live" ] ~docv:"N"
+             ~doc:"Maximum concurrently-materialised sessions (bounds host memory)")
+  in
+  let page_budget =
+    Arg.(value & opt (some int) None
+         & info [ "page-budget" ] ~docv:"PAGES"
+             ~doc:"Shared backing-page budget all sessions contend for; exhaustion retires \
+                   the victim session with an oom outcome")
+  in
+  let mode =
+    Arg.(value & opt mode_conv Pkru_safe.Config.Mpk & info [ "m"; "mode" ] ~doc:"Build mode")
+  in
+  let format =
+    Arg.(value & opt fleet_format_conv `Table
+         & info [ "f"; "format" ] ~docv:"FORMAT" ~doc:"table, json, or prom")
+  in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file")
+  in
+  let per_session =
+    Arg.(value & flag
+         & info [ "per-session" ] ~doc:"Include the per-session table in json output")
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:"Run N concurrent browsing sessions over per-CPU run queues with cooperative \
+             scheduling and report sessions/sec and latency percentiles")
+    Term.(
+      ret
+        (const run_fleet $ bench_arg $ sessions $ cpus $ timeslice $ max_live $ page_budget
+        $ mode $ tier_flag $ format $ output $ per_session))
+
 let doctor_cmd =
   let path =
     Arg.(required & pos 0 (some file) None
@@ -1111,4 +1233,4 @@ let default =
 
 let () =
   let info = Cmd.info "pkru_safe_cli" ~doc:"PKRU-Safe reproduction driver" in
-  exit (Cmd.eval (Cmd.group ~default info [ pipeline_cmd; browse_cmd; exploit_cmd; micro_cmd; suite_cmd; trace_cmd; report_cmd; run_cmd; corpus_cmd; compare_cmd; chaos_cmd; audit_cmd; doctor_cmd ]))
+  exit (Cmd.eval (Cmd.group ~default info [ pipeline_cmd; browse_cmd; exploit_cmd; micro_cmd; suite_cmd; trace_cmd; report_cmd; run_cmd; corpus_cmd; compare_cmd; chaos_cmd; audit_cmd; fleet_cmd; doctor_cmd ]))

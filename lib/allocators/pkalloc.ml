@@ -53,7 +53,7 @@ let ( let* ) r f =
   | Ok v -> f v
   | Error _ as e -> e
 
-let create ?(mu_backend = Mu_dlmalloc) ?(trusted_pkey = Mpk.Pkey.of_int 1) machine =
+let create ?backing ?(mu_backend = Mu_dlmalloc) ?(trusted_pkey = Mpk.Pkey.of_int 1) machine =
   (* Claim the trusted key from the kernel's pkey allocator, as the
      startup code does with pkey_alloc(2). *)
   let* () =
@@ -61,13 +61,15 @@ let create ?(mu_backend = Mu_dlmalloc) ?(trusted_pkey = Mpk.Pkey.of_int 1) machi
     | Ok () -> Ok ()
     | Error errno -> Error (Printf.sprintf "pkey_alloc(%d) failed: %s" (Mpk.Pkey.to_int trusted_pkey) errno)
   in
+  (* Both pools draw on the same budget: MT and MU allocations contend
+     for the session's share of fleet memory, never for address space. *)
   let* mt_pool =
-    Pool.create machine ~base:Vmm.Layout.trusted_base ~size:Vmm.Layout.trusted_size
+    Pool.create ?backing machine ~base:Vmm.Layout.trusted_base ~size:Vmm.Layout.trusted_size
       ~pkey:trusted_pkey
   in
   let* mu_pool =
-    Pool.create machine ~base:Vmm.Layout.untrusted_base ~size:Vmm.Layout.untrusted_size
-      ~pkey:Mpk.Pkey.default
+    Pool.create ?backing machine ~base:Vmm.Layout.untrusted_base
+      ~size:Vmm.Layout.untrusted_size ~pkey:Mpk.Pkey.default
   in
   let mt = jemalloc_backend machine mt_pool in
   let mu =
@@ -90,6 +92,10 @@ let create ?(mu_backend = Mu_dlmalloc) ?(trusted_pkey = Mpk.Pkey.of_int 1) machi
 
 let machine t = t.machine
 let trusted_pkey t = t.trusted_pkey
+
+let retire t =
+  Pool.retire t.mt_pool;
+  Pool.retire t.mu_pool
 
 (* Allocation telemetry: compartment-tagged events (carrying the AllocId
    the instrumented global-allocator surface passes down) and per-pool

@@ -24,12 +24,19 @@ type mu_backend =
 type t
 
 val create :
+  ?backing:Backing.t ->
   ?mu_backend:mu_backend ->
   ?trusted_pkey:Mpk.Pkey.t ->
   Sim.Machine.t ->
   (t, string) result
 (** Reserves both pools on the machine's page table ([trusted_pkey]
-    defaults to key 1) and builds the two allocators. *)
+    defaults to key 1) and builds the two allocators.  With [backing],
+    both pools draw pages from that shared budget (fleet memory
+    contention): exhaustion surfaces as allocation [None]. *)
+
+val retire : t -> unit
+(** Returns both pools' outstanding pages to the shared backing budget
+    (no-op without one; idempotent).  Session teardown only. *)
 
 val machine : t -> Sim.Machine.t
 val trusted_pkey : t -> Mpk.Pkey.t

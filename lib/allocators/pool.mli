@@ -11,8 +11,16 @@
 type t
 
 val create :
-  Sim.Machine.t -> base:int -> size:int -> pkey:Mpk.Pkey.t -> (t, string) result
-(** Reserves [size] bytes at [base] tagged with [pkey]. *)
+  ?backing:Backing.t ->
+  Sim.Machine.t ->
+  base:int ->
+  size:int ->
+  pkey:Mpk.Pkey.t ->
+  (t, string) result
+(** Reserves [size] bytes at [base] tagged with [pkey].  With [backing],
+    every span drawn also takes pages from the shared budget (and gives
+    them back on free), so pools sharing one budget contend for memory;
+    a denied take makes {!alloc_span} return [None]. *)
 
 val alloc_span : t -> int -> int option
 (** [alloc_span t npages] carves [npages] contiguous pages out of the pool,
@@ -35,3 +43,8 @@ val pages_in_use : t -> int
 
 val high_water_pages : t -> int
 (** Peak of {!pages_in_use}. *)
+
+val retire : t -> unit
+(** Returns every outstanding page to the shared backing budget (no-op
+    without one; idempotent).  For session teardown — the pool must not
+    be used afterwards. *)

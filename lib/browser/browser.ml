@@ -305,14 +305,14 @@ and build_trees t parent trees =
         build_trees t node kids)
     trees
 
-let create ?engine_seed ?engine_fuel env =
+let create ?engine_seed ?engine_fuel ?engine_opts env =
   let machine = Pkru_safe.Env.machine env in
   let t =
     {
       env;
       machine;
       dom = Dom.create env;
-      engine = Engine.create ?seed:engine_seed ?fuel:engine_fuel env;
+      engine = Engine.create ?seed:engine_seed ?fuel:engine_fuel ?engine_opts env;
       title = "";
       scripts_run = 0;
       last_layout = None;

@@ -51,3 +51,13 @@ val source : compiled -> t
 
 val matches_compiled : Dom.t -> Dom.node -> compiled -> bool
 val query_all_compiled : Dom.t -> compiled -> Dom.node list
+
+val split_memo_cap : int
+(** Size bound on the content-keyed class-split memo.  When full, the
+    memo is cleared; the number of evicted entries is added to
+    {!split_memo_evictions} and counted into the installed sink (if any)
+    as [selector_memo_evict] — a host-side counter only, never an event
+    or a cycle. *)
+
+val split_memo_evictions : int ref
+(** Total entries evicted from the class-split memo, process lifetime. *)

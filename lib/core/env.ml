@@ -24,10 +24,10 @@ type t = {
   census_births : (int, int) Hashtbl.t; (* addr -> birth cycle *)
 }
 
-let create ?profile config =
+let create ?profile ?backing config =
   let machine = Sim.Machine.create ~cost:config.Config.cost ~tlb:config.Config.tlb () in
   match
-    Allocators.Pkalloc.create ~mu_backend:config.Config.mu_backend
+    Allocators.Pkalloc.create ?backing ~mu_backend:config.Config.mu_backend
       ~trusted_pkey:config.Config.trusted_pkey machine
   with
   | Error _ as e -> e

@@ -15,10 +15,17 @@
 
 type t
 
-val create : ?profile:Runtime.Profile.t -> Config.t -> (t, string) result
+val create :
+  ?profile:Runtime.Profile.t ->
+  ?backing:Allocators.Backing.t ->
+  Config.t ->
+  (t, string) result
 (** [profile] is required by [Alloc] and [Mpk] modes to know which sites
     move to MU (an empty profile is legal: nothing moves — that is what
-    makes an unprofiled enforcement build crash on shared data). *)
+    makes an unprofiled enforcement build crash on shared data).
+    [backing] puts both of this environment's pools on a shared page
+    budget (fleet memory contention); exhaustion raises [Out_of_memory]
+    from {!alloc}. *)
 
 val config : t -> Config.t
 val machine : t -> Sim.Machine.t

@@ -16,15 +16,32 @@ type t = {
   env : Pkru_safe.Env.t;
   heap : Value.heap;
   eval : Eval.t;
+  tstats : Threaded.stats;
+      (* this engine's threaded-tier counters: per-instance, so fleet
+         sessions observe only their own IC behaviour *)
+  opts : Threaded.opts option;
+      (* per-engine tier layers; [None] defers to [!Threaded.config] at
+         eval time (the process-wide default, as before) *)
 }
 
-let create ?seed ?fuel env =
+let create ?seed ?fuel ?engine_opts env =
   let heap = Value.create_heap env in
-  { env; heap; eval = Eval.create ?seed ?fuel heap }
+  {
+    env;
+    heap;
+    eval = Eval.create ?seed ?fuel heap;
+    tstats = Threaded.make_stats ();
+    opts = engine_opts;
+  }
 
 let env t = t.env
 let heap t = t.heap
 let evaluator t = t.eval
+let threaded_stats t = t.tstats
+
+let reset_stats t =
+  Eval.reset_ic_stats t.eval;
+  Threaded.reset_stats t.tstats
 
 let register_host t name fn = Eval.register_host t.eval name fn
 
@@ -61,7 +78,8 @@ let eval_source ?(tier = Ast_tier) t src =
   | Bytecode_tier ->
     with_phase t "engine:bytecode" (fun () -> Bytecode.run t.eval (Bytecode.compile program))
   | Threaded_tier ->
-    with_phase t "engine:bytecode" (fun () -> Threaded.run t.eval (Bytecode.compile program))
+    with_phase t "engine:bytecode" (fun () ->
+        Threaded.run ?opts:t.opts ~stats:t.tstats t.eval (Bytecode.compile program))
 
 let eval_string ?tier t text =
   match Value.str_of_string t.heap text with

@@ -25,11 +25,22 @@ type tier =
 
 type t
 
-val create : ?seed:int -> ?fuel:int -> Pkru_safe.Env.t -> t
+val create : ?seed:int -> ?fuel:int -> ?engine_opts:Threaded.opts -> Pkru_safe.Env.t -> t
+(** [engine_opts] pins this instance's threaded-tier layers; omitted, the
+    instance defers to [!Threaded.config] at eval time (so
+    [Threaded.with_opts] keeps working for process-wide toggles). *)
 
 val env : t -> Pkru_safe.Env.t
 val heap : t -> Value.heap
 val evaluator : t -> Eval.t
+
+val threaded_stats : t -> Threaded.stats
+(** This instance's threaded-tier counters (accumulated across
+    [eval_source] calls; variable-IC counters are on the evaluator:
+    [Eval.ic_stats (evaluator t)]). *)
+
+val reset_stats : t -> unit
+(** Zeroes both the variable-IC and threaded-tier counters. *)
 
 val register_host : t -> string -> Eval.host -> unit
 (** Expose an embedder function (e.g. a DOM binding) as a script global. *)

@@ -33,6 +33,11 @@ type closure = {
   c_scope : scope;
 }
 
+type ic_stats = {
+  mutable var_hits : int;
+  mutable var_misses : int;
+}
+
 type t = {
   heap : Value.heap;
   machine : Sim.Machine.t;
@@ -45,6 +50,15 @@ type t = {
   mutable fuel : int;
   mutable steps : int;
   mutable gc_roots : (unit -> Value.t list) list;
+  mutable origin_counter : int;
+      (* per-evaluator, so scope-origin ids don't depend on how many other
+         sessions ran first in the process (fleet order-independence) *)
+  ic : ic_stats;
+  mutable yield_hook : (unit -> unit) option;
+      (* fleet scheduling only: called once per tick, after the charge.
+         Charges nothing and emits nothing itself, so installing a hook
+         cannot perturb simulated cycles/transitions/traces; [None] costs
+         one load + one branch (sink discipline). *)
 }
 
 (* Non-local control flow inside function bodies. *)
@@ -65,18 +79,21 @@ let create ?(seed = 1) ?(fuel = 200_000_000) heap =
     fuel;
     steps = 0;
     gc_roots = [];
+    origin_counter = 0;
+    ic = { var_hits = 0; var_misses = 0 };
+    yield_hook = None;
   }
 
 let heap t = t.heap
 
 let register_host t name fn = Hashtbl.replace t.hosts name fn
 
-(* Origins for call-site-minted scopes (see [scope]); 0 means untracked. *)
-let origin_counter = ref 0
-
-let fresh_origin () =
-  incr origin_counter;
-  !origin_counter
+(* Origins for call-site-minted scopes (see [scope]); 0 means untracked.
+   Counted per evaluator: two sessions produce the same ids whether they
+   run sequentially or interleaved. *)
+let fresh_origin t =
+  t.origin_counter <- t.origin_counter + 1;
+  t.origin_counter
 
 let declare scope name v =
   match Hashtbl.find_opt scope.vars name with
@@ -114,7 +131,10 @@ let tick t n =
   t.steps <- t.steps + 1;
   t.fuel <- t.fuel - 1;
   if t.fuel <= 0 then fail "script ran out of fuel";
-  charge t n
+  charge t n;
+  match t.yield_hook with None -> () | Some hook -> hook ()
+
+let set_yield_hook t hook = t.yield_hook <- hook
 
 let add_closure t c =
   if t.nclosures >= Array.length t.closures then begin
@@ -172,16 +192,13 @@ let rec assign_existing t scope name v =
    misses without a hit the site disables itself and reverts to the
    plain charged walk. *)
 
-type ic_stats = {
-  mutable var_hits : int;
-  mutable var_misses : int;
-}
+(* [ic_stats] is declared above [t] (the evaluator owns its counters, so
+   concurrent sessions don't cross-pollute each other's hit rates). *)
+let ic_stats t = t.ic
 
-let ic_stats = { var_hits = 0; var_misses = 0 }
-
-let reset_ic_stats () =
-  ic_stats.var_hits <- 0;
-  ic_stats.var_misses <- 0
+let reset_ic_stats t =
+  t.ic.var_hits <- 0;
+  t.ic.var_misses <- 0
 
 type var_site = {
   vsite_name : string;
@@ -262,8 +279,8 @@ let vsite_fill t ~charged site cur start =
   in
   go 0 start
 
-let vsite_miss site =
-  ic_stats.var_misses <- ic_stats.var_misses + 1;
+let vsite_miss t site =
+  t.ic.var_misses <- t.ic.var_misses + 1;
   if site.vsite_streak >= 0 then begin
     site.vsite_streak <- site.vsite_streak + 1;
     if site.vsite_streak > streak_limit then site.vsite_streak <- -1
@@ -271,19 +288,19 @@ let vsite_miss site =
 
 let cached_lookup t cur site =
   if site.vsite_streak < 0 then begin
-    ic_stats.var_misses <- ic_stats.var_misses + 1;
+    t.ic.var_misses <- t.ic.var_misses + 1;
     lookup t cur site.vsite_name
   end
   else if
     cur.origin > 0 && cur.origin = site.vslot_origin && cur.decls = site.vslot_decls
   then begin
-    ic_stats.var_hits <- ic_stats.var_hits + 1;
+    t.ic.var_hits <- t.ic.var_hits + 1;
     site.vsite_streak <- 0;
     charge t 2;
     Some !(cur.slots.(site.vslot_idx))
   end
   else if vfull_valid site cur then begin
-    ic_stats.var_hits <- ic_stats.var_hits + 1;
+    t.ic.var_hits <- t.ic.var_hits + 1;
     site.vsite_streak <- 0;
     charge t (2 * (Array.length site.vfull_path + 1));
     Some !(site.vfull_ref)
@@ -304,32 +321,32 @@ let cached_lookup t cur site =
       | None -> None
       | Some p ->
         if vsite_valid site p then begin
-          ic_stats.var_hits <- ic_stats.var_hits + 1;
+          t.ic.var_hits <- t.ic.var_hits + 1;
           site.vsite_streak <- 0;
           charge t (2 * site.vsite_levels);
           Some !(site.vsite_ref)
         end
         else begin
-          vsite_miss site;
+          vsite_miss t site;
           Option.map ( ! ) (vsite_fill t ~charged:true site cur p)
         end)
   end
 
 let cached_assign t cur site v =
   if site.vsite_streak < 0 then begin
-    ic_stats.var_misses <- ic_stats.var_misses + 1;
+    t.ic.var_misses <- t.ic.var_misses + 1;
     assign_existing t cur site.vsite_name v
   end
   else if
     cur.origin > 0 && cur.origin = site.vslot_origin && cur.decls = site.vslot_decls
   then begin
-    ic_stats.var_hits <- ic_stats.var_hits + 1;
+    t.ic.var_hits <- t.ic.var_hits + 1;
     site.vsite_streak <- 0;
     cur.slots.(site.vslot_idx) := v;
     true
   end
   else if vfull_valid site cur then begin
-    ic_stats.var_hits <- ic_stats.var_hits + 1;
+    t.ic.var_hits <- t.ic.var_hits + 1;
     site.vsite_streak <- 0;
     site.vfull_ref := v;
     true
@@ -349,13 +366,13 @@ let cached_assign t cur site v =
       | None -> false
       | Some p ->
         if vsite_valid site p then begin
-          ic_stats.var_hits <- ic_stats.var_hits + 1;
+          t.ic.var_hits <- t.ic.var_hits + 1;
           site.vsite_streak <- 0;
           site.vsite_ref := v;
           true
         end
         else begin
-          vsite_miss site;
+          vsite_miss t site;
           match vsite_fill t ~charged:false site cur p with
           | Some r ->
             r := v;

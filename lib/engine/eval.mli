@@ -57,8 +57,10 @@ val new_scope : ?origin:int -> parent:scope -> unit -> scope
     enabling the slot-resolved variable IC; omit it for scopes with no
     such guarantee. *)
 
-val fresh_origin : unit -> int
-(** A process-unique id for one closure-call site's scopes. *)
+val fresh_origin : t -> int
+(** A per-evaluator-unique id for one closure-call site's scopes.
+    Counted per evaluator so session results are order-independent:
+    interleaved sessions mint the same ids as sequential ones. *)
 
 val scope_declare : scope -> string -> Value.t -> unit
 (** [var name = v] in this scope. *)
@@ -105,10 +107,11 @@ type ic_stats = {
   mutable var_misses : int;
 }
 
-val ic_stats : ic_stats
-(** Process-wide variable-IC counters (host-side observability only). *)
+val ic_stats : t -> ic_stats
+(** This evaluator's variable-IC counters (host-side observability only;
+    per-evaluator so concurrent sessions don't cross-pollute). *)
 
-val reset_ic_stats : unit -> unit
+val reset_ic_stats : t -> unit
 
 val call_value : t -> Value.t -> Value.t list -> Value.t
 (** Call a [Fun] (AST-interpreted) or [Host] value. *)
@@ -143,6 +146,14 @@ val closure_parts : t -> int -> string list * Ast.stmt list * scope
 val tick : t -> int -> unit
 (** One evaluation step: fuel accounting plus a cycle charge.
     @raise Script_error on fuel exhaustion. *)
+
+val set_yield_hook : t -> (unit -> unit) option -> unit
+(** Installs (or clears) a callback invoked after every {!tick}, on all
+    execution tiers.  The hook is for cooperative scheduling (it may
+    perform an effect to park the session); it must charge no simulated
+    cycles and emit no telemetry itself, so a hooked run stays
+    bit-identical to an unhooked one.  [None] costs one load and one
+    branch per tick. *)
 
 val fail : ('a, Format.formatter, unit, 'b) format4 -> 'a
 (** Raise {!Script_error} with a formatted message. *)

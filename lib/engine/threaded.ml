@@ -67,13 +67,16 @@ type stats = {
   mutable fused_sites : int;
 }
 
-let stats = { prop_hits = 0; prop_misses = 0; super_execs = 0; fused_sites = 0 }
+(* Counters are per-run (threaded through [tvm]), not process-wide:
+   concurrent sessions each see only their own IC behaviour.  [Engine.t]
+   owns one record and passes it to every [run]. *)
+let make_stats () = { prop_hits = 0; prop_misses = 0; super_execs = 0; fused_sites = 0 }
 
-let reset_stats () =
-  stats.prop_hits <- 0;
-  stats.prop_misses <- 0;
-  stats.super_execs <- 0;
-  stats.fused_sites <- 0
+let reset_stats s =
+  s.prop_hits <- 0;
+  s.prop_misses <- 0;
+  s.super_execs <- 0;
+  s.fused_sites <- 0
 
 (* --- Frames --- *)
 
@@ -143,6 +146,7 @@ let pic_add pic sh slot =
 type tvm = {
   eval : Eval.t;
   opts : opts;
+  stats : stats;
   (* closure id -> (params, compiled body).  The ops are compiled lazily
      on first call and shared (via [code_cache]) by every closure minted
      at the same [Make_closure] site, so the call path is a single
@@ -215,11 +219,11 @@ let rec compile_ops tvm (code : Bytecode.instr array) : op array =
           let sh = Value.obj_shape_id o in
           let slot = if pic.p_mega then -1 else pic_find pic sh in
           if slot >= 0 then begin
-            stats.prop_hits <- stats.prop_hits + 1;
+            tvm.stats.prop_hits <- tvm.stats.prop_hits + 1;
             Value.obj_get_slot h o slot
           end
           else begin
-            stats.prop_misses <- stats.prop_misses + 1;
+            tvm.stats.prop_misses <- tvm.stats.prop_misses + 1;
             match Value.obj_slot_index o name with
             | Some sl ->
               if not pic.p_mega then pic_add pic sh sl;
@@ -239,11 +243,11 @@ let rec compile_ops tvm (code : Bytecode.instr array) : op array =
           let sh = Value.obj_shape_id o in
           let slot = if pic.p_mega then -1 else pic_find pic sh in
           if slot >= 0 then begin
-            stats.prop_hits <- stats.prop_hits + 1;
+            tvm.stats.prop_hits <- tvm.stats.prop_hits + 1;
             Value.obj_set_slot h o slot v
           end
           else begin
-            stats.prop_misses <- stats.prop_misses + 1;
+            tvm.stats.prop_misses <- tvm.stats.prop_misses + 1;
             match Value.obj_slot_index o name with
             | Some sl ->
               if not pic.p_mega then pic_add pic sh sl;
@@ -442,7 +446,7 @@ let rec compile_ops tvm (code : Bytecode.instr array) : op array =
       (* one lazy compile and one scope origin per site; every closure
          minted here shares both *)
       let ops_l = lazy (body_ops tvm body) in
-      let origin = Eval.fresh_origin () in
+      let origin = Eval.fresh_origin t in
       fun fr ->
         Eval.tick t 1;
         let closure = Eval.make_closure t ~params ~body (cur fr) in
@@ -491,7 +495,7 @@ let rec compile_ops tvm (code : Bytecode.instr array) : op array =
         let lx = make_load x and ly = make_load y in
         Some
           (fun fr ->
-            stats.super_execs <- stats.super_execs + 1;
+            tvm.stats.super_execs <- tvm.stats.super_execs + 1;
             Eval.tick t 1;
             let vx = lx fr in
             Eval.tick t 1;
@@ -503,7 +507,7 @@ let rec compile_ops tvm (code : Bytecode.instr array) : op array =
         let lx = make_load x in
         Some
           (fun fr ->
-            stats.super_execs <- stats.super_execs + 1;
+            tvm.stats.super_execs <- tvm.stats.super_execs + 1;
             Eval.tick t 1;
             let vx = lx fr in
             Eval.tick t 1;
@@ -515,7 +519,7 @@ let rec compile_ops tvm (code : Bytecode.instr array) : op array =
         let bf = Eval.binary_fn op in
         Some
           (fun fr ->
-            stats.super_execs <- stats.super_execs + 1;
+            tvm.stats.super_execs <- tvm.stats.super_execs + 1;
             Eval.tick t 1;
             Eval.tick t 1;
             let a = pop fr in
@@ -526,7 +530,7 @@ let rec compile_ops tvm (code : Bytecode.instr array) : op array =
         let bf = Eval.binary_fn op in
         Some
           (fun fr ->
-            stats.super_execs <- stats.super_execs + 1;
+            tvm.stats.super_execs <- tvm.stats.super_execs + 1;
             Eval.tick t 1;
             let vb = lx fr in
             Eval.tick t 1;
@@ -537,7 +541,7 @@ let rec compile_ops tvm (code : Bytecode.instr array) : op array =
         let bf = Eval.binary_fn op in
         Some
           (fun fr ->
-            stats.super_execs <- stats.super_execs + 1;
+            tvm.stats.super_execs <- tvm.stats.super_execs + 1;
             Eval.tick t 1;
             let b = pop fr in
             let a = pop fr in
@@ -548,7 +552,7 @@ let rec compile_ops tvm (code : Bytecode.instr array) : op array =
         let store = make_store x in
         Some
           (fun fr ->
-            stats.super_execs <- stats.super_execs + 1;
+            tvm.stats.super_execs <- tvm.stats.super_execs + 1;
             Eval.tick t 1;
             store fr (peek fr);
             Eval.tick t 1;
@@ -559,7 +563,7 @@ let rec compile_ops tvm (code : Bytecode.instr array) : op array =
         let mload = make_member_load m in
         Some
           (fun fr ->
-            stats.super_execs <- stats.super_execs + 1;
+            tvm.stats.super_execs <- tvm.stats.super_execs + 1;
             Eval.tick t 1;
             let recv = lx fr in
             Eval.tick t 1;
@@ -569,7 +573,7 @@ let rec compile_ops tvm (code : Bytecode.instr array) : op array =
         let lx = make_load x in
         Some
           (fun fr ->
-            stats.super_execs <- stats.super_execs + 1;
+            tvm.stats.super_execs <- tvm.stats.super_execs + 1;
             Eval.tick t 1;
             let idx = lx fr in
             Eval.tick t 1;
@@ -580,7 +584,7 @@ let rec compile_ops tvm (code : Bytecode.instr array) : op array =
         let idx = Value.Num f in
         Some
           (fun fr ->
-            stats.super_execs <- stats.super_execs + 1;
+            tvm.stats.super_execs <- tvm.stats.super_execs + 1;
             Eval.tick t 1;
             Eval.tick t 1;
             let obj = pop fr in
@@ -589,7 +593,7 @@ let rec compile_ops tvm (code : Bytecode.instr array) : op array =
       | Bytecode.Dup2, Bytecode.Load_index ->
         Some
           (fun fr ->
-            stats.super_execs <- stats.super_execs + 1;
+            tvm.stats.super_execs <- tvm.stats.super_execs + 1;
             Eval.tick t 1;
             if fr.sp < 2 then Eval.fail "vm: stack underflow";
             let idx = fr.stk.(fr.sp - 1) in
@@ -602,7 +606,7 @@ let rec compile_ops tvm (code : Bytecode.instr array) : op array =
         let store = make_store y in
         Some
           (fun fr ->
-            stats.super_execs <- stats.super_execs + 1;
+            tvm.stats.super_execs <- tvm.stats.super_execs + 1;
             Eval.tick t 1;
             let v = lx fr in
             Eval.tick t 1;
@@ -613,7 +617,7 @@ let rec compile_ops tvm (code : Bytecode.instr array) : op array =
         let bf = Eval.binary_fn op in
         Some
           (fun fr ->
-            stats.super_execs <- stats.super_execs + 1;
+            tvm.stats.super_execs <- tvm.stats.super_execs + 1;
             Eval.tick t 1;
             let idx = pop fr in
             let obj = pop fr in
@@ -627,7 +631,7 @@ let rec compile_ops tvm (code : Bytecode.instr array) : op array =
         let store = make_store x in
         Some
           (fun fr ->
-            stats.super_execs <- stats.super_execs + 1;
+            tvm.stats.super_execs <- tvm.stats.super_execs + 1;
             Eval.tick t 1;
             let b = pop fr in
             let a = pop fr in
@@ -640,7 +644,7 @@ let rec compile_ops tvm (code : Bytecode.instr array) : op array =
         let lx = make_load x in
         Some
           (fun fr ->
-            stats.super_execs <- stats.super_execs + 1;
+            tvm.stats.super_execs <- tvm.stats.super_execs + 1;
             Eval.tick t 1;
             ignore (pop fr);
             Eval.tick t 1;
@@ -656,7 +660,7 @@ let rec compile_ops tvm (code : Bytecode.instr array) : op array =
       match make_fused !i code.(!i) code.(!i + 1) with
       | Some op ->
         ops.(!i) <- op;
-        stats.fused_sites <- stats.fused_sites + 1;
+        tvm.stats.fused_sites <- tvm.stats.fused_sites + 1;
         i := !i + 2
       | None -> incr i
     done
@@ -723,14 +727,19 @@ and exec_ops tvm ops scope0 =
   tvm.frame_pool <- fr :: tvm.frame_pool;
   ret
 
-let run ?opts eval (program : Bytecode.program) =
+let run ?opts ?stats eval (program : Bytecode.program) =
   let opts =
     match opts with
     | Some o -> o
     | None -> !config
   in
+  let stats =
+    match stats with
+    | Some s -> s
+    | None -> make_stats ()
+  in
   let tvm =
-    { eval; opts; vm_closures = Hashtbl.create 16; code_cache = Hashtbl.create 16;
+    { eval; opts; stats; vm_closures = Hashtbl.create 16; code_cache = Hashtbl.create 16;
       frame_pool = [] }
   in
   let saved = !Value.batched_slots in

@@ -36,17 +36,20 @@ type stats = {
   mutable fused_sites : int;  (** fused sites emitted at compile time *)
 }
 
-val stats : stats
-(** Process-wide counters (host-side observability only; variable-IC
-    counters live in {!Eval.ic_stats}). *)
+val make_stats : unit -> stats
+(** A fresh zeroed counter record.  Counters are per-run (host-side
+    observability only; variable-IC counters live in {!Eval.ic_stats}):
+    {!Engine.t} owns one record and passes it to every {!run}, so
+    concurrent sessions never cross-pollute each other's hit rates. *)
 
-val reset_stats : unit -> unit
+val reset_stats : stats -> unit
 
 val fused_pairs : (string * string) list
 (** The enabled superinstruction set, as mnemonic pairs — chosen from
     [report --opcodes] measurements on dromaeo/octane (see
     EXPERIMENTS.md). *)
 
-val run : ?opts:opts -> Eval.t -> Bytecode.program -> Value.t
+val run : ?opts:opts -> ?stats:stats -> Eval.t -> Bytecode.program -> Value.t
 (** Same contract as {!Bytecode.run}, same observable simulation;
-    [opts] defaults to [!config]. *)
+    [opts] defaults to [!config]; [stats] (accumulated into, never
+    reset here) defaults to a fresh discarded record. *)

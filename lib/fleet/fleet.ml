@@ -1,0 +1,558 @@
+(* The multi-session fleet: a cooperative multi-CPU scheduler that runs N
+   concurrent browsing sessions over the simulated machine.
+
+   Each session is a complete vertical slice — its own [Pkru_safe.Env]
+   (machine, gates, pkalloc), its own browser and engine — so sessions
+   are structurally independent: per-session simulated cycles,
+   transitions and traces cannot depend on how sessions interleave.  The
+   scheduler multiplexes them over per-CPU run queues:
+
+   - {b Yield points}: each session's evaluator gets a budget-counting
+     yield hook ({!Eval.set_yield_hook}, called from [tick] on every
+     execution tier).  When the budget runs out the hook performs the
+     {!Yield} effect; the scheduler's handler captures the one-shot
+     continuation and parks the session.  The hook charges no simulated
+     cycles and emits nothing, so a fleet run of one session is
+     bit-identical to the plain [Runner] path (asserted by test and
+     bench).
+
+   - {b Run queues}: one FIFO per scheduler CPU, each with a virtual
+     clock advanced by the simulated cycles its sessions retire (1 cycle
+     = 1 ns, as everywhere in the repo).  The host-sequential loop
+     always serves the CPU with the smallest clock — a deterministic
+     discrete-event simulation of parallel harts, so results are
+     reproducible for any CPU count.
+
+   - {b Work stealing}: a CPU with an empty queue first admits pending
+     sessions (bounded by [max_live], which also bounds host memory at
+     N=100k), then steals the back half of the longest queue.
+
+   - {b Memory contention}: with [page_budget] set, every session's
+     pools draw from one shared {!Allocators.Backing} budget; exhaustion
+     surfaces as [Out_of_memory] in the victim session, which retires
+     with an [Oom] outcome while the fleet keeps going.  Retired
+     sessions return their pages.
+
+   The only process-wide mutable the engine touches mid-run is
+   [Value.batched_slots] (the threaded tier toggles it for a run's
+   duration); the scheduler context-switches it per slice, so each
+   session observes its own consistent value.  The telemetry writer slots
+   are guarded ({!Telemetry.Guard}) for the whole run. *)
+
+type job = {
+  job_name : string;
+  job_page : string;
+  job_scripts : string list;
+  job_seed : int;
+}
+
+let job_of_bench (b : Workloads.Bench_def.bench) =
+  {
+    job_name = b.Workloads.Bench_def.name;
+    job_page = b.Workloads.Bench_def.page;
+    job_scripts = [ b.Workloads.Bench_def.script ];
+    job_seed = b.Workloads.Bench_def.engine_seed;
+  }
+
+let job_of_session (s : Workloads.Browsing.session) =
+  {
+    job_name = s.Workloads.Browsing.session_name;
+    job_page = s.Workloads.Browsing.page;
+    job_scripts = s.Workloads.Browsing.scripts;
+    job_seed = 1;
+  }
+
+type outcome =
+  | Completed
+  | Oom
+  | Failed of string
+
+let outcome_to_string = function
+  | Completed -> "completed"
+  | Oom -> "oom"
+  | Failed msg -> "failed: " ^ msg
+
+type session_result = {
+  sr_index : int;
+  sr_name : string;
+  sr_cpu : int;
+  sr_cycles : int;
+  sr_transitions : int;
+  sr_checksum : int;
+  sr_latency_cycles : int;
+  sr_outcome : outcome;
+}
+
+type backing_stats = {
+  bk_total_pages : int;
+  bk_min_available : int;
+  bk_denials : int;
+}
+
+type result = {
+  r_sessions : int;
+  r_cpus : int;
+  r_timeslice : int;
+  r_makespan_cycles : int;
+  r_sessions_per_sec : float;
+  r_p50_latency_ns : float;
+  r_p99_latency_ns : float;
+  r_total_cycles : int;
+  r_yields : int;
+  r_steals : int;
+  r_completed : int;
+  r_oom : int;
+  r_failed : int;
+  r_results : session_result list;
+  r_trace : Telemetry.Sink.t option;
+  r_backing : backing_stats option;
+}
+
+(* --- Cooperative scheduling over effects --- *)
+
+type _ Effect.t += Yield : unit Effect.t
+
+type step =
+  | Done of outcome
+  | Parked of (unit, step) Effect.Deep.continuation
+
+type session = {
+  s_id : int;
+  s_job : job;
+  mutable s_cpu : int;
+  s_admitted_at : int; (* admitting CPU's vclock, in cycles *)
+  mutable s_env : Pkru_safe.Env.t option; (* set by the body's first slice *)
+  mutable s_browser : Browser.t option;
+  mutable s_cont : (unit, step) Effect.Deep.continuation option;
+  mutable s_last_cycles : int; (* machine cycles at the last slice boundary *)
+  mutable s_batched : bool; (* saved [Value.batched_slots] across parks *)
+}
+
+let handler =
+  {
+    Effect.Deep.retc = (fun () -> Done Completed);
+    exnc =
+      (fun e ->
+        match e with
+        | Out_of_memory -> Done Oom
+        | Effect.Unhandled _ as e -> raise e
+        | e -> Done (Failed (Printexc.to_string e)));
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Yield ->
+          Some (fun (k : (a, step) Effect.Deep.continuation) -> Parked k)
+        | _ -> None);
+  }
+
+let checksum ~output ~cycles ~transitions =
+  let h = List.fold_left (fun acc line -> Hashtbl.hash (acc, line)) 0 output in
+  Hashtbl.hash (h, cycles, transitions)
+
+(* The session body.  Mirrors the [Runner.run_config] measurement
+   protocol exactly: environment/browser construction and page load are
+   setup, counters reset, then the scripts are the timed run.  In
+   [telemetry] mode (single-session only) the script phase runs under a
+   sink and the same post-run counter injections as the runner, so the
+   event trace is comparable bit-for-bit. *)
+let session_body ~mode ~profile ~backing ~tier ~timeslice ~sink sess () =
+  let env =
+    match Pkru_safe.Env.create ~profile ?backing (Pkru_safe.Config.make mode) with
+    | Ok env -> env
+    | Error msg -> failwith ("Fleet: Env.create: " ^ msg)
+  in
+  sess.s_env <- Some env;
+  let browser = Browser.create ~engine_seed:sess.s_job.job_seed env in
+  sess.s_browser <- Some browser;
+  let budget = ref timeslice in
+  Engine.Eval.set_yield_hook
+    (Engine.evaluator (Browser.engine browser))
+    (Some
+       (fun () ->
+         decr budget;
+         if !budget <= 0 then begin
+           budget := timeslice;
+           Effect.perform Yield
+         end));
+  Browser.load_page browser sess.s_job.job_page;
+  Pkru_safe.Env.reset_counters env;
+  Engine.reset_stats (Browser.engine browser);
+  Browser.reset_selector_stats browser;
+  let exec () =
+    List.iter
+      (fun script -> ignore (Browser.exec_script ?tier browser script))
+      sess.s_job.job_scripts
+  in
+  match sink with
+  | None -> exec ()
+  | Some sink ->
+    let machine = Pkru_safe.Env.machine env in
+    let before = Sim.Machine.tlb_stats machine in
+    (* Install directly: the fleet holds the telemetry guard, which
+       blocks [with_sink] for outside writers but not the fleet's own
+       single-session trace. *)
+    let previous = !Telemetry.Sink.current in
+    Telemetry.Sink.current := Some sink;
+    Fun.protect ~finally:(fun () -> Telemetry.Sink.current := previous) exec;
+    let after = Sim.Machine.tlb_stats machine in
+    Telemetry.Sink.incr sink ~by:(after.Sim.Tlb.hits - before.Sim.Tlb.hits) "tlb_hit";
+    Telemetry.Sink.incr sink ~by:(after.Sim.Tlb.misses - before.Sim.Tlb.misses) "tlb_miss";
+    Telemetry.Sink.incr sink ~by:(after.Sim.Tlb.flushes - before.Sim.Tlb.flushes) "tlb_flush";
+    let ic = Engine.Eval.ic_stats (Engine.evaluator (Browser.engine browser)) in
+    let ts = Engine.threaded_stats (Browser.engine browser) in
+    Telemetry.Sink.incr sink ~by:ic.Engine.Eval.var_hits "engine_var_ic_hit";
+    Telemetry.Sink.incr sink ~by:ic.Engine.Eval.var_misses "engine_var_ic_miss";
+    Telemetry.Sink.incr sink ~by:ts.Engine.Threaded.prop_hits "engine_prop_ic_hit";
+    Telemetry.Sink.incr sink ~by:ts.Engine.Threaded.prop_misses "engine_prop_ic_miss";
+    Telemetry.Sink.incr sink ~by:ts.Engine.Threaded.super_execs "engine_super_exec";
+    let sel = Browser.selector_stats browser in
+    Telemetry.Sink.incr sink ~by:sel.Browser.sel_hits "engine_selector_hit";
+    Telemetry.Sink.incr sink ~by:sel.Browser.sel_misses "engine_selector_miss"
+
+(* --- The scheduler --- *)
+
+let run ?(mode = Pkru_safe.Config.Base) ?profile ?(cpus = 1) ?(timeslice = 4000)
+    ?(max_live = 128) ?page_budget ?tier ?(telemetry = false) ~sessions:n jobs =
+  if n <= 0 then invalid_arg "Fleet.run: sessions must be positive";
+  if cpus <= 0 then invalid_arg "Fleet.run: cpus must be positive";
+  if timeslice <= 0 then invalid_arg "Fleet.run: timeslice must be positive";
+  if max_live <= 0 then invalid_arg "Fleet.run: max_live must be positive";
+  if jobs = [] then invalid_arg "Fleet.run: no jobs";
+  if telemetry && (n <> 1 || cpus <> 1) then
+    invalid_arg "Fleet.run: telemetry traces are single-session only (sessions=1, cpus=1)";
+  (* A writer installed before the fleet starts would observe an
+     arbitrary interleaving of all sessions — refuse, like the guard
+     refuses installs while the fleet is active. *)
+  if Telemetry.Sink.active () then
+    invalid_arg "Fleet.run: a process-wide sink is installed; disable it before a fleet run";
+  if Telemetry.Sampler.active () then
+    invalid_arg "Fleet.run: a sampler is installed; disable it before a fleet run";
+  if Telemetry.Census.active () then
+    invalid_arg "Fleet.run: a census is installed; disable it before a fleet run";
+  if !Telemetry.Flight.current <> None then
+    invalid_arg "Fleet.run: the flight recorder is armed; disarm it before a fleet run";
+  let profile = match profile with Some p -> p | None -> Runtime.Profile.create () in
+  let backing = Option.map (fun pages -> Allocators.Backing.create ~pages) page_budget in
+  let sink = if telemetry then Some (Telemetry.Sink.create ()) else None in
+  let label = Printf.sprintf "fleet sessions=%d cpus=%d" n cpus in
+  Telemetry.Guard.with_exclusive label @@ fun () ->
+  let njobs = List.length jobs in
+  let job_arr = Array.of_list jobs in
+  let queues : session list ref array = Array.init cpus (fun _ -> ref []) in
+  let vclock = Array.make cpus 0 in
+  let next_id = ref 0 in
+  let live = ref 0 in
+  let yields = ref 0 in
+  let steals = ref 0 in
+  let finished : session_result list ref = ref [] in
+  let nfinished = ref 0 in
+  let ambient_batched = !Engine.Value.batched_slots in
+  let admit c =
+    let id = !next_id in
+    incr next_id;
+    incr live;
+    let job = job_arr.(id mod njobs) in
+    let job = { job with job_name = Printf.sprintf "%s#%d" job.job_name id } in
+    let sess =
+      {
+        s_id = id;
+        s_job = job;
+        s_cpu = c;
+        s_admitted_at = vclock.(c);
+        s_env = None;
+        s_browser = None;
+        s_cont = None;
+        s_last_cycles = 0;
+        s_batched = ambient_batched;
+      }
+    in
+    queues.(c) := !(queues.(c)) @ [ sess ]
+  in
+  (* Eager admission: keep [max_live] sessions materialised as long as
+     descriptors remain, each onto the currently shortest queue (lowest
+     index breaks ties).  This is what makes sessions *concurrent* — they
+     queue behind each other (latency = queueing + service) and contend
+     for the shared page budget — while [max_live] still bounds host
+     memory at N=100k. *)
+  let admit_pending () =
+    while !next_id < n && !live < max_live do
+      let best = ref 0 in
+      for i = 1 to cpus - 1 do
+        if List.length !(queues.(i)) < List.length !(queues.(!best)) then best := i
+      done;
+      admit !best
+    done
+  in
+  (* Steal the back half of the longest other queue (>= 2 entries so the
+     victim keeps its head).  Deterministic: longest wins, lowest index
+     breaks ties. *)
+  let try_steal c =
+    let victim = ref (-1) and best = ref 1 in
+    Array.iteri
+      (fun i q ->
+        let len = List.length !q in
+        if i <> c && len > !best then begin
+          victim := i;
+          best := len
+        end)
+      queues;
+    if !victim >= 0 && !best >= 2 then begin
+      let q = !(queues.(!victim)) in
+      let keep = List.length q - (List.length q / 2) in
+      let kept = List.filteri (fun i _ -> i < keep) q in
+      let stolen = List.filteri (fun i _ -> i >= keep) q in
+      queues.(!victim) := kept;
+      List.iter (fun s -> s.s_cpu <- c) stolen;
+      queues.(c) := !(queues.(c)) @ stolen;
+      steals := !steals + List.length stolen
+    end
+  in
+  (* Serve the CPU with the smallest virtual clock; at equal clocks a
+     CPU with runnable work beats an idle one, lower id breaks the rest. *)
+  let select () =
+    let best = ref 0 in
+    for c = 1 to cpus - 1 do
+      let better =
+        vclock.(c) < vclock.(!best)
+        || (vclock.(c) = vclock.(!best)
+            && !(queues.(c)) <> [] && !(queues.(!best)) = [])
+      in
+      if better then best := c
+    done;
+    !best
+  in
+  let finalize c sess outcome =
+    decr live;
+    incr nfinished;
+    let cycles, transitions, output =
+      match sess.s_env, sess.s_browser with
+      | Some env, Some browser ->
+        (Pkru_safe.Env.cycles env, Pkru_safe.Env.transitions env, Browser.console browser)
+      | Some env, None -> (Pkru_safe.Env.cycles env, Pkru_safe.Env.transitions env, [])
+      | None, _ -> (0, 0, [])
+    in
+    (* Teardown: pages back to the shared budget, hook and references
+       dropped so the session's machine is collectable under max_live. *)
+    (match sess.s_env with
+    | Some env -> Allocators.Pkalloc.retire (Pkru_safe.Env.pkalloc env)
+    | None -> ());
+    (match sess.s_browser with
+    | Some browser -> Engine.Eval.set_yield_hook (Engine.evaluator (Browser.engine browser)) None
+    | None -> ());
+    sess.s_env <- None;
+    sess.s_browser <- None;
+    sess.s_cont <- None;
+    finished :=
+      {
+        sr_index = sess.s_id;
+        sr_name = sess.s_job.job_name;
+        sr_cpu = sess.s_cpu;
+        sr_cycles = cycles;
+        sr_transitions = transitions;
+        sr_checksum = checksum ~output ~cycles ~transitions;
+        sr_latency_cycles = vclock.(c) - sess.s_admitted_at;
+        sr_outcome = outcome;
+      }
+      :: !finished
+  in
+  let run_slice c sess =
+    Engine.Value.batched_slots := sess.s_batched;
+    let step =
+      match sess.s_cont with
+      | Some k ->
+        sess.s_cont <- None;
+        Effect.Deep.continue k ()
+      | None ->
+        Effect.Deep.match_with
+          (session_body ~mode ~profile ~backing ~tier ~timeslice ~sink sess)
+          () handler
+    in
+    (* Advance the CPU by the simulated cycles this slice retired. *)
+    (match sess.s_env with
+    | Some env ->
+      let now = Sim.Machine.cycles (Pkru_safe.Env.machine env) in
+      vclock.(c) <- vclock.(c) + (now - sess.s_last_cycles);
+      sess.s_last_cycles <- now
+    | None -> ());
+    match step with
+    | Parked k ->
+      incr yields;
+      sess.s_batched <- !Engine.Value.batched_slots;
+      sess.s_cont <- Some k;
+      queues.(c) := !(queues.(c)) @ [ sess ]
+    | Done outcome -> finalize c sess outcome
+  in
+  Fun.protect ~finally:(fun () -> Engine.Value.batched_slots := ambient_batched)
+  @@ fun () ->
+  while !nfinished < n do
+    admit_pending ();
+    let c = select () in
+    if !(queues.(c)) = [] then try_steal c;
+    match !(queues.(c)) with
+    | sess :: rest ->
+      queues.(c) := rest;
+      run_slice c sess
+    | [] ->
+      (* Nothing runnable here: skip this CPU's clock forward to the
+         busiest frontier so a loaded CPU (or the admission gate) makes
+         progress next iteration. *)
+      let m = ref max_int in
+      Array.iteri (fun i q -> if !q <> [] && vclock.(i) < !m then m := vclock.(i)) queues;
+      if !m < max_int then vclock.(c) <- max vclock.(c) !m
+      else if !next_id < n then ()
+        (* queues all empty but sessions remain: admission was gated by
+           max_live and frees next loop (live just dropped) — retry. *)
+      else assert (!nfinished >= n)
+  done;
+  let makespan = Array.fold_left max 0 vclock in
+  (* Admission order, not completion order: completion order depends on
+     the CPU count, and callers compare per-session results across CPU
+     counts positionally. *)
+  let results =
+    List.sort (fun a b -> compare a.sr_index b.sr_index) !finished
+  in
+  let latencies =
+    List.map (fun r -> float_of_int r.sr_latency_cycles) results
+  in
+  let count p = List.length (List.filter p results) in
+  {
+    r_sessions = n;
+    r_cpus = cpus;
+    r_timeslice = timeslice;
+    r_makespan_cycles = makespan;
+    r_sessions_per_sec =
+      (if makespan = 0 then 0.0 else float_of_int n *. 1e9 /. float_of_int makespan);
+    r_p50_latency_ns = Util.Stats.percentile 50.0 latencies;
+    r_p99_latency_ns = Util.Stats.percentile 99.0 latencies;
+    r_total_cycles = List.fold_left (fun acc r -> acc + r.sr_cycles) 0 results;
+    r_yields = !yields;
+    r_steals = !steals;
+    r_completed = count (fun r -> r.sr_outcome = Completed);
+    r_oom = count (fun r -> r.sr_outcome = Oom);
+    r_failed = count (fun r -> match r.sr_outcome with Failed _ -> true | _ -> false);
+    r_results = results;
+    r_trace = sink;
+    r_backing =
+      Option.map
+        (fun b ->
+          {
+            bk_total_pages = Allocators.Backing.total b;
+            bk_min_available = Allocators.Backing.min_available b;
+            bk_denials = Allocators.Backing.denials b;
+          })
+        backing;
+  }
+
+(* --- Export --- *)
+
+let metrics r =
+  let m = Telemetry.Metrics.create () in
+  let outcome_counter outcome v =
+    let c =
+      Telemetry.Metrics.counter m ~help:"Sessions retired, by outcome"
+        ~labels:[ ("outcome", outcome) ] "pkru_fleet_sessions_total"
+    in
+    Telemetry.Metrics.incr ~by:v c
+  in
+  outcome_counter "completed" r.r_completed;
+  outcome_counter "oom" r.r_oom;
+  outcome_counter "failed" r.r_failed;
+  Telemetry.Metrics.set
+    (Telemetry.Metrics.gauge m ~help:"Fleet throughput (sessions per simulated second)"
+       "pkru_fleet_sessions_per_sec")
+    r.r_sessions_per_sec;
+  Telemetry.Metrics.set
+    (Telemetry.Metrics.gauge m ~help:"Scheduler CPUs" "pkru_fleet_cpus")
+    (float_of_int r.r_cpus);
+  Telemetry.Metrics.set
+    (Telemetry.Metrics.gauge m ~help:"Fleet makespan in simulated cycles"
+       "pkru_fleet_makespan_cycles")
+    (float_of_int r.r_makespan_cycles);
+  Telemetry.Metrics.set
+    (Telemetry.Metrics.gauge m ~help:"Session latency, ns"
+       ~labels:[ ("quantile", "0.5") ] "pkru_fleet_session_latency_ns")
+    r.r_p50_latency_ns;
+  Telemetry.Metrics.set
+    (Telemetry.Metrics.gauge m ~help:"Session latency, ns"
+       ~labels:[ ("quantile", "0.99") ] "pkru_fleet_session_latency_ns")
+    r.r_p99_latency_ns;
+  Telemetry.Metrics.incr ~by:r.r_yields
+    (Telemetry.Metrics.counter m ~help:"Cooperative yields" "pkru_fleet_yields_total");
+  Telemetry.Metrics.incr ~by:r.r_steals
+    (Telemetry.Metrics.counter m ~help:"Sessions migrated by work stealing"
+       "pkru_fleet_steals_total");
+  let latency_hist = Telemetry.Histogram.create () in
+  List.iter (fun sr -> Telemetry.Histogram.observe latency_hist sr.sr_latency_cycles) r.r_results;
+  Telemetry.Metrics.attach_histogram m ~help:"Session latency distribution, ns"
+    "pkru_fleet_session_latency_ns_hist" latency_hist;
+  (match r.r_backing with
+  | None -> ()
+  | Some b ->
+    Telemetry.Metrics.set
+      (Telemetry.Metrics.gauge m ~help:"Shared backing budget, pages" "pkru_fleet_backing_pages")
+      (float_of_int b.bk_total_pages);
+    Telemetry.Metrics.set
+      (Telemetry.Metrics.gauge m ~help:"Backing budget low-water mark, pages"
+         "pkru_fleet_backing_min_available_pages")
+      (float_of_int b.bk_min_available);
+    Telemetry.Metrics.incr ~by:b.bk_denials
+      (Telemetry.Metrics.counter m ~help:"Backing budget denials" "pkru_fleet_backing_denials_total"));
+  m
+
+let to_json ?(per_session = false) r =
+  let open Util.Json in
+  let fields =
+    [
+      ("sessions", Int r.r_sessions);
+      ("cpus", Int r.r_cpus);
+      ("timeslice_ticks", Int r.r_timeslice);
+      ("makespan_cycles", Int r.r_makespan_cycles);
+      ("sessions_per_sec", Float r.r_sessions_per_sec);
+      ("p50_latency_ns", Float r.r_p50_latency_ns);
+      ("p99_latency_ns", Float r.r_p99_latency_ns);
+      ("total_cycles", Int r.r_total_cycles);
+      ("yields", Int r.r_yields);
+      ("steals", Int r.r_steals);
+      ("completed", Int r.r_completed);
+      ("oom", Int r.r_oom);
+      ("failed", Int r.r_failed);
+    ]
+  in
+  let fields =
+    match r.r_backing with
+    | None -> fields
+    | Some b ->
+      fields
+      @ [
+          ( "backing",
+            Obj
+              [
+                ("total_pages", Int b.bk_total_pages);
+                ("min_available_pages", Int b.bk_min_available);
+                ("denials", Int b.bk_denials);
+              ] );
+        ]
+  in
+  let fields =
+    if not per_session then fields
+    else
+      fields
+      @ [
+          ( "sessions_detail",
+            List
+              (List.map
+                 (fun sr ->
+                   Obj
+                     [
+                       ("name", String sr.sr_name);
+                       ("cpu", Int sr.sr_cpu);
+                       ("cycles", Int sr.sr_cycles);
+                       ("transitions", Int sr.sr_transitions);
+                       ("checksum", Int sr.sr_checksum);
+                       ("latency_cycles", Int sr.sr_latency_cycles);
+                       ("outcome", String (outcome_to_string sr.sr_outcome));
+                     ])
+                 r.r_results) );
+        ]
+  in
+  Obj fields

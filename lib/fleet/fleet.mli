@@ -1,0 +1,113 @@
+(** Multi-session fleet: per-CPU run queues and cooperative scheduling.
+
+    Runs N concurrent browsing sessions — each a complete vertical slice
+    with its own {!Pkru_safe.Env}, browser and engine — multiplexed over
+    per-CPU run queues by a deterministic host-sequential scheduler.
+    Sessions yield cooperatively at evaluator tick boundaries (an effect
+    performed by a budget-counting hook that charges no simulated cycles
+    and emits nothing, so a single-session fleet run is bit-identical to
+    {!Workloads.Runner}); empty CPUs admit pending sessions or steal the
+    back half of the longest queue.  With [page_budget] set, every
+    session's pools draw on one shared {!Allocators.Backing} budget and
+    exhaustion retires the victim session with an [Oom] outcome.
+
+    Determinism: per-session cycles, transitions and checksums are
+    structurally independent of scheduling (each session owns its
+    machine), so they are identical for any CPU count.  The makespan and
+    latency figures depend on [cpus]/[timeslice] but are reproducible
+    for fixed parameters.  Caveat: with a shared [page_budget], sessions
+    couple through allocation order, so cross-CPU-count identity is only
+    guaranteed with [page_budget = None]. *)
+
+type job = {
+  job_name : string;
+  job_page : string;  (** HTML loaded before the scripts run (untimed) *)
+  job_scripts : string list;  (** the timed workload *)
+  job_seed : int;  (** engine Math.random seed *)
+}
+
+val job_of_bench : Workloads.Bench_def.bench -> job
+val job_of_session : Workloads.Browsing.session -> job
+
+type outcome =
+  | Completed
+  | Oom  (** the shared page budget (or the session's pools) ran dry *)
+  | Failed of string
+
+val outcome_to_string : outcome -> string
+
+type session_result = {
+  sr_index : int;  (** admission index, 0-based *)
+  sr_name : string;  (** job name suffixed with the session index *)
+  sr_cpu : int;  (** CPU the session retired on (after any steals) *)
+  sr_cycles : int;  (** simulated cycles of the timed phase *)
+  sr_transitions : int;  (** compartment transitions of the timed phase *)
+  sr_checksum : int;  (** hash of console output, cycles, transitions *)
+  sr_latency_cycles : int;  (** admission-to-retire, in cycles (= ns) *)
+  sr_outcome : outcome;
+}
+
+type backing_stats = {
+  bk_total_pages : int;
+  bk_min_available : int;  (** budget low-water mark *)
+  bk_denials : int;  (** page requests refused *)
+}
+
+type result = {
+  r_sessions : int;
+  r_cpus : int;
+  r_timeslice : int;
+  r_makespan_cycles : int;  (** max per-CPU virtual clock *)
+  r_sessions_per_sec : float;  (** N * 1e9 / makespan (1 cycle = 1 ns) *)
+  r_p50_latency_ns : float;
+  r_p99_latency_ns : float;
+  r_total_cycles : int;  (** sum of per-session timed cycles *)
+  r_yields : int;  (** cooperative preemptions *)
+  r_steals : int;  (** sessions migrated between CPUs *)
+  r_completed : int;
+  r_oom : int;
+  r_failed : int;
+  r_results : session_result list;  (** admission order *)
+  r_trace : Telemetry.Sink.t option;  (** telemetry mode only *)
+  r_backing : backing_stats option;  (** page-budget mode only *)
+}
+
+val run :
+  ?mode:Pkru_safe.Config.mode ->
+  ?profile:Runtime.Profile.t ->
+  ?cpus:int ->
+  ?timeslice:int ->
+  ?max_live:int ->
+  ?page_budget:int ->
+  ?tier:Engine.tier ->
+  ?telemetry:bool ->
+  sessions:int ->
+  job list ->
+  result
+(** [run ~sessions:n jobs] admits [n] sessions cycling round-robin over
+    [jobs].  [timeslice] is the yield budget in evaluator ticks (default
+    4000); [max_live] bounds concurrently-materialised sessions and
+    therefore host memory (default 128); [page_budget] puts all sessions
+    on a shared backing-page budget.
+
+    [telemetry] (single-session, single-CPU only) captures an event
+    trace with the exact {!Workloads.Runner} protocol — sink around the
+    script phase, identical post-run counter injection order — so the
+    trace is comparable bit-for-bit with the runner's; it is returned in
+    [r_trace].
+
+    The whole run holds {!Telemetry.Guard}: installing a process-wide
+    telemetry writer mid-run raises, and a writer already installed
+    makes [run] itself raise [Invalid_argument].
+
+    @raise Invalid_argument on nonsensical parameters or an installed
+    telemetry writer. *)
+
+val metrics : result -> Telemetry.Metrics.t
+(** Fleet headline metrics (sessions/sec, p50/p99 latency, yields,
+    steals, per-outcome session counts, backing budget stats) as a
+    metrics registry for [expose]/[to_json]. *)
+
+val to_json : ?per_session:bool -> result -> Util.Json.t
+(** Bench/CLI artifact.  [per_session] appends the full per-session
+    table (name, cpu, cycles, checksum, latency, outcome). *)

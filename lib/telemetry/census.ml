@@ -94,6 +94,7 @@ let tick t ~cpu n =
   end
 
 let install ?provider:p t =
+  Guard.check "Telemetry.Census.install";
   current := Some t;
   match p with Some _ -> provider := p | None -> ()
 
@@ -104,6 +105,7 @@ let disable () =
 let active () = !current <> None
 
 let with_census ?provider:p t f =
+  Guard.check "Telemetry.Census.with_census";
   let previous = !current in
   let previous_provider = !provider in
   current := Some t;

@@ -29,6 +29,7 @@ let create ?path ?(max_dumps = 8) () =
   { sink = None; context = None; dumps = []; dump_total = 0; path; max_dumps }
 
 let arm ?path ?max_dumps () =
+  Guard.check "Telemetry.Flight.arm";
   let t = create ?path ?max_dumps () in
   current := Some t;
   t
@@ -36,6 +37,7 @@ let arm ?path ?max_dumps () =
 let disarm () = current := None
 
 let with_recorder t f =
+  Guard.check "Telemetry.Flight.with_recorder";
   let previous = !current in
   current := Some t;
   Fun.protect ~finally:(fun () -> current := previous) f

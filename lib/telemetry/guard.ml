@@ -1,0 +1,39 @@
+(* Exclusive ownership of the process-wide telemetry writer slots.
+
+   The sink, sampler, census and flight recorder are installed into
+   process-global refs — fine for one session at a time, silently wrong
+   under a fleet, where a second writer would cross-wire sessions'
+   telemetry.  A fleet run acquires the guard for its duration; every
+   install path calls [check], which raises while the guard is held.
+   Single-session flows (the CLI, the runner, tests) never acquire it,
+   so their cost is one load and one branch per install. *)
+
+let owner : string option ref = ref None
+
+let acquire label =
+  match !owner with
+  | Some held ->
+    invalid_arg
+      (Printf.sprintf
+         "Telemetry.Guard: %S cannot take exclusive telemetry ownership: already held by %S"
+         label held)
+  | None -> owner := Some label
+
+let release () = owner := None
+
+let held () = !owner
+
+let with_exclusive label f =
+  acquire label;
+  Fun.protect ~finally:release f
+
+let check what =
+  match !owner with
+  | None -> ()
+  | Some held ->
+    invalid_arg
+      (Printf.sprintf
+         "%s: refusing to install a process-wide telemetry writer while fleet run %S is \
+          active — per-session telemetry would be cross-wired; install the writer before \
+          the fleet starts, or use the fleet's own telemetry mode"
+         what held)

@@ -1,0 +1,26 @@
+(** Exclusive ownership of the process-wide telemetry writer slots.
+
+    The sink ({!Sink.current}), sampler ({!Sampler.current}/provider),
+    census ({!Census.current}/provider) and flight recorder
+    ({!Flight.current}) are process-global refs.  A fleet run — many
+    concurrent sessions — takes the guard for its duration; every
+    install path calls {!check}, which raises [Invalid_argument] with a
+    clear message while the guard is held, instead of silently
+    cross-wiring sessions' telemetry.  With the guard free, [check] is
+    one load and one branch. *)
+
+val acquire : string -> unit
+(** Take ownership under the given label (e.g. ["fleet n=1000"]).
+    @raise Invalid_argument if already held. *)
+
+val release : unit -> unit
+
+val held : unit -> string option
+(** The current owner's label, if any. *)
+
+val with_exclusive : string -> (unit -> 'a) -> 'a
+(** [acquire]/[release] around [f], exception-safe. *)
+
+val check : string -> unit
+(** Called from writer install paths with the caller's name.
+    @raise Invalid_argument while the guard is held. *)

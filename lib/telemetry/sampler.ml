@@ -94,6 +94,7 @@ let to_json t =
     ]
 
 let install ?provider:p t =
+  Guard.check "Telemetry.Sampler.install";
   current := Some t;
   match p with Some _ -> provider := p | None -> ()
 
@@ -104,6 +105,7 @@ let disable () =
 let active () = !current <> None
 
 let with_sampler ?provider:p t f =
+  Guard.check "Telemetry.Sampler.with_sampler";
   let previous = !current in
   let previous_provider = !provider in
   current := Some t;

@@ -95,6 +95,7 @@ let span_instant t ~ts ~cpu ~kind name =
 let current : t option ref = ref None
 
 let enable ?capacity () =
+  Guard.check "Telemetry.Sink.enable";
   let sink = create ?capacity () in
   current := Some sink;
   sink
@@ -104,6 +105,7 @@ let disable () = current := None
 let active () = !current <> None
 
 let with_sink sink f =
+  Guard.check "Telemetry.Sink.with_sink";
   let previous = !current in
   current := Some sink;
   Fun.protect ~finally:(fun () -> current := previous) f

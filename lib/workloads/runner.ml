@@ -61,10 +61,9 @@ let run_config ?(telemetry = false) ?sample_every ?census_every ?tlb ?mitigation
   Browser.load_page browser bench.Bench_def.page;
   (* Page construction is setup; the script run is what the suites time. *)
   Pkru_safe.Env.reset_counters env;
-  (* Engine IC / superinstruction counters are process-wide; reset so the
+  (* Engine IC / superinstruction counters are per-instance; reset so the
      deltas injected below describe this timed run only. *)
-  Engine.Eval.reset_ic_stats ();
-  Engine.Threaded.reset_stats ();
+  Engine.reset_stats (Browser.engine browser);
   Browser.reset_selector_stats browser;
   let exec () = ignore (Browser.exec_script ?tier:engine_tier browser bench.Bench_def.script) in
   let sampler = Option.map (fun every -> Telemetry.Sampler.create ~every) sample_every in
@@ -101,15 +100,13 @@ let run_config ?(telemetry = false) ?sample_every ?census_every ?tlb ?mitigation
          from the execution path): inline-cache hit/miss digests and
          superinstruction executions.  All zero on the AST and reference
          bytecode tiers. *)
-      Telemetry.Sink.incr sink ~by:Engine.Eval.ic_stats.Engine.Eval.var_hits "engine_var_ic_hit";
-      Telemetry.Sink.incr sink ~by:Engine.Eval.ic_stats.Engine.Eval.var_misses
-        "engine_var_ic_miss";
-      Telemetry.Sink.incr sink ~by:Engine.Threaded.stats.Engine.Threaded.prop_hits
-        "engine_prop_ic_hit";
-      Telemetry.Sink.incr sink ~by:Engine.Threaded.stats.Engine.Threaded.prop_misses
-        "engine_prop_ic_miss";
-      Telemetry.Sink.incr sink ~by:Engine.Threaded.stats.Engine.Threaded.super_execs
-        "engine_super_exec";
+      let ic = Engine.Eval.ic_stats (Engine.evaluator (Browser.engine browser)) in
+      let ts = Engine.threaded_stats (Browser.engine browser) in
+      Telemetry.Sink.incr sink ~by:ic.Engine.Eval.var_hits "engine_var_ic_hit";
+      Telemetry.Sink.incr sink ~by:ic.Engine.Eval.var_misses "engine_var_ic_miss";
+      Telemetry.Sink.incr sink ~by:ts.Engine.Threaded.prop_hits "engine_prop_ic_hit";
+      Telemetry.Sink.incr sink ~by:ts.Engine.Threaded.prop_misses "engine_prop_ic_miss";
+      Telemetry.Sink.incr sink ~by:ts.Engine.Threaded.super_execs "engine_super_exec";
       let sel = Browser.selector_stats browser in
       Telemetry.Sink.incr sink ~by:sel.Browser.sel_hits "engine_selector_hit";
       Telemetry.Sink.incr sink ~by:sel.Browser.sel_misses "engine_selector_miss";

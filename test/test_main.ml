@@ -31,6 +31,7 @@ let () =
       ("chaos", Test_chaos.suite);
       ("census", Test_census.suite);
       ("audit", Test_audit.suite);
+      ("fleet", Test_fleet.suite);
       ("fuzz-substrates", Test_fuzz_substrates.suite);
       ("edge-cases", Test_edge_cases.suite);
     ]
