@@ -8,7 +8,7 @@
                    [--wall-tolerance X] [--compare-strict]
    --only may repeat; with none given, every section runs.
    Sections: micro fig3 table1 table2 fig5 fig6 fig7 security sites
-             ablations tlb mitigation census bechamel
+             ablations tlb mitigation census dispatch fleet garmr bechamel
 
    --compare / --baseline-out run only the regression-sentinel probes
    (unless sections are also requested with --only): --baseline-out
@@ -937,6 +937,77 @@ let fleet_json () =
           ] );
     ]
 
+(* --- Garmr: attack battery + hardened-gate defense invisibility --- *)
+
+(* Arming every defense on a benign fleet must be architecturally
+   invisible: the scrub/filter/re-verify pass paths charge no cycles and
+   emit nothing, so per-session cycles, transitions and checksums — and
+   the makespan — are bit-identical to the undefended run.  Hard gate. *)
+let garmr_invisibility =
+  lazy
+    (let run defenses = Fleet.run ~defenses ~cpus:2 ~timeslice:200 ~sessions:16 fleet_mixed_jobs in
+     let off = run Pkru_safe.Config.no_defenses in
+     let on = run Pkru_safe.Config.all_defenses in
+     let digest (r : Fleet.result) =
+       List.map
+         (fun (sr : Fleet.session_result) ->
+           (sr.Fleet.sr_name, sr.Fleet.sr_cycles, sr.Fleet.sr_transitions, sr.Fleet.sr_checksum))
+         r.Fleet.r_results
+     in
+     if digest off <> digest on then
+       failwith "garmr: armed defenses changed a benign fleet's cycles/checksums";
+     if off.Fleet.r_makespan_cycles <> on.Fleet.r_makespan_cycles then
+       failwith "garmr: armed defenses changed the benign fleet's makespan";
+     (off, on))
+
+let garmr_seed = 20_220_405
+
+let garmr_reports = lazy (Chaos.run_attacks ~harts:2 ~seed:garmr_seed ())
+
+let run_garmr () =
+  header "Garmr attack battery: concurrent attacks vs hardened-gate defenses";
+  let off, _on = Lazy.force garmr_invisibility in
+  Printf.printf
+    "invisibility: %d-session benign fleet bit-identical with all defenses armed (makespan \
+     %d cycles, %d yields)\n\n"
+    off.Fleet.r_sessions off.Fleet.r_makespan_cycles off.Fleet.r_yields;
+  let reports = Lazy.force garmr_reports in
+  Util.Table.print
+    ~header:[ "attack"; "defense"; "undefended"; "defended"; "resume kills"; "dumps" ]
+    (List.map
+       (fun (r : Chaos.attack_report) ->
+         [
+           Exploit.Garmr.attack_to_string r.Chaos.ar_attack;
+           Exploit.Garmr.defense_name r.Chaos.ar_attack;
+           (if Exploit.Garmr.succeeded r.Chaos.ar_undefended then "leaked" else "STOPPED?");
+           (if Exploit.Garmr.defeated r.Chaos.ar_defended then "defeated" else "LEAKED?");
+           string_of_int r.Chaos.ar_defended.Exploit.Garmr.g_resume_kills;
+           string_of_int (List.length r.Chaos.ar_flight_dumps);
+         ])
+       reports);
+  let broken = List.concat_map (fun r -> r.Chaos.ar_invariant_failures) reports in
+  if broken <> [] then
+    failwith ("garmr: battery invariants violated — " ^ String.concat "; " broken);
+  Printf.printf
+    "\nall %d attack classes leak the secret undefended and are defeated defended (seed %d)\n"
+    (List.length reports) garmr_seed
+
+let garmr_json () =
+  let off, _on = Lazy.force garmr_invisibility in
+  Util.Json.Obj
+    [
+      ( "invisibility",
+        Util.Json.Obj
+          [
+            ("bit_identical", Util.Json.Bool true);
+            ("sessions", Util.Json.Int off.Fleet.r_sessions);
+            ("makespan_cycles", Util.Json.Int off.Fleet.r_makespan_cycles);
+          ] );
+      ("seed", Util.Json.Int garmr_seed);
+      ( "battery",
+        Util.Json.List (List.map Chaos.attack_report_to_json (Lazy.force garmr_reports)) );
+    ]
+
 (* --- Bechamel --- *)
 
 let run_bechamel () =
@@ -1200,6 +1271,7 @@ let write_json_results dir =
         ]));
   write "dispatch.json" (dispatch_json ());
   write "fleet.json" (fleet_json ());
+  write "garmr.json" (garmr_json ());
   (* Host-side timing: per-section wall clock for whatever ran this
      invocation, plus the TLB microbench digest (reusing the tlb
      section's result, or running a scaled-down one here) and the
@@ -1331,6 +1403,7 @@ let () =
   if section "census" then timed "census" run_census;
   if section "dispatch" then timed "dispatch" run_dispatch;
   if section "fleet" then timed "fleet" run_fleet;
+  if section "garmr" then timed "garmr" run_garmr;
   if (not !skip_bechamel) && section "bechamel" then timed "bechamel" run_bechamel;
   let sentinel_ok =
     if sentinel_requested () then begin

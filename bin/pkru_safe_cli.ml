@@ -689,8 +689,74 @@ let chaos_format_conv =
         Format.pp_print_string fmt
           (match f with `Table -> "table" | `Json -> "json" | `Prom -> "prom") )
 
-let run_chaos scenario policy seed drop oom_at format output flight =
-  if drop <= 0.0 || drop >= 1.0 then `Error (false, "--drop must be in (0, 1)")
+let attack_conv =
+  let parse = function
+    | "all" -> Ok None
+    | s -> (
+      match Exploit.Garmr.attack_of_string s with
+      | Some a -> Ok (Some a)
+      | None ->
+        Error
+          (`Msg
+            (Printf.sprintf
+               "unknown attack %S (wrpkru-race|sigreturn-forge|syscall-confusion|all)" s)))
+  in
+  Arg.conv
+    ( parse,
+      fun fmt -> function
+        | None -> Format.pp_print_string fmt "all"
+        | Some a -> Format.pp_print_string fmt (Exploit.Garmr.attack_to_string a) )
+
+(* The Garmr battery (`chaos --attacks`): every attack twice — defense
+   off (must leak) and on (must be defeated) — non-zero exit on any
+   invariant violation, flight dumps pooled for the CI artifact. *)
+let run_chaos_attacks attack harts seed format output flight =
+  if harts < 2 then `Error (false, "--attack-harts must be at least 2")
+  else begin
+    let attacks =
+      match attack with Some a -> [ a ] | None -> Exploit.Garmr.all_attacks
+    in
+    let reports = Chaos.run_attacks ~harts ~attacks ~seed () in
+    let rendered =
+      match format with
+      | `Table | `Prom ->
+        let buf = Buffer.create 4096 in
+        List.iter
+          (fun r -> Buffer.add_string buf (Format.asprintf "%a@." Chaos.pp_attack_report r))
+          reports;
+        Buffer.contents buf
+      | `Json ->
+        Util.Json.to_string_pretty
+          (Util.Json.List (List.map Chaos.attack_report_to_json reports))
+        ^ "\n"
+    in
+    (match output with
+    | Some path -> (
+      match Out_channel.with_open_text path (fun oc -> output_string oc rendered) with
+      | () -> Printf.printf "attack battery report written to %s\n" path
+      | exception Sys_error msg -> failwith ("cannot write attack report: " ^ msg))
+    | None -> print_string rendered);
+    (match flight with
+    | Some path ->
+      let dumps =
+        List.concat_map (fun (r : Chaos.attack_report) -> r.Chaos.ar_flight_dumps) reports
+      in
+      Out_channel.with_open_text path (fun oc ->
+          output_string oc (Util.Json.to_string_pretty (Util.Json.List dumps) ^ "\n"));
+      Printf.printf "%d flight dump(s) written to %s\n" (List.length dumps) path
+    | None -> ());
+    let broken = List.filter (fun r -> r.Chaos.ar_invariant_failures <> []) reports in
+    if broken = [] then `Ok ()
+    else
+      `Error
+        ( false,
+          Printf.sprintf "%d of %d attack(s) violated battery invariants"
+            (List.length broken) (List.length reports) )
+  end
+
+let run_chaos scenario policy seed drop oom_at format output flight attacks attack harts =
+  if attacks || attack <> None then run_chaos_attacks attack harts seed format output flight
+  else if drop <= 0.0 || drop >= 1.0 then `Error (false, "--drop must be in (0, 1)")
   else if oom_at <= 0 then `Error (false, "--oom-at must be positive")
   else begin
     let scenarios = match scenario with Some sc -> [ sc ] | None -> Chaos.all_scenarios in
@@ -1121,13 +1187,31 @@ let chaos_cmd =
   let output =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file")
   in
+  let attacks =
+    Arg.(value & flag
+         & info [ "attacks" ]
+             ~doc:"Run the Garmr attack battery instead of the fault scenarios: each attack \
+                   class defended and undefended, non-zero exit if any defended attack \
+                   succeeds or any undefended attack is silently stopped")
+  in
+  let attack =
+    Arg.(value & opt attack_conv None
+         & info [ "attack" ] ~docv:"ATTACK"
+             ~doc:"Restrict the battery to one attack class (implies --attacks): \
+                   wrpkru-race, sigreturn-forge, syscall-confusion, or all")
+  in
+  let harts =
+    Arg.(value & opt int 2
+         & info [ "attack-harts" ] ~docv:"N"
+             ~doc:"Harts per attack battery: N-1 benign victims plus the attacker (min 2)")
+  in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:"Inject deterministic faults into the enforcement pipeline and check invariants")
     Term.(
       ret
         (const run_chaos $ scenario $ policy $ seed $ drop $ oom_at $ format $ output
-        $ flight_flag))
+        $ flight_flag $ attacks $ attack $ harts))
 
 let audit_cmd =
   let bench_arg =

@@ -43,6 +43,11 @@ let ok_exn = function
   | Ok v -> v
   | Error msg -> failwith ("Chaos: " ^ msg)
 
+(* Every invariant-failure message carries the harness seed, so a failing
+   CI log alone is enough to reproduce the run (chaos --scenario ...
+   --seed N). *)
+let tag_seed ~seed msg = Printf.sprintf "%s [seed %d]" msg seed
+
 (* The injected workload: the gate-bound DOM benchmark — its binding calls
    cross the boundary in a tight loop, so a single dropped profile entry
    is exercised early and often. *)
@@ -196,7 +201,7 @@ let finish ~scenario ~policy ~seed ~ending ~rerun_incidents ~details ~sink ~reco
       0 (Telemetry.Sink.counters sink)
   in
   let failures = ref [] in
-  let fail msg = failures := msg :: !failures in
+  let fail msg = failures := tag_seed ~seed msg :: !failures in
   if not secret_intact then fail "secret readable from U";
   if graceful ending && not gate_balanced then
     fail (Printf.sprintf "gate stack unbalanced (depth %d) after graceful end" (gate_depth env));
@@ -354,11 +359,12 @@ let pkalloc_oom ~oom_at ~policy ~seed =
       ~recorder ~profile env
   in
   let extra = ref [] in
-  if not books_ok then extra := "alloc stats inconsistent after forced OOM" :: !extra;
-  if not recovered then extra := "allocator did not recover after one-shot OOM" :: !extra;
+  let fail msg = extra := tag_seed ~seed msg :: !extra in
+  if not books_ok then fail "alloc stats inconsistent after forced OOM";
+  if not recovered then fail "allocator did not recover after one-shot OOM";
   (match ending with
   | Oom | Completed -> ()
-  | _ -> extra := "forced OOM ended in a fault instead of Out_of_memory" :: !extra);
+  | _ -> fail "forced OOM ended in a fault instead of Out_of_memory");
   { report with invariant_failures = report.invariant_failures @ List.rev !extra }
 
 let gate_corruption ~policy ~seed =
@@ -400,8 +406,9 @@ let gate_corruption ~policy ~seed =
     | Killed _ -> []
     | e ->
       [
-        Printf.sprintf "gate corruption was not caught by the gate verify (ended: %s)"
-          (ending_to_string e);
+        tag_seed ~seed
+          (Printf.sprintf "gate corruption was not caught by the gate verify (ended: %s)"
+             (ending_to_string e));
       ]
   in
   { report with invariant_failures = report.invariant_failures @ extra }
@@ -450,7 +457,7 @@ let handler_tamper ~drop ~policy ~seed =
   in
   let extra =
     if expect_fail_closed && report.completed then
-      [ "workload survived with the mitigator unregistered (fail-open)" ]
+      [ tag_seed ~seed "workload survived with the mitigator unregistered (fail-open)" ]
     else []
   in
   { report with invariant_failures = report.invariant_failures @ extra }
@@ -471,6 +478,125 @@ let run_all ?drop ?oom_at ~seed () =
           run ?drop ?oom_at ~scenario ~policy ~seed:derived ())
         Runtime.Mitigator.all_policies)
     all_scenarios
+
+(* --- The Garmr attack battery (defended vs undefended) -------------------
+
+   For each attack class the battery runs the same seeded scenario twice
+   — defense off, defense on — and adjudicates both halves:
+
+   - undefended, the attack MUST leak the planted secret (an attack the
+     defense-off run silently stops proves nothing about the defense);
+   - defended, nothing may leak AND the attacker must be killed or
+     refused, with at least one flight dump naming the attack, and the
+     kill/refusal attributed to a hart.
+
+   Any violation is an invariant failure (seed-tagged, like every chaos
+   failure), which the CLI turns into a non-zero exit. *)
+
+type attack_report = {
+  ar_attack : Exploit.Garmr.attack;
+  ar_seed : int;
+  ar_harts : int;
+  ar_undefended : Exploit.Garmr.result;
+  ar_defended : Exploit.Garmr.result;
+  ar_invariant_failures : string list;
+  ar_flight_dumps : Util.Json.t list; (* both halves, undefended first *)
+}
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let run_attack ?(harts = 2) ~attack ~seed () =
+  let undefended = Exploit.Garmr.run ~harts ~attack ~defended:false ~seed () in
+  let defended = Exploit.Garmr.run ~harts ~attack ~defended:true ~seed () in
+  let name = Exploit.Garmr.attack_to_string attack in
+  let defense = Exploit.Garmr.defense_name attack in
+  let failures = ref [] in
+  let fail msg = failures := tag_seed ~seed msg :: !failures in
+  if not (Exploit.Garmr.succeeded undefended) then
+    fail
+      (Printf.sprintf "undefended %s was silently stopped (attacker: %s)" name
+         undefended.Exploit.Garmr.g_attacker_outcome);
+  if Exploit.Garmr.succeeded defended then
+    fail (Printf.sprintf "defense %s failed: %s leaked the secret" defense name);
+  if not (Exploit.Garmr.defeated defended) then
+    fail
+      (Printf.sprintf "defended %s neither killed nor refused (attacker: %s)" name
+         defended.Exploit.Garmr.g_attacker_outcome);
+  (* The point-of-kill post-mortem must name the attack... *)
+  let named_dump =
+    List.exists
+      (fun dump -> contains ~sub:name (Util.Json.to_string dump))
+      defended.Exploit.Garmr.g_flight_dumps
+  in
+  if Exploit.Garmr.defeated defended && not named_dump then
+    fail (Printf.sprintf "no flight dump names %s at the point of kill" name);
+  (* ... and the kill or refusal must be attributed to a hart. *)
+  let hart_attributed =
+    (defended.Exploit.Garmr.g_killed
+    && contains ~sub:"(hart" defended.Exploit.Garmr.g_attacker_outcome)
+    ||
+    match defended.Exploit.Garmr.g_refusal with
+    | Some msg -> contains ~sub:"(hart" msg
+    | None -> false
+  in
+  if Exploit.Garmr.defeated defended && not hart_attributed then
+    fail (Printf.sprintf "defended %s kill/refusal not attributed to a hart" name);
+  (* Benign victims are never collateral damage, defended or not. *)
+  List.iter
+    (fun (half, r) ->
+      List.iteri
+        (fun i outcome ->
+          if outcome <> "completed" then
+            fail (Printf.sprintf "%s %s: victim-%d did not complete (%s)" half name i outcome))
+        r.Exploit.Garmr.g_victim_outcomes)
+    [ ("undefended", undefended); ("defended", defended) ];
+  {
+    ar_attack = attack;
+    ar_seed = seed;
+    ar_harts = harts;
+    ar_undefended = undefended;
+    ar_defended = defended;
+    ar_invariant_failures = List.rev !failures;
+    ar_flight_dumps =
+      undefended.Exploit.Garmr.g_flight_dumps @ defended.Exploit.Garmr.g_flight_dumps;
+  }
+
+let run_attacks ?harts ?(attacks = Exploit.Garmr.all_attacks) ~seed () =
+  List.mapi (fun i attack -> run_attack ?harts ~attack ~seed:(seed + (101 * i)) ()) attacks
+
+let attack_report_to_json r =
+  let open Util.Json in
+  Obj
+    [
+      ("attack", String (Exploit.Garmr.attack_to_string r.ar_attack));
+      ("defense", String (Exploit.Garmr.defense_name r.ar_attack));
+      ("seed", Int r.ar_seed);
+      ("harts", Int r.ar_harts);
+      ("undefended", Exploit.Garmr.result_to_json r.ar_undefended);
+      ("defended", Exploit.Garmr.result_to_json r.ar_defended);
+      ("invariant_failures", List (List.map (fun s -> String s) r.ar_invariant_failures));
+      ("flight_dumps", List r.ar_flight_dumps);
+    ]
+
+let pp_attack_report fmt r =
+  let half label (g : Exploit.Garmr.result) =
+    Format.fprintf fmt "@.    %-10s leaked=%-6s killed=%-5b refused=%-5b %s" label
+      (match g.Exploit.Garmr.g_leaked with
+      | Some v -> string_of_int v
+      | None -> "none")
+      g.Exploit.Garmr.g_killed g.Exploit.Garmr.g_refused g.Exploit.Garmr.g_attacker_outcome
+  in
+  Format.fprintf fmt "%-18s defense=%-15s seed=%-6d harts=%d %s"
+    (Exploit.Garmr.attack_to_string r.ar_attack)
+    (Exploit.Garmr.defense_name r.ar_attack)
+    r.ar_seed r.ar_harts
+    (if r.ar_invariant_failures = [] then "invariants ok"
+     else "INVARIANT FAILURES: " ^ String.concat "; " r.ar_invariant_failures);
+  half "undefended" r.ar_undefended;
+  half "defended" r.ar_defended
 
 let report_to_json r =
   let open Util.Json in

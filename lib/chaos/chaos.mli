@@ -99,3 +99,45 @@ val run_all : ?drop:float -> ?oom_at:int -> seed:int -> unit -> report list
 
 val report_to_json : report -> Util.Json.t
 val pp_report : Format.formatter -> report -> unit
+
+(** {2 The Garmr attack battery}
+
+    Each attack class from {!Exploit.Garmr} is run twice on the same
+    seed — defense off, then on — and both halves are adjudicated:
+
+    {ul
+    {- {b undefended must leak}: an attack the defense-off run silently
+       stops proves nothing about the defense (the battery must have
+       teeth);}
+    {- {b defended must be defeated}: nothing leaks, the attacker is
+       killed or refused, at least one flight dump names the attack at
+       the point of kill, and the kill/refusal message is attributed to
+       a hart;}
+    {- benign victim programs complete in both halves.}}
+
+    Violations are seed-tagged invariant failures; the CLI's
+    [chaos --attacks] exits non-zero on any. *)
+
+type attack_report = {
+  ar_attack : Exploit.Garmr.attack;
+  ar_seed : int;
+  ar_harts : int;
+  ar_undefended : Exploit.Garmr.result;
+  ar_defended : Exploit.Garmr.result;
+  ar_invariant_failures : string list;  (** empty iff every invariant held *)
+  ar_flight_dumps : Util.Json.t list;
+      (** both halves' post-mortems, undefended first *)
+}
+
+val run_attack :
+  ?harts:int -> attack:Exploit.Garmr.attack -> seed:int -> unit -> attack_report
+(** One attack class, undefended then defended, on [harts] (default 2)
+    concurrently scheduled programs. *)
+
+val run_attacks :
+  ?harts:int -> ?attacks:Exploit.Garmr.attack list -> seed:int -> unit -> attack_report list
+(** The full battery (default {!Exploit.Garmr.all_attacks}); per-attack
+    seeds are derived from [seed]. *)
+
+val attack_report_to_json : attack_report -> Util.Json.t
+val pp_attack_report : Format.formatter -> attack_report -> unit

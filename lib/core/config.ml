@@ -4,6 +4,27 @@ type mode =
   | Profiling
   | Mpk
 
+type defenses = {
+  sigframe_scrub : bool;
+  syscall_filter : bool;
+  gate_reverify : bool;
+}
+
+let no_defenses = { sigframe_scrub = false; syscall_filter = false; gate_reverify = false }
+let all_defenses = { sigframe_scrub = true; syscall_filter = true; gate_reverify = true }
+
+let defenses_to_string d =
+  let flags =
+    List.filter_map
+      (fun (on, name) -> if on then Some name else None)
+      [
+        (d.sigframe_scrub, "sigframe-scrub");
+        (d.syscall_filter, "syscall-filter");
+        (d.gate_reverify, "gate-reverify");
+      ]
+  in
+  match flags with [] -> "none" | _ -> String.concat "," flags
+
 type t = {
   mode : mode;
   mu_backend : Allocators.Pkalloc.mu_backend;
@@ -11,11 +32,13 @@ type t = {
   trusted_pkey : Mpk.Pkey.t;
   tlb : bool;
   mitigation : Runtime.Mitigator.policy option;
+  defenses : defenses;
 }
 
 let make ?(mu_backend = Allocators.Pkalloc.Mu_dlmalloc) ?(cost = Sim.Cost.default)
-    ?(trusted_pkey = Mpk.Pkey.of_int 1) ?(tlb = true) ?mitigation mode =
-  { mode; mu_backend; cost; trusted_pkey; tlb; mitigation }
+    ?(trusted_pkey = Mpk.Pkey.of_int 1) ?(tlb = true) ?mitigation
+    ?(defenses = no_defenses) mode =
+  { mode; mu_backend; cost; trusted_pkey; tlb; mitigation; defenses }
 
 let mode_to_string = function
   | Base -> "base"

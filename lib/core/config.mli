@@ -18,6 +18,34 @@ type mode =
   | Profiling
   | Mpk
 
+type defenses = {
+  sigframe_scrub : bool;
+      (** Garmr defense: sigreturn validates the signal frame's saved
+          PKRU; a forged restore is refused fail-stop instead of being
+          installed ({!Sim.Signals.set_sigframe_scrub}). *)
+  syscall_filter : bool;
+      (** Garmr defense: the machine's kernel interface refuses
+          pkey/page-table mutations ([sys_pkey_mprotect] & co) issued
+          from U residency ({!Sim.Machine.set_syscall_filter}). *)
+  gate_reverify : bool;
+      (** Garmr defense: the fleet scheduler re-checks the hart's live
+          PKRU against the gate's resident view before resuming a parked
+          continuation ({!Runtime.Gate.reverify}). *)
+}
+(** Opt-in hardened-gate policies countering the Garmr attack classes.
+    All default off; each is architecturally invisible when disabled
+    (the enforcement paths act only on attack traffic, never charging
+    cycles or emitting events on benign runs). *)
+
+val no_defenses : defenses
+(** All policies off — the pre-hardening behaviour, and the default. *)
+
+val all_defenses : defenses
+(** Every policy on (what a hardened deployment would run). *)
+
+val defenses_to_string : defenses -> string
+(** Comma-separated enabled flags, ["none"] when all are off. *)
+
 type t = {
   mode : mode;
   mu_backend : Allocators.Pkalloc.mu_backend;
@@ -31,6 +59,7 @@ type t = {
           default) installs no mitigator.  Only meaningful under [Mpk] —
           other modes ignore it ([Profiling] already resolves every MPK
           fault; [Base]/[Alloc] never raise one). *)
+  defenses : defenses;  (** Garmr hardened-gate policies (default: none). *)
 }
 
 val make :
@@ -39,6 +68,7 @@ val make :
   ?trusted_pkey:Mpk.Pkey.t ->
   ?tlb:bool ->
   ?mitigation:Runtime.Mitigator.policy ->
+  ?defenses:defenses ->
   mode ->
   t
 

@@ -62,6 +62,16 @@ let create ?profile ?backing config =
       | Some p -> p
       | None -> Runtime.Profile.create ()
     in
+    (* Garmr hardened-gate policies: arm the kernel-side defenses this
+       config opted into.  Each default is the pre-hardening behaviour,
+       so a [no_defenses] env is indistinguishable from one built before
+       the policies existed.  (Gate re-verification is a scheduler
+       policy, consumed by the fleet — nothing to arm here.) *)
+    let defenses = config.Config.defenses in
+    if defenses.Config.sigframe_scrub then
+      Sim.Signals.set_sigframe_scrub machine.Sim.Machine.signals true;
+    if defenses.Config.syscall_filter then
+      Sim.Machine.set_syscall_filter machine (Some config.Config.trusted_pkey);
     Ok
       {
         config;
@@ -106,6 +116,20 @@ let run_on_thread t thread f =
   Fun.protect
     ~finally:(fun () -> t.active <- previous)
     (fun () -> Sim.Machine.run_on t.machine thread.t_cpu f)
+
+let thread_cpu thread = thread.t_cpu
+let thread_gate thread = thread.t_gate
+
+(* Non-bracketed thread switch for effect-based schedulers (the fleet's
+   attack battery): a [Fun.protect] bracket cannot straddle an
+   [Effect.perform], so the scheduler activates a thread around each
+   slice and restores the previous one itself.  Returns the previously
+   active thread. *)
+let activate_thread t thread =
+  let previous = t.active in
+  ignore (Sim.Machine.switch_to_cpu t.machine thread.t_cpu);
+  t.active <- thread;
+  previous
 
 let note_site t site moved =
   if not (Hashtbl.mem t.sites_seen site) then begin
@@ -349,19 +373,20 @@ let flight_context t () =
   let last_fault =
     match Sim.Signals.last_fault t.machine.Sim.Machine.signals with
     | None -> []
-    | Some fault ->
+    | Some (fault, hart) ->
       [
         ( "last_fault",
           Obj
             [
               ("kind", String (Vmm.Fault.to_string fault));
               ("addr", Int fault.Vmm.Fault.addr);
+              ("hart", Int hart);
             ] );
       ]
   in
   let suspect =
     match (t.mitigator, Sim.Signals.last_fault t.machine.Sim.Machine.signals) with
-    | Some m, Some fault -> (
+    | Some m, Some (fault, _) -> (
       match Runtime.Metadata.lookup (Runtime.Mitigator.metadata m) fault.Vmm.Fault.addr with
       | None -> []
       | Some r ->

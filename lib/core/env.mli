@@ -75,6 +75,15 @@ val run_on_thread : t -> thread -> (unit -> 'a) -> 'a
     the environment's active gate are switched for its duration
     (exception-safe, re-entrant). *)
 
+val thread_cpu : thread -> Sim.Cpu.t
+val thread_gate : thread -> Runtime.Gate.t
+
+val activate_thread : t -> thread -> thread
+(** Non-bracketed thread switch, returning the previously active thread.
+    For effect-based schedulers whose slices cross [Effect.perform]
+    boundaries (where {!run_on_thread}'s bracket cannot reach): the
+    scheduler restores the returned thread itself after each slice. *)
+
 (* {2 The compartment boundary} *)
 
 val ffi_call : t -> (unit -> 'a) -> 'a

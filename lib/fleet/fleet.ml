@@ -155,9 +155,9 @@ let checksum ~output ~cycles ~transitions =
    [telemetry] mode (single-session only) the script phase runs under a
    sink and the same post-run counter injections as the runner, so the
    event trace is comparable bit-for-bit. *)
-let session_body ~mode ~profile ~backing ~tier ~timeslice ~sink sess () =
+let session_body ~mode ~profile ~backing ~tier ~timeslice ~sink ~defenses sess () =
   let env =
-    match Pkru_safe.Env.create ~profile ?backing (Pkru_safe.Config.make mode) with
+    match Pkru_safe.Env.create ~profile ?backing (Pkru_safe.Config.make ~defenses mode) with
     | Ok env -> env
     | Error msg -> failwith ("Fleet: Env.create: " ^ msg)
   in
@@ -212,7 +212,8 @@ let session_body ~mode ~profile ~backing ~tier ~timeslice ~sink sess () =
 (* --- The scheduler --- *)
 
 let run ?(mode = Pkru_safe.Config.Base) ?profile ?(cpus = 1) ?(timeslice = 4000)
-    ?(max_live = 128) ?page_budget ?tier ?(telemetry = false) ~sessions:n jobs =
+    ?(max_live = 128) ?page_budget ?tier ?(telemetry = false)
+    ?(defenses = Pkru_safe.Config.no_defenses) ~sessions:n jobs =
   if n <= 0 then invalid_arg "Fleet.run: sessions must be positive";
   if cpus <= 0 then invalid_arg "Fleet.run: cpus must be positive";
   if timeslice <= 0 then invalid_arg "Fleet.run: timeslice must be positive";
@@ -355,16 +356,36 @@ let run ?(mode = Pkru_safe.Config.Base) ?profile ?(cpus = 1) ?(timeslice = 4000)
       }
       :: !finished
   in
+  (* Garmr defense (gate_reverify): before restoring a parked
+     continuation, re-check the session's live PKRU against its gate's
+     resident view.  A mismatch means some other hart flipped PKRU while
+     the session was parked; the session is retired fail-stop without
+     running a single instruction of the slice (the one-shot continuation
+     is dropped, not resumed — exactly a kernel refusing to schedule a
+     corrupted thread).  [None] = clean. *)
+  let reverify_on_resume sess =
+    if not defenses.Pkru_safe.Config.gate_reverify then None
+    else
+      match sess.s_env with
+      | None -> None
+      | Some env -> (
+        try
+          Runtime.Gate.reverify (Pkru_safe.Env.gate env);
+          None
+        with Sim.Signals.Process_killed msg -> Some msg)
+  in
   let run_slice c sess =
     Engine.Value.batched_slots := sess.s_batched;
     let step =
       match sess.s_cont with
-      | Some k ->
+      | Some k -> (
         sess.s_cont <- None;
-        Effect.Deep.continue k ()
+        match reverify_on_resume sess with
+        | Some msg -> Done (Failed msg)
+        | None -> Effect.Deep.continue k ())
       | None ->
         Effect.Deep.match_with
-          (session_body ~mode ~profile ~backing ~tier ~timeslice ~sink sess)
+          (session_body ~mode ~profile ~backing ~tier ~timeslice ~sink ~defenses sess)
           () handler
     in
     (* Advance the CPU by the simulated cycles this slice retired. *)
@@ -441,6 +462,168 @@ let run ?(mode = Pkru_safe.Config.Base) ?profile ?(cpus = 1) ?(timeslice = 4000)
             bk_denials = Allocators.Backing.denials b;
           })
         backing;
+  }
+
+(* --- Attack-program scheduling (the Garmr battery) ----------------------
+
+   [run_programs] multiplexes raw OCaml programs over ONE shared
+   environment — unlike [run], whose sessions are structurally
+   independent.  Sharing is the point: the Garmr attack classes only
+   materialise when an attacker hart races a victim on the same machine
+   (same page table, same signal dispositions, sibling harts).  Each
+   program gets its own simulated thread (hart + gate + compartment
+   stack); an explicit [yield] callback parks it mid-slice wherever it
+   likes — including while resident in U, mid-gate — and the scheduler
+   always resumes the runnable program whose hart has retired the fewest
+   cycles (lowest index breaks ties), a deterministic discrete-event
+   interleaving for any program count.
+
+   When the environment's config enables [gate_reverify], every resume
+   re-checks the thread's live PKRU against its gate's resident view
+   before the slice runs; a mismatch retires the program fail-stop
+   (continuation dropped, never resumed) with the flight dump naming the
+   program — i.e. the attack — that died. *)
+
+type program = {
+  p_name : string;
+  p_body : yield:(unit -> unit) -> unit;
+}
+
+type program_result = {
+  pr_name : string;
+  pr_hart : int;
+  pr_outcome : outcome;
+  pr_cycles : int; (* cycles this program's hart retired *)
+  pr_yields : int;
+  pr_resumes : int;
+}
+
+type battery = {
+  b_programs : program_result list; (* program order *)
+  b_makespan_cycles : int; (* max over program-hart cycles *)
+  b_yields : int;
+  b_resume_checks : int; (* gate re-verifications performed on resume *)
+  b_resume_kills : int; (* resumes refused by re-verification *)
+}
+
+type prog_state = {
+  ps_idx : int;
+  ps_name : string;
+  ps_thread : Pkru_safe.Env.thread;
+  ps_body : yield:(unit -> unit) -> unit;
+  mutable ps_started : bool;
+  mutable ps_cont : (unit, step) Effect.Deep.continuation option;
+  mutable ps_done : outcome option;
+  mutable ps_yields : int;
+  mutable ps_resumes : int;
+}
+
+let run_programs env programs =
+  if programs = [] then invalid_arg "Fleet.run_programs: no programs";
+  let defenses = (Pkru_safe.Env.config env).Pkru_safe.Config.defenses in
+  let n = List.length programs in
+  Telemetry.Guard.with_exclusive (Printf.sprintf "attack battery (%d programs)" n)
+  @@ fun () ->
+  let states =
+    List.mapi
+      (fun i (p : program) ->
+        {
+          ps_idx = i;
+          ps_name = p.p_name;
+          ps_thread = Pkru_safe.Env.spawn_thread env;
+          ps_body = p.p_body;
+          ps_started = false;
+          ps_cont = None;
+          ps_done = None;
+          ps_yields = 0;
+          ps_resumes = 0;
+        })
+      programs
+  in
+  let yields = ref 0 and resume_checks = ref 0 and resume_kills = ref 0 in
+  let hart_cycles st = Sim.Cpu.cycles (Pkru_safe.Env.thread_cpu st.ps_thread) in
+  (* Serve the runnable program whose hart has retired the fewest
+     cycles; earlier program index breaks ties.  Every runnable program
+     either starts or resumes, so the loop always terminates. *)
+  let pick () =
+    List.fold_left
+      (fun best st ->
+        match (best, st.ps_done) with
+        | _, Some _ -> best
+        | None, None -> Some st
+        | Some b, None -> if hart_cycles st < hart_cycles b then Some st else best)
+      None states
+  in
+  let run_slice st =
+    let previous = Pkru_safe.Env.activate_thread env st.ps_thread in
+    let step =
+      if not st.ps_started then begin
+        st.ps_started <- true;
+        Effect.Deep.match_with
+          (fun () -> st.ps_body ~yield:(fun () -> Effect.perform Yield))
+          () handler
+      end
+      else begin
+        let k = Option.get st.ps_cont in
+        st.ps_cont <- None;
+        st.ps_resumes <- st.ps_resumes + 1;
+        let killed =
+          if not defenses.Pkru_safe.Config.gate_reverify then None
+          else begin
+            incr resume_checks;
+            try
+              Runtime.Gate.reverify ~attack:st.ps_name
+                (Pkru_safe.Env.thread_gate st.ps_thread);
+              None
+            with Sim.Signals.Process_killed msg -> Some msg
+          end
+        in
+        match killed with
+        | Some msg ->
+          (* Fail-stop: the one-shot continuation is dropped, not
+             resumed — the corrupted thread never runs again. *)
+          incr resume_kills;
+          Done (Failed msg)
+        | None -> Effect.Deep.continue k ()
+      end
+    in
+    ignore (Pkru_safe.Env.activate_thread env previous);
+    match step with
+    | Parked k ->
+      incr yields;
+      st.ps_yields <- st.ps_yields + 1;
+      st.ps_cont <- Some k
+    | Done outcome ->
+      st.ps_cont <- None;
+      st.ps_done <- Some outcome
+  in
+  let rec loop () =
+    match pick () with
+    | None -> ()
+    | Some st ->
+      run_slice st;
+      loop ()
+  in
+  loop ();
+  let results =
+    List.map
+      (fun st ->
+        {
+          pr_name = st.ps_name;
+          pr_hart = (Pkru_safe.Env.thread_cpu st.ps_thread).Sim.Cpu.id;
+          pr_outcome = (match st.ps_done with Some o -> o | None -> assert false);
+          pr_cycles = hart_cycles st;
+          pr_yields = st.ps_yields;
+          pr_resumes = st.ps_resumes;
+        })
+      states
+  in
+  {
+    b_programs = results;
+    b_makespan_cycles = List.fold_left (fun acc r -> max acc r.pr_cycles) 0 results;
+    b_yields = !yields;
+    b_resume_checks = !resume_checks;
+    b_resume_kills = !resume_kills;
   }
 
 (* --- Export --- *)

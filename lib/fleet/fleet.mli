@@ -81,6 +81,7 @@ val run :
   ?page_budget:int ->
   ?tier:Engine.tier ->
   ?telemetry:bool ->
+  ?defenses:Pkru_safe.Config.defenses ->
   sessions:int ->
   job list ->
   result
@@ -89,6 +90,14 @@ val run :
     4000); [max_live] bounds concurrently-materialised sessions and
     therefore host memory (default 128); [page_budget] puts all sessions
     on a shared backing-page budget.
+
+    [defenses] (default {!Pkru_safe.Config.no_defenses}) propagates the
+    Garmr hardened-gate policies into every session's config; with
+    [gate_reverify] on, each continuation restore re-checks the
+    session's live PKRU against its gate's resident view and retires the
+    session [Failed] fail-stop on a mismatch (the slice never runs).
+    The check charges no cycles and emits nothing when it passes, so a
+    defended benign fleet is bit-identical to an undefended one.
 
     [telemetry] (single-session, single-CPU only) captures an event
     trace with the exact {!Workloads.Runner} protocol — sink around the
@@ -102,6 +111,51 @@ val run :
 
     @raise Invalid_argument on nonsensical parameters or an installed
     telemetry writer. *)
+
+(** {2 Attack-program scheduling (the Garmr battery)}
+
+    Unlike {!run}'s structurally independent sessions, [run_programs]
+    multiplexes raw programs over {e one shared environment} — same
+    machine, page table and signal dispositions, sibling harts — which
+    is exactly the setting the Garmr attack classes need.  Each program
+    runs on its own simulated thread and parks itself via the explicit
+    [yield] callback (legal anywhere, including mid-gate while resident
+    in U).  Scheduling is deterministic: the runnable program whose hart
+    has retired the fewest simulated cycles runs next (program order
+    breaks ties). *)
+
+type program = {
+  p_name : string;  (** names the program in re-verification flight dumps *)
+  p_body : yield:(unit -> unit) -> unit;
+}
+
+type program_result = {
+  pr_name : string;
+  pr_hart : int;  (** the hart id this program's thread ran on *)
+  pr_outcome : outcome;
+  pr_cycles : int;  (** cycles the program's hart retired *)
+  pr_yields : int;
+  pr_resumes : int;
+}
+
+type battery = {
+  b_programs : program_result list;  (** program order *)
+  b_makespan_cycles : int;
+  b_yields : int;
+  b_resume_checks : int;
+      (** gate re-verifications performed on resume (0 unless the
+          environment's config enables [gate_reverify]) *)
+  b_resume_kills : int;  (** resumes refused fail-stop by re-verification *)
+}
+
+val run_programs : Pkru_safe.Env.t -> program list -> battery
+(** Runs the programs to completion over [env].  Spawns one fresh
+    simulated thread per program; honours the environment's
+    [gate_reverify] defense on every resume (a mismatch drops the
+    continuation — the program retires [Failed] without executing
+    another instruction).  Holds {!Telemetry.Guard} for the run; arm
+    sinks/recorders {e before} calling.
+    @raise Invalid_argument on an empty program list *)
 
 val metrics : result -> Telemetry.Metrics.t
 (** Fleet headline metrics (sessions/sec, p50/p99 latency, yields,

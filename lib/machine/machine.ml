@@ -7,6 +7,13 @@ type t = {
   pkeys : Vmm.Pkeys.t;
   retired : int ref;
   tlb_enabled : bool;
+  (* Garmr syscall filter: when [Some trusted], kernel-interface entry
+     points ([sys_pkey_mprotect] & co) refuse pkey/page-table mutations
+     from a hart whose PKRU cannot read the trusted key (i.e. from U
+     residency).  [None] (the default) is fully permissive, and internal
+     callers (pkalloc, test setup) go straight to [Vmm.Page_table] /
+     [Vmm.Pkeys] anyway, so the filter is invisible when disabled. *)
+  mutable syscall_filter : Mpk.Pkey.t option;
 }
 
 let create ?cost ?(tlb = true) () =
@@ -21,6 +28,7 @@ let create ?cost ?(tlb = true) () =
     pkeys = Vmm.Pkeys.create ();
     retired;
     tlb_enabled = tlb;
+    syscall_filter = None;
   }
 
 let spawn_cpu t =
@@ -50,6 +58,19 @@ let note_thread_switch t ~from_cpu ~to_cpu =
   | Some sink ->
     Telemetry.Sink.emit sink ~ts:(total_cycles t) ~cpu:to_cpu
       (Telemetry.Event.Thread_switch { from_cpu; to_cpu })
+
+(* Non-bracketed hart switch for effect-based schedulers: a [Fun.protect]
+   bracket (as in [run_on]) cannot straddle an [Effect.perform], so the
+   fleet switches harts around each slice and restores the previous one
+   itself.  Returns the previously current hart.  Free of simulated cost,
+   like [run_on]: the scheduler's own overhead is not the workload's. *)
+let switch_to_cpu t cpu =
+  let previous = t.cpu in
+  if previous != cpu then begin
+    note_thread_switch t ~from_cpu:previous.Cpu.id ~to_cpu:cpu.Cpu.id;
+    t.cpu <- cpu
+  end;
+  previous
 
 let run_on t cpu f =
   let previous = t.cpu in
@@ -114,7 +135,7 @@ let note_fault t (fault : Vmm.Fault.t) =
 let deliver_fault t fault =
   note_fault t fault;
   let before = total_cycles t in
-  Signals.deliver_segv t.signals fault;
+  Signals.deliver_segv t.signals ~cpu:t.cpu fault;
   match !Telemetry.Sink.current with
   | None -> ()
   | Some sink -> Telemetry.Sink.observe sink "fault_service_cycles" (total_cycles t - before)
@@ -408,3 +429,70 @@ let priv_read_string t addr len = Bytes.to_string (priv_read_bytes t addr len)
 let charge t n = Cpu.charge t.cpu n
 
 let cycles = total_cycles
+
+(* --- Kernel interface (Garmr syscall-confusion surface) ------------------
+
+   The [sys_*] entry points model the syscalls an in-process attacker can
+   issue to confuse the kernel about pkey-tagged memory: retagging pages
+   with pkey_mprotect, dropping protection with mprotect, or churning the
+   key allocator.  With the filter disarmed they forward directly to the
+   VMM, byte-for-byte what a direct [Vmm.Page_table] / [Vmm.Pkeys] call
+   does.  With the filter armed, a request from a hart resident in U
+   (PKRU cannot read the trusted key) is refused with EPERM, a sink tick
+   and a flight dump.  Kernel-side work charges no simulated user cycles
+   either way, so arming the filter never perturbs benign traces. *)
+
+let set_syscall_filter t key = t.syscall_filter <- key
+let syscall_filter t = t.syscall_filter
+
+let sys_note counter =
+  match !Telemetry.Sink.current with
+  | None -> ()
+  | Some sink -> Telemetry.Sink.incr sink counter
+
+let syscall_check t name =
+  match t.syscall_filter with
+  | None -> Ok ()
+  | Some trusted ->
+    if Mpk.Pkru.can_read t.cpu.Cpu.pkru trusted then Ok ()
+    else begin
+      sys_note "machine.syscall_refused";
+      Telemetry.Flight.dump ~reason:"syscall filter: pkey/page-table mutation refused from U"
+        ~details:
+          [
+            ("syscall", Util.Json.String name);
+            ("hart", Util.Json.Int t.cpu.Cpu.id);
+            ("pkru", Util.Json.Int (Mpk.Pkru.to_int t.cpu.Cpu.pkru));
+          ]
+        ();
+      Error
+        (Printf.sprintf "EPERM: %s refused from untrusted residency (hart %d)" name t.cpu.Cpu.id)
+    end
+
+let sys_pkey_mprotect t ~base ~size pkey =
+  match syscall_check t "pkey_mprotect" with
+  | Error _ as e -> e
+  | Ok () ->
+    sys_note "machine.sys_pkey_mprotect";
+    Vmm.Page_table.pkey_mprotect t.page_table ~base ~size pkey
+
+let sys_mprotect t ~base ~size prot =
+  match syscall_check t "mprotect" with
+  | Error _ as e -> e
+  | Ok () ->
+    sys_note "machine.sys_mprotect";
+    Vmm.Page_table.mprotect t.page_table ~base ~size prot
+
+let sys_pkey_alloc t =
+  match syscall_check t "pkey_alloc" with
+  | Error msg -> Error msg
+  | Ok () ->
+    sys_note "machine.sys_pkey_alloc";
+    Vmm.Pkeys.pkey_alloc t.pkeys
+
+let sys_pkey_free t key =
+  match syscall_check t "pkey_free" with
+  | Error _ as e -> e
+  | Ok () ->
+    sys_note "machine.sys_pkey_free";
+    Vmm.Pkeys.pkey_free t.pkeys key

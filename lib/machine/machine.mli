@@ -32,6 +32,11 @@ type t = {
   retired : int ref;
       (** machine-wide retired-cycle accumulator, shared with every hart *)
   tlb_enabled : bool;
+  mutable syscall_filter : Mpk.Pkey.t option;
+      (** Garmr syscall filter: when [Some trusted_key], the [sys_*]
+          kernel-interface entry points refuse pkey/page-table mutations
+          issued from a hart resident in U.  [None] (default) is fully
+          permissive. *)
 }
 
 val create : ?cost:Cost.t -> ?tlb:bool -> unit -> t
@@ -56,6 +61,14 @@ val cpus : t -> Cpu.t list
 val run_on : t -> Cpu.t -> (unit -> 'a) -> 'a
 (** [run_on t cpu f] executes [f] with [cpu] as the current hart, restoring
     the previous hart afterwards (exception-safe). *)
+
+val switch_to_cpu : t -> Cpu.t -> Cpu.t
+(** Non-bracketed hart switch, returning the previously current hart.
+    For effect-based schedulers whose slices cross [Effect.perform]
+    boundaries (a [Fun.protect] bracket cannot): the caller restores the
+    returned hart itself.  Emits the same thread-switch telemetry as
+    {!run_on} (none when switching to the already-current hart) and
+    charges no simulated cycles. *)
 
 (* {2 Checked accesses (simulated instructions)} *)
 
@@ -111,6 +124,36 @@ val cycles : t -> int
 (** Total cycles retired across every hart.  O(1): maintained as a
     running accumulator, not a fold over harts, so per-event telemetry
     timestamps don't scale with thread count. *)
+
+(* {2 Kernel interface (Garmr syscall-confusion surface)}
+
+   The [sys_*] entry points model the syscalls an in-process attacker can
+   issue to remap or retag pkey-tagged memory out from under pkalloc.
+   With the filter disarmed they forward byte-for-byte to the VMM;
+   internal callers (pkalloc, test setup) keep calling [Vmm.Page_table] /
+   [Vmm.Pkeys] directly, so arming the filter never changes benign runs.
+   Kernel-side work charges no simulated user cycles. *)
+
+val set_syscall_filter : t -> Mpk.Pkey.t option -> unit
+(** Arms ([Some trusted_key]) or disarms ([None]) the Garmr syscall
+    filter.  Armed, any [sys_*] mutation from a hart whose PKRU cannot
+    read [trusted_key] — i.e. from U residency — returns
+    [Error "EPERM: ..."], ticks [machine.syscall_refused] on the sink and
+    dumps the flight recorder with the offending syscall and hart. *)
+
+val syscall_filter : t -> Mpk.Pkey.t option
+
+val sys_pkey_mprotect : t -> base:int -> size:int -> Mpk.Pkey.t -> (unit, string) result
+(** pkey_mprotect(2): retag a mapped range.  Subject to the filter. *)
+
+val sys_mprotect : t -> base:int -> size:int -> Vmm.Prot.t -> (unit, string) result
+(** mprotect(2): change protection bits.  Subject to the filter. *)
+
+val sys_pkey_alloc : t -> (Mpk.Pkey.t, string) result
+(** pkey_alloc(2).  Subject to the filter. *)
+
+val sys_pkey_free : t -> Mpk.Pkey.t -> (unit, string) result
+(** pkey_free(2).  Subject to the filter. *)
 
 (* {2 TLB observability} *)
 

@@ -11,10 +11,33 @@ exception Process_killed of string
 type t = {
   mutable segv_chain : segv_handler list; (* head = most recently registered *)
   mutable trap : trap_handler option;
-  mutable last_fault : Vmm.Fault.t option; (* most recent SIGSEGV delivered *)
+  mutable last_fault : (Vmm.Fault.t * int) option;
+      (* most recent SIGSEGV delivered, with the hart it was delivered on *)
+  (* Signal-frame model (Garmr).  On delivery the kernel saves the
+     interrupted context — including PKRU — in a frame on the user stack,
+     and sigreturn restores it.  The frame is writable by the interrupted
+     (possibly untrusted) code, so an attacker can scribble a permissive
+     PKRU over the saved field and have "the kernel" install it on
+     handler return.  [sigframe_tamper] models that scribble;
+     [scrub_sigframes] is the defense: the kernel scrubs/validates the
+     PKRU field and refuses a forged restore.  Both default off, so the
+     sigreturn path is a no-op in ordinary runs. *)
+  mutable sigframe_tamper : Mpk.Pkru.t option;
+  mutable scrub_sigframes : bool;
+  mutable sigreturn_forged : int; (* forged restores that took effect *)
+  mutable sigreturn_blocked : int; (* forged restores refused by the scrubber *)
 }
 
-let create () = { segv_chain = []; trap = None; last_fault = None }
+let create () =
+  {
+    segv_chain = [];
+    trap = None;
+    last_fault = None;
+    sigframe_tamper = None;
+    scrub_sigframes = false;
+    sigreturn_forged = 0;
+    sigreturn_blocked = 0;
+  }
 
 let register_segv t handler = t.segv_chain <- handler :: t.segv_chain
 
@@ -33,6 +56,12 @@ let reorder_segv t f = t.segv_chain <- f t.segv_chain
 
 let last_fault t = t.last_fault
 
+let tamper_sigframe t forged = t.sigframe_tamper <- forged
+let set_sigframe_scrub t on = t.scrub_sigframes <- on
+let sigframe_scrub t = t.scrub_sigframes
+let sigreturn_forged t = t.sigreturn_forged
+let sigreturn_blocked t = t.sigreturn_blocked
+
 let note delivery =
   match !Telemetry.Sink.current with
   | None -> ()
@@ -42,28 +71,63 @@ let note delivery =
    The dump is a no-op when no recorder is armed and touches neither the
    sink's counters nor simulated cycles, so enforcement runs stay
    bit-identical. *)
-let fault_details fault =
+let fault_details ?cpu fault =
   [
     ("fault", Util.Json.String (Vmm.Fault.to_string fault));
     ("addr", Util.Json.Int fault.Vmm.Fault.addr);
   ]
+  @ (match cpu with None -> [] | Some (c : Cpu.t) -> [ ("hart", Util.Json.Int c.Cpu.id) ])
 
-let deliver_segv t fault =
-  t.last_fault <- Some fault;
+let hart_id = function
+  | Some (c : Cpu.t) -> c.Cpu.id
+  | None -> 0
+
+(* Handler return = sigreturn(2): the kernel reinstates the saved frame.
+   Untampered frames restore exactly the context the handler chain left
+   behind (handlers edit the frame in place, as the paper's profiler
+   does), so nothing happens here.  A tampered frame either installs the
+   forged PKRU on the delivering hart (no scrubbing — the Garmr attack)
+   or is refused fail-stop (scrubbing on — the Garmr defense). *)
+let sigreturn t cpu fault =
+  match t.sigframe_tamper with
+  | None -> ()
+  | Some forged ->
+    if t.scrub_sigframes then begin
+      t.sigreturn_blocked <- t.sigreturn_blocked + 1;
+      note "signals.sigreturn_blocked";
+      Telemetry.Flight.dump ~reason:"sigreturn PKRU forgery blocked (scrubbed signal frame)"
+        ~details:
+          (("forged_pkru", Util.Json.Int (Mpk.Pkru.to_int forged)) :: fault_details ?cpu fault)
+        ();
+      raise
+        (Process_killed
+           (Printf.sprintf "sigreturn: forged PKRU 0x%08x in signal frame (hart %d)"
+              (Mpk.Pkru.to_int forged) (hart_id cpu)))
+    end
+    else begin
+      t.sigreturn_forged <- t.sigreturn_forged + 1;
+      note "signals.sigreturn_forged";
+      match cpu with
+      | Some c -> Cpu.set_pkru c forged
+      | None -> ()
+    end
+
+let deliver_segv t ?cpu fault =
+  t.last_fault <- Some (fault, hart_id cpu);
   note "signals.segv_delivered";
   let rec walk = function
     | [] ->
       note "signals.unhandled";
-      Telemetry.Flight.dump ~reason:"unhandled SIGSEGV" ~details:(fault_details fault) ();
+      Telemetry.Flight.dump ~reason:"unhandled SIGSEGV" ~details:(fault_details ?cpu fault) ();
       raise (Vmm.Fault.Unhandled fault)
     | handler :: rest ->
       (match handler fault with
-      | Retry -> ()
+      | Retry -> sigreturn t cpu fault
       | Pass -> walk rest
       | Kill msg ->
         note "signals.killed";
         Telemetry.Flight.dump ~reason:"SIGSEGV handler killed the process"
-          ~details:(("message", Util.Json.String msg) :: fault_details fault)
+          ~details:(("message", Util.Json.String msg) :: fault_details ?cpu fault)
           ();
         raise (Process_killed msg))
   in
@@ -75,12 +139,12 @@ let deliver_trap t =
   | Some handler -> handler ()
   | None ->
     (* A trap with no handler is fatal; the message carries enough context
-       (how deep the SIGSEGV chain was, and which fault set the trap flag)
-       to diagnose which interposer armed single-stepping and then lost
-       its trap handler. *)
+       (how deep the SIGSEGV chain was, and which fault set the trap flag
+       on which hart) to diagnose which interposer armed single-stepping
+       and then lost its trap handler. *)
     let last =
       match t.last_fault with
-      | Some fault -> Vmm.Fault.to_string fault
+      | Some (fault, hart) -> Printf.sprintf "%s (hart %d)" (Vmm.Fault.to_string fault) hart
       | None -> "none"
     in
     Telemetry.Flight.dump ~reason:"SIGTRAP with no handler installed"

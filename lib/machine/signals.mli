@@ -49,12 +49,39 @@ val reorder_segv : t -> (segv_handler list -> segv_handler list) -> unit
 (** Rewrites the handler chain (head = first to see faults).  Used by the
     chaos harness to model handler-registration races. *)
 
-val last_fault : t -> Vmm.Fault.t option
-(** The most recent fault delivered via {!deliver_segv}, if any. *)
+val last_fault : t -> (Vmm.Fault.t * int) option
+(** The most recent fault delivered via {!deliver_segv}, if any, paired
+    with the id of the hart it was delivered on (0 when the delivery did
+    not name a hart) so concurrent-attack post-mortems attribute the
+    fault to the right CPU. *)
 
-val deliver_segv : t -> Vmm.Fault.t -> unit
+val tamper_sigframe : t -> Mpk.Pkru.t option -> unit
+(** Garmr attack model: scribble a forged PKRU over the saved-PKRU field
+    of pending signal frames ([Some pkru]), or stop tampering ([None]).
+    The signal frame lives on the (attacker-writable) user stack, so a
+    compromised U can rewrite it between delivery and sigreturn; the
+    forged value is installed on the delivering hart when a handler
+    returns [Retry] — unless {!set_sigframe_scrub} is on. *)
+
+val set_sigframe_scrub : t -> bool -> unit
+(** Garmr defense: when on, sigreturn validates the saved PKRU against
+    the frame written at delivery; a forged restore dumps the flight
+    recorder and kills the process instead of installing the value.
+    Off by default — the sigreturn path is a no-op for untampered
+    frames either way, so the defense is architecturally invisible. *)
+
+val sigframe_scrub : t -> bool
+val sigreturn_forged : t -> int
+(** Forged PKRU restores that took effect (scrubbing off). *)
+
+val sigreturn_blocked : t -> int
+(** Forged PKRU restores refused by the scrubber (scrubbing on). *)
+
+val deliver_segv : t -> ?cpu:Cpu.t -> Vmm.Fault.t -> unit
 (** Walks the handler chain.  Returns normally iff some handler said
-    [Retry].
+    [Retry] (after which sigreturn reinstates the saved frame — see
+    {!tamper_sigframe}).  [cpu] names the faulting hart for post-mortem
+    attribution and is the target of any sigreturn PKRU restore.
     @raise Vmm.Fault.Unhandled when no handler resolves the fault
     @raise Process_killed when a handler demands termination *)
 

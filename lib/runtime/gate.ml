@@ -5,6 +5,9 @@ type t = {
   stack : Comp_stack.t;
   mutable transitions : int;
   mutable span_ids : int list; (* causal span per stack frame, innermost first *)
+  mutable resident : Mpk.Pkru.t;
+      (* the view the last verified transition installed on this thread;
+         what {!reverify} checks the live PKRU against on a fleet resume *)
 }
 
 let create ?(trusted_pkey = Mpk.Pkey.of_int 1) machine =
@@ -15,6 +18,8 @@ let create ?(trusted_pkey = Mpk.Pkey.of_int 1) machine =
     stack = Comp_stack.create ();
     transitions = 0;
     span_ids = [];
+    resident = Mpk.Pkru.all_enabled;
+    (* a fresh thread starts fully enabled, like its hart *)
   }
 
 let machine t = t.machine
@@ -70,8 +75,11 @@ let switch_to t event target =
           ("cpu", Util.Json.Int cpu.Sim.Cpu.id);
         ]
       ();
-    raise (Sim.Signals.Process_killed "call gate: PKRU value mismatch")
+    raise
+      (Sim.Signals.Process_killed
+         (Printf.sprintf "call gate: PKRU value mismatch (hart %d)" cpu.Sim.Cpu.id))
   end;
+  t.resident <- target;
   t.transitions <- t.transitions + 1;
   match !Telemetry.Sink.current with
   | None -> ()
@@ -152,6 +160,36 @@ let callback_trusted t f =
 
 let transitions t = t.transitions
 let reset_transitions t = t.transitions <- 0
+
+let resident_view t = t.resident
+
+(* Garmr defense: gate re-verification at a scheduling boundary.  A
+   continuation restore puts a parked thread back on its hart with
+   whatever PKRU the hart last held — if a sibling flipped it mid-slice
+   (a concurrent WRPKRU race), the thread would resume with rights its
+   gates never granted.  Re-checking the live value against the view the
+   last verified transition installed catches exactly that, before the
+   slice runs a single instruction.  The check is kernel/scheduler work:
+   it charges no simulated cycles and emits no events on the pass path,
+   so enabling it never perturbs benign traces. *)
+let reverify ?attack t =
+  let cpu = cpu t in
+  let now = cpu.Sim.Cpu.pkru in
+  if not (Mpk.Pkru.equal now t.resident) then begin
+    Telemetry.Flight.dump ~reason:"resume gate: PKRU re-verification mismatch"
+      ~details:
+        ([
+           ("expected_pkru", Util.Json.Int (Mpk.Pkru.to_int t.resident));
+           ("observed_pkru", Util.Json.Int (Mpk.Pkru.to_int now));
+           ("cycle", Util.Json.Int (Sim.Machine.cycles t.machine));
+           ("hart", Util.Json.Int cpu.Sim.Cpu.id);
+         ]
+        @ match attack with None -> [] | Some a -> [ ("attack", Util.Json.String a) ])
+      ();
+    raise
+      (Sim.Signals.Process_killed
+         (Printf.sprintf "resume gate: PKRU value mismatch (hart %d)" cpu.Sim.Cpu.id))
+  end
 
 (* The sampling profiler's stack snapshot: saved PKRU values name the
    compartments entered on the way here (root first), the live PKRU the

@@ -56,6 +56,22 @@ val transitions : t -> int
 
 val reset_transitions : t -> unit
 
+val resident_view : t -> Mpk.Pkru.t
+(** The PKRU view installed by this thread's last verified gate
+    transition ([all_enabled] before any transition).  The reference a
+    scheduler-boundary re-verification checks the live value against. *)
+
+val reverify : ?attack:string -> t -> unit
+(** Garmr defense: re-checks the hart's live PKRU against
+    {!resident_view} — called by the fleet scheduler before resuming a
+    parked continuation, catching a sibling hart's mid-slice WRPKRU flip
+    before the slice runs.  On mismatch, dumps the flight recorder
+    (expected vs observed PKRU, hart, and [attack] when given) and kills
+    the process.  Charges no simulated cycles and emits nothing when the
+    check passes, so enabling it is architecturally invisible on benign
+    runs.
+    @raise Sim.Signals.Process_killed on mismatch *)
+
 val chaos_pkru_corruptor : (Mpk.Pkru.t -> Mpk.Pkru.t) option ref
 (** Fault-injection hook for the chaos harness: when [Some f], every gate
     WRPKRU writes [f target] instead of [target] while still verifying the

@@ -34,4 +34,5 @@ let () =
       ("fleet", Test_fleet.suite);
       ("fuzz-substrates", Test_fuzz_substrates.suite);
       ("edge-cases", Test_edge_cases.suite);
+      ("garmr", Test_garmr.suite);
     ]

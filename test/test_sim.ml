@@ -217,7 +217,9 @@ let test_last_fault_recorded () =
       Sim.Signals.Retry);
   ignore (Sim.Machine.read_u8 m (base + 24));
   match Sim.Signals.last_fault m.Sim.Machine.signals with
-  | Some f -> Alcotest.(check int) "fault address kept" (base + 24) f.Vmm.Fault.addr
+  | Some (f, hart) ->
+    Alcotest.(check int) "fault address kept" (base + 24) f.Vmm.Fault.addr;
+    Alcotest.(check int) "faulting hart recorded" m.Sim.Machine.cpu.Sim.Cpu.id hart
   | None -> Alcotest.fail "expected last_fault to be recorded"
 
 (* SIGTRAP with an empty handler chain is fatal, and the kill message
